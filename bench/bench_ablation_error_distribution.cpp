@@ -1,0 +1,42 @@
+// Ablation beyond the paper: distributional quality of the error signal,
+// after Lindstrom's JSM'17 analysis (the paper's reference [7]). For each
+// pointwise-relative scheme at br = 1e-2, report bias, spread, shape, and
+// spatial autocorrelation of the *relative* error signal on the NYX
+// dark-matter field. SZ-style quantization yields near-uniform uncorrelated
+// errors; transform codecs concentrate mass near zero but correlate
+// neighboring errors inside blocks.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "data/generators.h"
+#include "metrics/error_distribution.h"
+
+using namespace transpwr;
+
+int main() {
+  bench::print_header(
+      "Ablation: relative-error distribution per scheme (NYX dmd, br=1e-2)");
+
+  auto f = gen::nyx_dark_matter_density(Dims(64, 64, 64), 42);
+  const double br = 1e-2;
+
+  std::printf("%-8s | %9s | %9s | %7s | %9s | %7s | %9s\n", "scheme", "bias",
+              "stddev", "skew", "ex.kurt", "lag-1", "outside");
+  for (Scheme s : {Scheme::kSzT, Scheme::kZfpT, Scheme::kFpzip,
+                   Scheme::kSzPwr, Scheme::kIsabela}) {
+    auto comp = make_compressor(s);
+    CompressorParams p;
+    p.bound = br;
+    auto out = comp->decompress_f32(comp->compress(f.span(), f.dims, p));
+    auto d = analyze_relative_error_distribution(f.span(), out, br, 32);
+    std::printf("%-8s | %9.2e | %9.2e | %7.3f | %9.3f | %7.3f | %9.2e\n",
+                scheme_name(s), d.mean, d.stddev, d.skewness,
+                d.excess_kurtosis, d.autocorr_lag1, d.outside_bound);
+  }
+  std::printf(
+      "\nReading the table: |bias| << bound and outside == 0 for the "
+      "strictly bounded schemes; SZ_T shows near-uniform (kurtosis ~ -1.2), "
+      "weakly correlated errors; FPZIP truncation is one-sided (negative "
+      "bias toward zero magnitude).\n");
+  return 0;
+}

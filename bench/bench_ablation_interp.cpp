@@ -1,0 +1,45 @@
+// Ablation beyond the paper: the SZ3-style interpolation predictor under
+// the log transform (SZI_T) vs the paper's Lorenzo-based SZ_T, across the
+// four application datasets and bounds — the "does the transformation
+// scheme transfer to the successor codec?" question (it is, in fact, how
+// SZ3's own PW_REL mode later worked).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "data/generators.h"
+
+using namespace transpwr;
+
+int main() {
+  bench::print_header("Ablation: SZ_T (Lorenzo) vs SZI_T (interpolation)");
+
+  struct Row {
+    const char* name;
+    Field<float> f;
+  };
+  Row rows[] = {
+      {"NYX dmd", gen::nyx_dark_matter_density(Dims(64, 64, 64), 42)},
+      {"NYX velocity", gen::nyx_velocity(Dims(64, 64, 64), 43)},
+      {"CESM temperature", gen::cesm_temperature(Dims(225, 450), 44)},
+      {"Hurricane wind", gen::hurricane_wind(Dims(25, 125, 125), 45)},
+      {"HACC vx", gen::hacc_velocity(1 << 19, 46)},
+  };
+
+  std::printf("%-18s | %8s | %10s | %10s | %8s\n", "field", "pwr eb",
+              "SZ_T CR", "SZI_T CR", "gain");
+  for (auto& r : rows) {
+    for (double br : {1e-3, 1e-2}) {
+      CompressorParams p;
+      p.bound = br;
+      auto a = bench::measure(Scheme::kSzT, r.f, p);
+      auto b = bench::measure(Scheme::kSziT, r.f, p);
+      std::printf("%-18s | %8g | %10.3f | %10.3f | %+7.1f%%\n", r.name, br,
+                  a.ratio, b.ratio, 100.0 * (b.ratio / a.ratio - 1.0));
+    }
+  }
+  std::printf(
+      "\nExpected shape: interpolation's two-sided context wins on smooth "
+      "fields (CESM/Hurricane), Lorenzo stays competitive on rough ones "
+      "(HACC); both are strictly bounded (see tests).\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Reproduces paper Fig. 3: compression and decompression rate (MB/s) vs
+// pointwise relative error bound for the five pointwise-relative schemes on
+// the four application datasets.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/generators.h"
+
+using namespace transpwr;
+
+namespace {
+
+void run_bundle(const char* name, const std::vector<Field<float>>& fields) {
+  std::printf("\n--- %s ---\n", name);
+  const Scheme schemes[] = {Scheme::kSzPwr, Scheme::kFpzip, Scheme::kIsabela,
+                            Scheme::kZfpT, Scheme::kSzT};
+  for (const char* dir : {"compression", "decompression"}) {
+    std::printf("%s rate (MB/s):\n%-10s", dir, "pwr eb");
+    for (Scheme s : schemes) std::printf(" %9s", scheme_name(s));
+    std::printf("\n");
+    for (double br : {1e-4, 1e-3, 1e-2, 1e-1}) {
+      std::printf("%-10g", br);
+      for (Scheme s : schemes) {
+        double mb = 0, secs = 0;
+        for (const auto& f : fields) {
+          CompressorParams p;
+          p.bound = br;
+          auto m = bench::measure(s, f, p);
+          double fmb = static_cast<double>(f.bytes()) / (1024.0 * 1024.0);
+          mb += fmb;
+          bool is_comp = dir[0] == 'c';
+          secs += fmb / (is_comp ? m.compress_mbs : m.decompress_mbs);
+        }
+        std::printf(" %9.1f", mb / secs);
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig. 3: compression/decompression rate vs pwr error bound");
+  run_bundle("HACC", gen::hacc_bundle(gen::Scale::kMedium, 1));
+  run_bundle("CESM-ATM", gen::cesm_bundle(gen::Scale::kMedium, 2));
+  run_bundle("NYX", gen::nyx_bundle(gen::Scale::kMedium, 3));
+  run_bundle("Hurricane", gen::hurricane_bundle(gen::Scale::kMedium, 4));
+  std::printf(
+      "\nExpected shape (paper): FPZIP fastest compression; ZFP_T second; "
+      "SZ_T >= SZ_PWR; ISABELA slowest (sorting). Decompression comparable "
+      "for all but ISABELA.\n");
+  return 0;
+}

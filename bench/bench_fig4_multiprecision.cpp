@@ -1,0 +1,90 @@
+// Reproduces paper Fig. 4: multiprecision distortion of a NYX
+// dark_matter_density slice at iso-compression-ratio ~7, comparing SZ_ABS,
+// FPZIP, and SZ_T. Emits the quantitative core of the figure (which bound
+// each compressor needs to reach CR 7, and the relative distortion in the
+// precision window [0, 0.1]) and writes PGM images of the slice.
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "data/generators.h"
+#include "data/io.h"
+#include "fpzip/fpzip.h"
+
+using namespace transpwr;
+
+namespace {
+
+constexpr double kTargetCr = 7.0;
+
+struct Result {
+  const char* name;
+  double param;       // bound used (abs for SZ_ABS, rel for others)
+  double achieved_cr;
+  double max_rel;     // over nonzero points
+  double window_max_rel;  // over points with 0 < x <= 0.1
+  std::vector<float> slice;
+};
+
+Result evaluate(Scheme s, const Field<float>& f, std::size_t slice_z) {
+  Result r{};
+  r.name = scheme_name(s);
+  r.param = bench::bound_for_ratio(s, f, kTargetCr, &r.achieved_cr);
+  CompressorParams p;
+  p.bound = r.param;
+  auto comp = make_compressor(s);
+  auto out = comp->decompress_f32(comp->compress(f.span(), f.dims, p));
+  auto stats = compute_error_stats(f.span(), out);
+  r.max_rel = stats.max_rel;
+  const std::size_t ny = f.dims[1], nx = f.dims[2];
+  r.slice.assign(out.begin() +
+                     static_cast<std::ptrdiff_t>(slice_z * ny * nx),
+                 out.begin() +
+                     static_cast<std::ptrdiff_t>((slice_z + 1) * ny * nx));
+  for (std::size_t i = 0; i < f.values.size(); ++i) {
+    double x = f.values[i];
+    if (x <= 0 || x > 0.1) continue;
+    r.window_max_rel =
+        std::max(r.window_max_rel, std::abs(x - out[i]) / x);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig. 4: multiprecision distortion at iso-CR ~7 (NYX dmd slice)");
+
+  auto f = gen::nyx_dark_matter_density(Dims(96, 96, 96), 42);
+  const std::size_t slice_z = 48;
+  const std::size_t ny = f.dims[1], nx = f.dims[2];
+
+  // Original slice images at both precision windows.
+  std::vector<float> orig_slice(f.values.begin() +
+                                    static_cast<std::ptrdiff_t>(slice_z * ny *
+                                                                nx),
+                                f.values.begin() +
+                                    static_cast<std::ptrdiff_t>(
+                                        (slice_z + 1) * ny * nx));
+  io::write_pgm("fig4_original_full.pgm", nx, ny, orig_slice, 0.0f, 1.0f);
+  io::write_pgm("fig4_original_zoom.pgm", nx, ny, orig_slice, 0.0f, 0.1f);
+
+  std::printf("%-8s | %12s | %9s | %11s | %18s\n", "name", "bound", "CR",
+              "max pwr E", "max pwr E in (0,.1]");
+  for (Scheme s : {Scheme::kSzAbs, Scheme::kFpzip, Scheme::kSzT}) {
+    auto r = evaluate(s, f, slice_z);
+    std::printf("%-8s | %12.4g | %9.2f | %11.3g | %18.3g\n", r.name, r.param,
+                r.achieved_cr, r.max_rel, r.window_max_rel);
+    std::string base = std::string("fig4_") + r.name;
+    io::write_pgm(base + "_full.pgm", nx, ny, r.slice, 0.0f, 1.0f);
+    io::write_pgm(base + "_zoom.pgm", nx, ny, r.slice, 0.0f, 0.1f);
+  }
+  std::printf(
+      "\nWrote fig4_*.pgm slice images (full range [0,1] and zoom "
+      "[0,0.1]).\nExpected shape (paper): to reach CR~7, SZ_ABS needs a "
+      "universal bound (~0.055 paper / see above here) that wrecks the "
+      "[0,0.1] window; FPZIP needs pwr ~0.5; SZ_T only ~0.15 — so SZ_T's "
+      "zoom image is closest to the original.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Reproduces paper Fig. 5: angle skew between original and reconstructed
+// HACC 3-D velocities at iso-compression-ratio ~8 for SZ_ABS, FPZIP, SZ_T.
+// Particles are binned into blocks; per-block mean skew is written as a PGM
+// heat map and summarized numerically.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/generators.h"
+#include "data/io.h"
+
+using namespace transpwr;
+
+namespace {
+
+constexpr double kTargetCr = 8.0;
+constexpr std::size_t kGrid = 64;  // kGrid x kGrid spatial blocks
+
+std::vector<float> roundtrip(Scheme s, const Field<float>& f, double bound) {
+  CompressorParams p;
+  p.bound = bound;
+  auto c = make_compressor(s);
+  return c->decompress_f32(c->compress(f.span(), f.dims, p));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 5: angle skews on HACC velocities at iso-CR ~8");
+
+  const std::size_t n = 1 << 20;
+  auto vx = gen::hacc_velocity(n, 1);
+  auto vy = gen::hacc_velocity(n, 2);
+  auto vz = gen::hacc_velocity(n, 3);
+
+  // Assign particles to a 2-D block grid (a slice of the paper's
+  // 200^3 binning) deterministically from particle id.
+  std::vector<std::uint32_t> block_of(n);
+  for (std::size_t i = 0; i < n; ++i)
+    block_of[i] = static_cast<std::uint32_t>(i % (kGrid * kGrid));
+
+  std::printf("%-8s | %12s | %9s | %10s | %10s\n", "name", "bound", "CR",
+              "mean skew", "max skew");
+  for (Scheme s : {Scheme::kSzAbs, Scheme::kFpzip, Scheme::kSzT}) {
+    // Tune the bound for iso-CR on the x component, then apply to all
+    // three (the paper fixes one setting per compressor). SZ_ABS searches
+    // over absolute bounds (km/s); the relative schemes over (0, 1).
+    double achieved = 0;
+    double hi = s == Scheme::kSzAbs ? 400.0 : 0.9;
+    double bound =
+        bench::bound_for_ratio(s, vx, kTargetCr, &achieved, 1e-6, hi);
+    auto dx = roundtrip(s, vx, bound);
+    auto dy = roundtrip(s, vy, bound);
+    auto dz = roundtrip(s, vz, bound);
+    auto skew = angle_skew(vx.span(), vy.span(), vz.span(), dx, dy, dz,
+                           block_of, kGrid * kGrid);
+    std::printf("%-8s | %12.4g | %9.2f | %9.2f° | %9.2f°\n", scheme_name(s),
+                bound, achieved, skew.overall_mean_deg, skew.overall_max_deg);
+    std::vector<float> img(skew.block_mean_deg.begin(),
+                           skew.block_mean_deg.end());
+    io::write_pgm(std::string("fig5_") + scheme_name(s) + "_skew.pgm", kGrid,
+                  kGrid, img, 0.0f, 10.0f);
+  }
+  std::printf(
+      "\nWrote fig5_*_skew.pgm block heat maps (brighter = more skew).\n"
+      "Expected shape (paper): SZ_ABS skews >6 deg, FPZIP ~4 deg, SZ_T ~2 "
+      "deg, because SZ_T needs the loosest bound budget for the same CR.\n");
+  return 0;
+}

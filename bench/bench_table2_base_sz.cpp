@@ -1,0 +1,44 @@
+// Reproduces paper Table II: compression ratio of SZ_T under logarithmic
+// bases {2, e, 10} on the two representative NYX fields, for pointwise
+// relative error bounds {1e-4, 1e-3, 1e-2, 0.1, 0.2, 0.3}.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/transformed.h"
+#include "data/generators.h"
+
+using namespace transpwr;
+
+int main() {
+  bench::print_header(
+      "Table II: compression ratio of different bases for SZ_T (NYX)");
+
+  auto dmd = gen::nyx_dark_matter_density(Dims(96, 96, 96), 42);
+  auto vx = gen::nyx_velocity(Dims(96, 96, 96), 43);
+  const double bases[] = {2.0, 2.718281828459045, 10.0};
+  const double bounds[] = {1e-4, 1e-3, 1e-2, 0.1, 0.2, 0.3};
+
+  std::printf("%-8s | %28s | %28s\n", "", "dark_matter_density", "velocity_x");
+  std::printf("%-8s | %8s %8s %8s | %8s %8s %8s\n", "pwr eb", "base 2",
+              "base e", "base 10", "base 2", "base e", "base 10");
+  for (double br : bounds) {
+    std::printf("%-8g |", br);
+    for (const auto* f : {&dmd, &vx}) {
+      for (double base : bases) {
+        TransformedParams p;
+        p.rel_bound = br;
+        p.log_base = base;
+        auto stream =
+            transformed_compress<float>(f->span(), f->dims, InnerCodec::kSz,
+                                        p);
+        std::printf(" %8.3f", compression_ratio(f->bytes(), stream.size()));
+      }
+      std::printf(" |");
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nExpected shape (paper): ratios differ by only ~1%% (dmd) / ~3%% "
+      "(velocity) across bases.\n");
+  return 0;
+}

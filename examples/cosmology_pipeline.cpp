@@ -1,0 +1,63 @@
+// Cosmology pipeline: the workload the paper's introduction motivates.
+// A HACC-like simulation produces 3-D particle velocities each snapshot;
+// ranks compress their shard with a pointwise relative bound (cosmologists
+// tolerate larger error on faster particles), dump to per-rank files, and a
+// post-analysis job loads them back and checks that particle *directions*
+// survived (the Fig. 5 angle-skew criterion).
+//
+//   $ ./example_cosmology_pipeline
+#include <cstdio>
+#include <numeric>
+
+#include "data/generators.h"
+#include "metrics/metrics.h"
+#include "parallel/harness.h"
+
+using namespace transpwr;
+
+int main() {
+  const std::size_t particles = 1 << 19;
+  std::vector<Field<float>> snapshot;
+  snapshot.push_back(gen::hacc_velocity(particles, 101));
+  snapshot.push_back(gen::hacc_velocity(particles, 102));
+  snapshot.push_back(gen::hacc_velocity(particles, 103));
+  snapshot[0].name = "vx";
+  snapshot[1].name = "vy";
+  snapshot[2].name = "vz";
+
+  // --- dump + load through the parallel harness (file-per-process).
+  parallel::RunConfig cfg;
+  cfg.scheme = Scheme::kSzT;
+  cfg.params.bound = 0.01;  // 1% per velocity component
+  cfg.ranks = 3;            // one rank per component here
+  cfg.dir = "/tmp";
+  cfg.verify_rel_bound = cfg.params.bound;
+  auto run = parallel::run(cfg, snapshot);
+  std::printf("dump: %.3fs (compress %.3fs + write %.3fs), CR %.2fx\n",
+              run.dump_s(), run.compress_s, run.write_s,
+              run.compression_ratio);
+  std::printf("load: %.3fs (read %.3fs + decompress %.3fs), verified: %s\n",
+              run.load_s(), run.read_s, run.decompress_s,
+              run.verified ? "yes" : "NO");
+
+  // --- post-analysis: how much did particle directions skew?
+  auto comp = make_compressor(Scheme::kSzT);
+  std::vector<std::vector<float>> dec;
+  for (const auto& f : snapshot)
+    dec.push_back(comp->decompress_f32(
+        comp->compress(f.span(), f.dims, cfg.params)));
+
+  std::vector<std::uint32_t> block_of(particles);
+  for (std::size_t i = 0; i < particles; ++i)
+    block_of[i] = static_cast<std::uint32_t>(i % 256);
+  auto skew = angle_skew(snapshot[0].span(), snapshot[1].span(),
+                         snapshot[2].span(), dec[0], dec[1], dec[2],
+                         block_of, 256);
+  std::printf("mean angle skew: %.3f deg, max: %.3f deg\n",
+              skew.overall_mean_deg, skew.overall_max_deg);
+  std::printf(
+      "With a 1%% pointwise bound, velocity directions stay within a "
+      "fraction of a degree — the property an absolute bound cannot give "
+      "slow particles.\n");
+  return run.verified ? 0 : 1;
+}

@@ -1,0 +1,396 @@
+#include "cli/cli.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/bytestream.h"
+#include "common/error.h"
+#include "common/timer.h"
+#include "data/generators.h"
+#include "data/io.h"
+#include "core/temporal.h"
+#include "metrics/metrics.h"
+#include "parallel/chunked.h"
+
+namespace transpwr {
+namespace cli {
+namespace {
+
+double parse_double(const std::string& s, const char* what) {
+  try {
+    std::size_t pos = 0;
+    double v = std::stod(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw ParamError(std::string("invalid ") + what + ": " + s);
+  }
+}
+
+std::uint64_t parse_u64(const std::string& s, const char* what) {
+  try {
+    std::size_t pos = 0;
+    auto v = std::stoull(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw ParamError(std::string("invalid ") + what + ": " + s);
+  }
+}
+
+template <typename T>
+std::vector<T> load_field(const std::string& path, const Dims& dims) {
+  auto bytes = io::read_bytes(path);
+  if (bytes.size() != dims.count() * sizeof(T))
+    throw ParamError("input size (" + std::to_string(bytes.size()) +
+                     " bytes) does not match dims " + dims.to_string());
+  std::vector<T> data(dims.count());
+  std::memcpy(data.data(), bytes.data(), bytes.size());
+  return data;
+}
+
+Field<float> generate(const Args& a) {
+  const Dims d = a.dims.value();
+  if (a.workload == "hacc") return gen::hacc_velocity(d.count(), a.seed);
+  if (a.workload == "cesm") {
+    return a.field == "flux" ? gen::cesm_flux(d, a.seed)
+                             : gen::cesm_cloud_fraction(d, a.seed);
+  }
+  if (a.workload == "nyx") {
+    return a.field == "velocity" ? gen::nyx_velocity(d, a.seed)
+                                 : gen::nyx_dark_matter_density(d, a.seed);
+  }
+  if (a.workload == "hurricane") {
+    return a.field == "cloud" ? gen::hurricane_cloud(d, a.seed)
+                              : gen::hurricane_wind(d, a.seed);
+  }
+  throw ParamError("unknown workload: " + a.workload +
+                   " (expected hacc|cesm|nyx|hurricane)");
+}
+
+template <typename T>
+int do_compress(const Args& a) {
+  Dims dims = a.dims.value();
+  auto data = load_field<T>(a.input, dims);
+  chunked::Params p;
+  p.scheme = a.scheme;
+  p.compressor.bound = a.bound;
+  p.compressor.log_base = a.log_base;
+  p.threads = a.threads;
+  p.num_chunks = a.chunks;
+  Timer t;
+  auto stream = chunked::compress<T>(data, dims, p);
+  double secs = t.seconds();
+  io::write_bytes(a.output, stream);
+  double mb = static_cast<double>(data.size() * sizeof(T)) / (1 << 20);
+  std::printf("%s: %s %s -> %zu bytes, ratio %.3f, %.1f MB/s\n",
+              scheme_name(a.scheme), dims.to_string().c_str(),
+              a.dtype == DataType::kFloat32 ? "f32" : "f64", stream.size(),
+              compression_ratio(data.size() * sizeof(T), stream.size()),
+              secs > 0 ? mb / secs : 0.0);
+  return 0;
+}
+
+template <typename T>
+int do_decompress(const Args& a) {
+  auto stream = io::read_bytes(a.input);
+  Dims dims;
+  Timer t;
+  auto data = chunked::decompress<T>(stream, &dims, a.threads);
+  double secs = t.seconds();
+  io::write_bytes(a.output,
+                  {reinterpret_cast<const std::uint8_t*>(data.data()),
+                   data.size() * sizeof(T)});
+  double mb = static_cast<double>(data.size() * sizeof(T)) / (1 << 20);
+  std::printf("decompressed %s -> %zu values (%s), %.1f MB/s\n",
+              a.input.c_str(), data.size(), dims.to_string().c_str(),
+              secs > 0 ? mb / secs : 0.0);
+  return 0;
+}
+
+int do_info(const Args& a) {
+  auto stream = io::read_bytes(a.input);
+  ByteReader in(stream);
+  auto magic = in.get<std::uint32_t>();
+  if (magic == 0x31525354) {  // series container
+    auto count = in.get<std::uint32_t>();
+    std::printf("container: transpwr series v1\n");
+    std::printf("snapshots: %u\n", count);
+    std::printf("size:      %zu bytes\n", stream.size());
+    return 0;
+  }
+  if (magic != 0x314B4843) {
+    std::printf("%s: not a transpwr container\n", a.input.c_str());
+    return 1;
+  }
+  auto dtype = static_cast<DataType>(in.get<std::uint8_t>());
+  auto scheme = static_cast<Scheme>(in.get<std::uint8_t>());
+  int nd = in.get<std::uint8_t>();
+  in.get<std::uint8_t>();
+  Dims dims;
+  dims.nd = nd;
+  for (int i = 0; i < 3; ++i)
+    dims.d[static_cast<std::size_t>(i)] =
+        static_cast<std::size_t>(in.get<std::uint64_t>());
+  auto slabs = in.get<std::uint32_t>();
+  std::printf("container: transpwr chunked v1\n");
+  std::printf("scheme:    %s\n", scheme_name(scheme));
+  std::printf("dtype:     %s\n",
+              dtype == DataType::kFloat32 ? "float32" : "float64");
+  std::printf("dims:      %s (%zu values)\n", dims.to_string().c_str(),
+              dims.count());
+  std::printf("slabs:     %u\n", slabs);
+  std::printf("size:      %zu bytes (ratio %.3f vs raw)\n", stream.size(),
+              compression_ratio(dims.count() * size_of(dtype),
+                                stream.size()));
+  return 0;
+}
+
+int do_gen(const Args& a) {
+  auto f = generate(a);
+  io::write_floats(a.output, f.span());
+  std::printf("wrote %s: %s/%s %s (%zu values)\n", a.output.c_str(),
+              a.workload.c_str(), f.name.c_str(),
+              f.dims.to_string().c_str(), f.values.size());
+  return 0;
+}
+
+template <typename T>
+int do_eval(const Args& a) {
+  Dims dims = a.dims.value();
+  auto orig = load_field<T>(a.input, dims);
+  auto dec = load_field<T>(a.output, dims);
+  auto stats = compute_error_stats(std::span<const T>(orig),
+                                   std::span<const T>(dec));
+  std::printf("points:          %zu\n", stats.count);
+  std::printf("max abs error:   %.6e\n", stats.max_abs);
+  std::printf("max rel error:   %.6e\n", stats.max_rel);
+  std::printf("avg rel error:   %.6e\n", stats.avg_rel);
+  std::printf("PSNR:            %.2f dB\n", stats.psnr);
+  std::printf("rel-err PSNR:    %.2f dB\n", stats.rel_psnr);
+  std::printf("modified zeros:  %zu\n", stats.modified_zeros);
+  std::printf("bounded at %g:   %.4f%%\n", a.bound,
+              100.0 * stats.fraction_bounded(a.bound));
+  return 0;
+}
+
+
+constexpr std::uint32_t kSeriesMagic = 0x31525354;  // "TSR1"
+
+int do_series(const Args& a) {
+  if (a.scheme != Scheme::kSzT && a.scheme != Scheme::kZfpT)
+    throw ParamError("series supports SZ_T or ZFP_T only");
+  Dims dims = a.dims.value();
+  TransformedParams tp;
+  tp.rel_bound = a.bound;
+  tp.log_base = a.log_base;
+  TemporalCompressor enc(
+      a.scheme == Scheme::kSzT ? InnerCodec::kSz : InnerCodec::kZfp, tp);
+
+  ByteWriter out;
+  out.put(kSeriesMagic);
+  out.put(static_cast<std::uint32_t>(a.inputs.size()));
+  std::size_t raw = 0;
+  for (const auto& path : a.inputs) {
+    auto data = load_field<float>(path, dims);
+    raw += data.size() * sizeof(float);
+    out.put_sized(enc.compress_snapshot(data, dims));
+  }
+  auto bytes = out.take();
+  io::write_bytes(a.output, bytes);
+  std::printf("series: %zu snapshots of %s -> %zu bytes (ratio %.3f)\n",
+              a.inputs.size(), dims.to_string().c_str(), bytes.size(),
+              compression_ratio(raw, bytes.size()));
+  return 0;
+}
+
+int do_unseries(const Args& a) {
+  auto bytes = io::read_bytes(a.input);
+  ByteReader in(bytes);
+  if (in.get<std::uint32_t>() != kSeriesMagic)
+    throw ParamError(a.input + ": not a transpwr series container");
+  auto count = in.get<std::uint32_t>();
+  TemporalDecompressor dec;
+  for (std::uint32_t t = 0; t < count; ++t) {
+    Dims dims;
+    auto snap = dec.decompress_snapshot(in.get_sized(), &dims);
+    char name[32];
+    std::snprintf(name, sizeof name, "_%03u.bin", t);
+    io::write_floats(a.output + name, snap);
+  }
+  std::printf("unseries: wrote %u snapshots to %s_###.bin\n", count,
+              a.output.c_str());
+  return 0;
+}
+
+}  // namespace
+
+const char* usage() {
+  return
+      "transpwr — pointwise relative-error-bounded lossy compression\n"
+      "\n"
+      "usage:\n"
+      "  transpwr compress   -d DIMS [-s SCHEME] [-b BOUND] [-t f32|f64]\n"
+      "                      [--base B] [--threads N] [--chunks N] IN OUT\n"
+      "  transpwr decompress [-t f32|f64] [--threads N] IN OUT\n"
+      "  transpwr info       IN\n"
+      "  transpwr gen        -w hacc|cesm|nyx|hurricane -d DIMS\n"
+      "                      [--field NAME] [--seed N] -o OUT\n"
+      "  transpwr eval       -d DIMS [-b BOUND] [-t f32|f64] ORIG DECOMP\n"
+      "  transpwr series     -d DIMS [-b BOUND] [-s SZ_T|ZFP_T] -o OUT\n"
+      "                      SNAP1 SNAP2 ...\n"
+      "  transpwr unseries   IN -o OUTPREFIX\n"
+      "\n"
+      "DIMS is Z x Y x X slowest-first, e.g. 512x512x512, 1800x3600, 1000000.\n"
+      "SCHEME is one of SZ_T ZFP_T FPZIP SZ_PWR ZFP_P ISABELA SZ_ABS\n"
+      "(default SZ_T). BOUND is the pointwise relative error bound\n"
+      "(absolute for SZ_ABS), default 1e-3.\n";
+}
+
+Dims parse_dims(const std::string& text) {
+  std::vector<std::size_t> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t sep = text.find('x', start);
+    std::string tok = text.substr(
+        start, sep == std::string::npos ? std::string::npos : sep - start);
+    if (tok.empty()) throw ParamError("invalid dims: " + text);
+    parts.push_back(static_cast<std::size_t>(parse_u64(tok, "dims")));
+    if (sep == std::string::npos) break;
+    start = sep + 1;
+  }
+  Dims d;
+  switch (parts.size()) {
+    case 1:
+      d = Dims(parts[0]);
+      break;
+    case 2:
+      d = Dims(parts[0], parts[1]);
+      break;
+    case 3:
+      d = Dims(parts[0], parts[1], parts[2]);
+      break;
+    default:
+      throw ParamError("dims must have 1-3 components: " + text);
+  }
+  d.validate();
+  return d;
+}
+
+Args parse_args(const std::vector<std::string>& argv) {
+  if (argv.empty()) throw ParamError("missing command");
+  Args a;
+  a.command = argv[0];
+  if (a.command != "compress" && a.command != "decompress" &&
+      a.command != "info" && a.command != "gen" && a.command != "eval" &&
+      a.command != "series" && a.command != "unseries")
+    throw ParamError("unknown command: " + a.command);
+
+  std::vector<std::string> positional;
+  for (std::size_t i = 1; i < argv.size(); ++i) {
+    const std::string& arg = argv[i];
+    auto next = [&]() -> const std::string& {
+      if (++i >= argv.size())
+        throw ParamError("missing value after " + arg);
+      return argv[i];
+    };
+    if (arg == "-s" || arg == "--scheme") {
+      a.scheme = scheme_from_name(next());
+    } else if (arg == "-b" || arg == "--bound") {
+      a.bound = parse_double(next(), "bound");
+    } else if (arg == "-d" || arg == "--dims") {
+      a.dims = parse_dims(next());
+    } else if (arg == "-t" || arg == "--type") {
+      const std::string& t = next();
+      if (t == "f32")
+        a.dtype = DataType::kFloat32;
+      else if (t == "f64")
+        a.dtype = DataType::kFloat64;
+      else
+        throw ParamError("type must be f32 or f64, got " + t);
+    } else if (arg == "--base") {
+      a.log_base = parse_double(next(), "base");
+    } else if (arg == "--threads") {
+      a.threads = static_cast<std::size_t>(parse_u64(next(), "threads"));
+    } else if (arg == "--chunks") {
+      a.chunks = static_cast<std::size_t>(parse_u64(next(), "chunks"));
+    } else if (arg == "-w" || arg == "--workload") {
+      a.workload = next();
+    } else if (arg == "--field") {
+      a.field = next();
+    } else if (arg == "--seed") {
+      a.seed = parse_u64(next(), "seed");
+    } else if (arg == "-o" || arg == "--output") {
+      a.output = next();
+    } else if (!arg.empty() && arg[0] == '-') {
+      throw ParamError("unknown option: " + arg);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  if (a.command == "compress" || a.command == "eval") {
+    if (positional.size() != 2)
+      throw ParamError(a.command + " needs two file arguments");
+    a.input = positional[0];
+    a.output = positional[1];
+    if (!a.dims) throw ParamError(a.command + " requires -d DIMS");
+  } else if (a.command == "decompress") {
+    if (positional.size() != 2)
+      throw ParamError("decompress needs two file arguments");
+    a.input = positional[0];
+    a.output = positional[1];
+  } else if (a.command == "info") {
+    if (positional.size() != 1)
+      throw ParamError("info needs one file argument");
+    a.input = positional[0];
+  } else if (a.command == "series") {
+    if (positional.empty()) throw ParamError("series needs snapshot files");
+    a.inputs = positional;
+    if (a.output.empty()) throw ParamError("series requires -o OUT");
+    if (!a.dims) throw ParamError("series requires -d DIMS");
+  } else if (a.command == "unseries") {
+    if (positional.size() != 1)
+      throw ParamError("unseries needs one input file");
+    a.input = positional[0];
+    if (a.output.empty()) throw ParamError("unseries requires -o OUTPREFIX");
+  } else {  // gen
+    if (!positional.empty() && a.output.empty()) a.output = positional[0];
+    if (a.output.empty()) throw ParamError("gen requires -o OUT");
+    if (a.workload.empty()) throw ParamError("gen requires -w WORKLOAD");
+    if (!a.dims) throw ParamError("gen requires -d DIMS");
+  }
+  if (!(a.bound > 0)) throw ParamError("bound must be positive");
+  return a;
+}
+
+int run(const Args& a) {
+  if (a.command == "compress")
+    return a.dtype == DataType::kFloat32 ? do_compress<float>(a)
+                                         : do_compress<double>(a);
+  if (a.command == "decompress")
+    return a.dtype == DataType::kFloat32 ? do_decompress<float>(a)
+                                         : do_decompress<double>(a);
+  if (a.command == "info") return do_info(a);
+  if (a.command == "gen") return do_gen(a);
+  if (a.command == "eval")
+    return a.dtype == DataType::kFloat32 ? do_eval<float>(a)
+                                         : do_eval<double>(a);
+  if (a.command == "series") return do_series(a);
+  if (a.command == "unseries") return do_unseries(a);
+  throw ParamError("unknown command: " + a.command);
+}
+
+int main_entry(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  try {
+    return run(parse_args(args));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n\n%s", e.what(), usage());
+    return 2;
+  }
+}
+
+}  // namespace cli
+}  // namespace transpwr

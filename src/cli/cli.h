@@ -1,0 +1,53 @@
+#ifndef TRANSPWR_CLI_CLI_H
+#define TRANSPWR_CLI_CLI_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/compressor.h"
+
+namespace transpwr {
+namespace cli {
+
+/// Parsed command line for the `transpwr` tool. Kept as a plain struct so
+/// parsing is unit-testable without spawning processes.
+struct Args {
+  std::string command;  // compress|decompress|info|gen|eval|series|unseries
+  std::string input;
+  std::vector<std::string> inputs;  // series: snapshot files in time order
+  std::string output;
+  Scheme scheme = Scheme::kSzT;
+  double bound = 1e-3;
+  double log_base = 2.0;
+  DataType dtype = DataType::kFloat32;
+  std::optional<Dims> dims;
+  std::size_t threads = 0;  // 0 => auto
+  std::size_t chunks = 0;   // 0 => one per thread
+  std::string workload;     // gen: hacc|cesm|nyx|hurricane
+  std::string field;        // gen: field name within the workload
+  std::uint64_t seed = 42;
+};
+
+/// Throws ParamError with a usage-style message on malformed input.
+Args parse_args(const std::vector<std::string>& argv);
+
+/// Parse "ZxYxX" / "YxX" / "N" into Dims.
+Dims parse_dims(const std::string& text);
+
+/// Run one parsed command; returns a process exit code. Output goes to
+/// stdout (suitable for piping).
+int run(const Args& args);
+
+/// argv-style convenience wrapper: parse + run, printing usage on error.
+int main_entry(int argc, const char* const* argv);
+
+/// Human-readable usage text.
+const char* usage();
+
+}  // namespace cli
+}  // namespace transpwr
+
+#endif  // TRANSPWR_CLI_CLI_H

@@ -1,0 +1,128 @@
+#ifndef TRANSPWR_COMMON_BITSTREAM_H
+#define TRANSPWR_COMMON_BITSTREAM_H
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+
+namespace transpwr {
+
+/// Append-only bit stream writer. Bits are packed LSB-first into a growing
+/// byte buffer; a 64-bit accumulator keeps the hot path branch-light.
+class BitWriter {
+ public:
+  /// Append the low `nbits` of `value` (0 <= nbits <= 64).
+  void write_bits(std::uint64_t value, unsigned nbits) {
+    if (nbits == 0) return;
+    if (nbits < 64) value &= (std::uint64_t{1} << nbits) - 1;
+    acc_ |= value << fill_;
+    unsigned produced = 64 - fill_;
+    if (nbits >= produced) {
+      flush_word();
+      // `produced` bits of `value` were consumed; stash the rest.
+      acc_ = produced < 64 ? value >> produced : 0;
+      fill_ = nbits - produced;
+    } else {
+      fill_ += nbits;
+    }
+  }
+
+  void write_bit(bool b) { write_bits(b ? 1u : 0u, 1); }
+
+  /// Number of bits written so far.
+  std::size_t bit_count() const { return bytes_.size() * 8 + fill_; }
+
+  /// Flush the accumulator and return the backing bytes. The writer may not
+  /// be used after calling take().
+  std::vector<std::uint8_t> take() {
+    unsigned pending = (fill_ + 7) / 8;
+    for (unsigned i = 0; i < pending; ++i)
+      bytes_.push_back(static_cast<std::uint8_t>(acc_ >> (8 * i)));
+    acc_ = 0;
+    fill_ = 0;
+    return std::move(bytes_);
+  }
+
+ private:
+  void flush_word() {
+    std::size_t off = bytes_.size();
+    bytes_.resize(off + 8);
+    std::memcpy(bytes_.data() + off, &acc_, 8);
+    acc_ = 0;
+    fill_ = 0;
+  }
+
+  std::vector<std::uint8_t> bytes_;
+  std::uint64_t acc_ = 0;
+  unsigned fill_ = 0;  // bits currently held in acc_
+};
+
+/// Reader matching BitWriter's LSB-first packing. Reading past the end
+/// throws StreamError.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint64_t read_bits(unsigned nbits) {
+    if (nbits == 0) return 0;
+    if (bit_pos_ + nbits > bytes_.size() * 8)
+      throw StreamError("BitReader: read past end of stream");
+    std::uint64_t out = 0;
+    unsigned got = 0;
+    while (got < nbits) {
+      std::size_t byte = bit_pos_ >> 3;
+      unsigned bit = bit_pos_ & 7;
+      unsigned avail = 8 - bit;
+      unsigned take = nbits - got < avail ? nbits - got : avail;
+      std::uint64_t chunk = (bytes_[byte] >> bit) & ((1u << take) - 1);
+      out |= chunk << got;
+      got += take;
+      bit_pos_ += take;
+    }
+    return out;
+  }
+
+  bool read_bit() { return read_bits(1) != 0; }
+
+  /// Read up to `nbits` without advancing; bits past the end read as 0.
+  std::uint64_t peek_bits(unsigned nbits) const {
+    std::uint64_t out = 0;
+    unsigned got = 0;
+    std::size_t pos = bit_pos_;
+    const std::size_t total = bytes_.size() * 8;
+    while (got < nbits && pos < total) {
+      std::size_t byte = pos >> 3;
+      unsigned bit = pos & 7;
+      unsigned avail = 8 - bit;
+      unsigned take = std::min(nbits - got, avail);
+      std::uint64_t chunk = (bytes_[byte] >> bit) & ((1u << take) - 1);
+      out |= chunk << got;
+      got += take;
+      pos += take;
+    }
+    return out;
+  }
+
+  /// Advance by `nbits` without reading (also used to seek in fixed-rate
+  /// streams).
+  void skip_bits(std::size_t nbits) {
+    if (bit_pos_ + nbits > bytes_.size() * 8)
+      throw StreamError("BitReader: skip past end of stream");
+    bit_pos_ += nbits;
+  }
+
+  std::size_t bit_pos() const { return bit_pos_; }
+  std::size_t bits_remaining() const { return bytes_.size() * 8 - bit_pos_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t bit_pos_ = 0;
+};
+
+}  // namespace transpwr
+
+#endif  // TRANSPWR_COMMON_BITSTREAM_H

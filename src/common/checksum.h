@@ -1,0 +1,24 @@
+#ifndef TRANSPWR_COMMON_CHECKSUM_H
+#define TRANSPWR_COMMON_CHECKSUM_H
+
+#include <cstdint>
+#include <span>
+
+namespace transpwr {
+
+/// FNV-1a 64-bit checksum — cheap integrity guard for compressed
+/// containers. Not cryptographic; it exists to turn silent bit rot or
+/// truncation into a clean StreamError instead of garbage science data.
+inline std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes,
+                             std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  std::uint64_t h = seed;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace transpwr
+
+#endif  // TRANSPWR_COMMON_CHECKSUM_H

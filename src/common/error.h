@@ -1,0 +1,25 @@
+#ifndef TRANSPWR_COMMON_ERROR_H
+#define TRANSPWR_COMMON_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace transpwr {
+
+/// Thrown when a compressed stream is malformed (bad magic, truncated
+/// payload, inconsistent header fields).
+class StreamError : public std::runtime_error {
+ public:
+  explicit StreamError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when caller-supplied parameters are invalid (zero dimensions,
+/// negative error bound, unknown scheme id).
+class ParamError : public std::invalid_argument {
+ public:
+  explicit ParamError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+}  // namespace transpwr
+
+#endif  // TRANSPWR_COMMON_ERROR_H

@@ -1,0 +1,74 @@
+#ifndef TRANSPWR_COMMON_RNG_H
+#define TRANSPWR_COMMON_RNG_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace transpwr {
+
+/// xoshiro256** — small, fast, deterministic PRNG used by the synthetic
+/// dataset generators so every bench is exactly reproducible.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the 4-word state.
+    std::uint64_t x = seed;
+    for (auto& w : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      w = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Standard normal via Box–Muller (one value per call, cached pair).
+  double normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-300) u1 = uniform();
+    double u2 = uniform();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 6.283185307179586 * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) { return n ? next() % n : 0; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace transpwr
+
+#endif  // TRANSPWR_COMMON_RNG_H

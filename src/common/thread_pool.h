@@ -1,0 +1,52 @@
+#ifndef TRANSPWR_COMMON_THREAD_POOL_H
+#define TRANSPWR_COMMON_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace transpwr {
+
+/// Fixed-size worker pool. Tasks are opaque thunks; parallel_for distributes
+/// an index range in contiguous chunks (predictable memory access per the
+/// HPC guidance) and blocks until all chunks complete.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  /// Run fn(begin, end) over [0, n) split into one contiguous chunk per
+  /// worker; blocks until done. Runs inline when the pool has one thread.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace transpwr
+
+#endif  // TRANSPWR_COMMON_THREAD_POOL_H

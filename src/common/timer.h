@@ -1,0 +1,25 @@
+#ifndef TRANSPWR_COMMON_TIMER_H
+#define TRANSPWR_COMMON_TIMER_H
+
+#include <chrono>
+
+namespace transpwr {
+
+/// Monotonic wall-clock timer for rate measurements.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  /// Seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace transpwr
+
+#endif  // TRANSPWR_COMMON_TIMER_H

@@ -1,0 +1,72 @@
+#ifndef TRANSPWR_COMMON_TYPES_H
+#define TRANSPWR_COMMON_TYPES_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/error.h"
+
+namespace transpwr {
+
+/// Element type of a scalar field.
+enum class DataType : std::uint8_t { kFloat32 = 0, kFloat64 = 1 };
+
+inline std::size_t size_of(DataType t) {
+  return t == DataType::kFloat32 ? 4 : 8;
+}
+
+template <typename T>
+constexpr DataType data_type_of();
+template <>
+constexpr DataType data_type_of<float>() {
+  return DataType::kFloat32;
+}
+template <>
+constexpr DataType data_type_of<double>() {
+  return DataType::kFloat64;
+}
+
+/// Logical shape of a 1-, 2-, or 3-dimensional scalar field.
+///
+/// Dimensions are stored slowest-varying first, i.e. a 3-D field with shape
+/// {nz, ny, nx} is laid out with x contiguous — the layout used by SZ, ZFP,
+/// and the HPC applications the paper evaluates.
+struct Dims {
+  std::array<std::size_t, 3> d{1, 1, 1};
+  int nd = 1;
+
+  Dims() = default;
+  explicit Dims(std::size_t n) : d{n, 1, 1}, nd(1) {}
+  Dims(std::size_t ny, std::size_t nx) : d{ny, nx, 1}, nd(2) {}
+  Dims(std::size_t nz, std::size_t ny, std::size_t nx) : d{nz, ny, nx}, nd(3) {}
+
+  std::size_t count() const {
+    std::size_t n = 1;
+    for (int i = 0; i < nd; ++i) n *= d[i];
+    return n;
+  }
+  std::size_t operator[](int i) const { return d[static_cast<std::size_t>(i)]; }
+  bool operator==(const Dims& o) const { return nd == o.nd && d == o.d; }
+
+  void validate() const {
+    if (nd < 1 || nd > 3) throw ParamError("Dims: nd must be 1, 2, or 3");
+    for (int i = 0; i < nd; ++i)
+      if (d[static_cast<std::size_t>(i)] == 0)
+        throw ParamError("Dims: zero-sized dimension");
+  }
+
+  std::string to_string() const {
+    std::string s;
+    for (int i = 0; i < nd; ++i) {
+      if (i) s += "x";
+      s += std::to_string(d[static_cast<std::size_t>(i)]);
+    }
+    return s;
+  }
+};
+
+}  // namespace transpwr
+
+#endif  // TRANSPWR_COMMON_TYPES_H

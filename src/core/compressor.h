@@ -1,0 +1,65 @@
+#ifndef TRANSPWR_CORE_COMPRESSOR_H
+#define TRANSPWR_CORE_COMPRESSOR_H
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace transpwr {
+
+/// The seven compression schemes the paper evaluates (Sec. VI).
+enum class Scheme : std::uint8_t {
+  kSzAbs = 0,    ///< SZ, absolute error bound (comparison point, Figs. 4-5)
+  kSzPwr = 1,    ///< SZ blockwise pointwise-relative baseline [12]
+  kSzT = 2,      ///< SZ + our log transformation scheme (the paper's pick)
+  kZfpP = 3,     ///< ZFP precision mode (approximate pointwise relative)
+  kZfpT = 4,     ///< ZFP + our log transformation scheme
+  kFpzip = 5,    ///< FPZIP (precision parameter derived from the bound)
+  kIsabela = 6,  ///< ISABELA sorting-based baseline
+  kSziT = 7,     ///< SZ3-style interpolation + our log transform (extension)
+};
+
+const char* scheme_name(Scheme s);
+Scheme scheme_from_name(const std::string& name);
+
+/// Scheme-independent knobs. `bound` is the absolute error bound for kSzAbs
+/// and the pointwise relative error bound for every other scheme.
+struct CompressorParams {
+  double bound = 1e-3;
+  double log_base = 2.0;          ///< base for the kSzT / kZfpT transform
+  std::uint32_t quant_intervals = 65536;  ///< SZ quantization bins
+  std::uint32_t zfp_precision = 0;  ///< kZfpP: explicit -p; 0 => heuristic
+  std::uint32_t fpzip_precision = 0;  ///< kFpzip: explicit -p; 0 => from bound
+};
+
+/// Uniform interface over all schemes; streams are self-describing.
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+  virtual Scheme scheme() const = 0;
+  std::string name() const { return scheme_name(scheme()); }
+
+  virtual std::vector<std::uint8_t> compress(std::span<const float> data,
+                                             Dims dims,
+                                             const CompressorParams& p) = 0;
+  virtual std::vector<std::uint8_t> compress(std::span<const double> data,
+                                             Dims dims,
+                                             const CompressorParams& p) = 0;
+  virtual std::vector<float> decompress_f32(
+      std::span<const std::uint8_t> stream, Dims* dims = nullptr) = 0;
+  virtual std::vector<double> decompress_f64(
+      std::span<const std::uint8_t> stream, Dims* dims = nullptr) = 0;
+};
+
+std::unique_ptr<Compressor> make_compressor(Scheme scheme);
+
+/// All schemes, in the order the paper's tables list them.
+std::span<const Scheme> all_schemes();
+
+}  // namespace transpwr
+
+#endif  // TRANSPWR_CORE_COMPRESSOR_H

@@ -1,0 +1,139 @@
+#include "core/log_transform.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace transpwr {
+namespace {
+
+// Forward log in the requested base, using the fast dedicated libm routine
+// where one exists (this asymmetry across bases is exactly what the paper's
+// Table III measures).
+double log_in_base(double v, double base) {
+  if (base == 2.0) return std::log2(v);
+  if (base == 10.0) return std::log10(v);
+  if (base == 2.718281828459045) return std::log(v);
+  return std::log(v) / std::log(base);
+}
+
+double exp_in_base(double v, double base) {
+  if (base == 2.0) return std::exp2(v);
+  if (base == 2.718281828459045) return std::exp(v);
+  return std::pow(base, v);  // includes base 10: no fast exp10 in ISO C++
+}
+
+}  // namespace
+
+double bound_forward(double rel_bound, double base) {
+  if (!(rel_bound > 0)) throw ParamError("log transform: bound must be > 0");
+  if (!(base > 1)) throw ParamError("log transform: base must be > 1");
+  return log_in_base(1.0 + rel_bound, base);
+}
+
+template <typename T>
+TransformResult<T> log_forward(std::span<const T> data, double rel_bound,
+                               double base) {
+  if (!(rel_bound > 0) || !(rel_bound < 1))
+    throw ParamError("log transform: rel bound must be in (0, 1)");
+  if (!(base > 1)) throw ParamError("log transform: base must be > 1");
+
+  TransformResult<T> r;
+  r.log_base = base;
+  r.mapped.resize(data.size());
+
+  // Pass 1: signs, zero detection, max |log x| for the round-off guard.
+  bool any_negative = false;
+  double max_abs_log = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    double v = static_cast<double>(data[i]);
+    if (!std::isfinite(v))
+      throw ParamError("log transform: non-finite value in input");
+    if (v < 0) any_negative = true;
+    if (v != 0) {
+      double m = std::abs(log_in_base(std::abs(v), base));
+      if (m > max_abs_log) max_abs_log = m;
+    } else {
+      r.has_zeros = true;
+    }
+  }
+  r.max_abs_log = max_abs_log;
+
+  // Lemma 2: shrink the absolute bound by the worst-case round-off the
+  // forward mapping itself can introduce at this machine precision.
+  const double eps0 = static_cast<double>(std::numeric_limits<T>::epsilon());
+  // The final cast back to T after exponentiation can add one more ulp of
+  // relative error on top of br, so target a slightly shrunk bound.
+  const double br_eff = rel_bound * (1.0 - 8.0 * eps0);
+  const double ba = log_in_base(1.0 + br_eff, base);
+  const double guard = max_abs_log * eps0;
+  r.adjusted_abs_bound = ba - guard;
+  if (!(r.adjusted_abs_bound > 0))
+    throw ParamError(
+        "log transform: bound too tight for this precision (b'_a <= 0)");
+
+  // Zero handling: park zeros well below the smallest representable
+  // magnitude. Sentinel sits 3 bounds under log(min) and the restore
+  // threshold 1.5 bounds under, so inner-codec error (<= b'_a) plus storage
+  // round-off cannot move a zero across the threshold, nor a real value
+  // under it.
+  const double log_min =
+      log_in_base(static_cast<double>(std::numeric_limits<T>::denorm_min()),
+                  base);
+  const double sentinel = log_min - 3.0 * r.adjusted_abs_bound;
+  r.zero_threshold = log_min - 1.5 * r.adjusted_abs_bound;
+  if (r.has_zeros) {
+    const double storage_roundoff = std::abs(sentinel) * eps0;
+    if (storage_roundoff > 0.5 * r.adjusted_abs_bound)
+      throw ParamError(
+          "log transform: bound too tight to keep exact zeros exact");
+  }
+
+  if (any_negative) r.negative.assign(data.size(), false);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    double v = static_cast<double>(data[i]);
+    if (v == 0) {
+      r.mapped[i] = static_cast<T>(sentinel);
+    } else {
+      if (v < 0) r.negative[i] = true;
+      r.mapped[i] = static_cast<T>(log_in_base(std::abs(v), base));
+    }
+  }
+  return r;
+}
+
+template <typename T>
+std::vector<T> log_inverse(std::span<const T> mapped,
+                           const std::vector<bool>& negative, double base,
+                           double zero_threshold) {
+  if (!negative.empty() && negative.size() != mapped.size())
+    throw ParamError("log inverse: sign bitmap size mismatch");
+  std::vector<T> out(mapped.size());
+  for (std::size_t i = 0; i < mapped.size(); ++i) {
+    double m = static_cast<double>(mapped[i]);
+    if (m <= zero_threshold) {
+      out[i] = T{0};
+      continue;
+    }
+    double v = exp_in_base(m, base);
+    if (!negative.empty() && negative[i]) v = -v;
+    out[i] = static_cast<T>(v);
+  }
+  return out;
+}
+
+template struct TransformResult<float>;
+template struct TransformResult<double>;
+template TransformResult<float> log_forward<float>(std::span<const float>,
+                                                   double, double);
+template TransformResult<double> log_forward<double>(std::span<const double>,
+                                                     double, double);
+template std::vector<float> log_inverse<float>(std::span<const float>,
+                                               const std::vector<bool>&,
+                                               double, double);
+template std::vector<double> log_inverse<double>(std::span<const double>,
+                                                 const std::vector<bool>&,
+                                                 double, double);
+
+}  // namespace transpwr

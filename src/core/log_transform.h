@@ -1,0 +1,49 @@
+#ifndef TRANSPWR_CORE_LOG_TRANSFORM_H
+#define TRANSPWR_CORE_LOG_TRANSFORM_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace transpwr {
+
+/// The paper's transformation scheme (Sec. III).
+///
+/// forward() maps a dataset x to log_base(|x|) so that compressing the
+/// mapped data with the *absolute* bound returned in
+/// TransformResult::adjusted_abs_bound — Lemma 2's round-off-safe
+/// b'_a = log_base(1 + br) - max|log_base x| * eps0 — guarantees the
+/// pointwise *relative* bound br after inverse(). Signs are carried in a
+/// separate bitmap; exact zeros are mapped to a sentinel below the smallest
+/// representable magnitude (Algorithm 1 lines 4-5) and restored exactly.
+template <typename T>
+struct TransformResult {
+  std::vector<T> mapped;          ///< log-domain data handed to the inner codec
+  std::vector<bool> negative;     ///< per-point sign; empty if none negative
+  double adjusted_abs_bound = 0;  ///< b'_a for the inner absolute-error codec
+  double zero_threshold = 0;      ///< inverse(): mapped <= this restores 0
+  double log_base = 2;
+  double max_abs_log = 0;         ///< max |log_base x| over nonzero points
+  bool has_zeros = false;
+};
+
+template <typename T>
+TransformResult<T> log_forward(std::span<const T> data, double rel_bound,
+                               double base);
+
+/// Inverse mapping: exponentiates, restores signs and exact zeros.
+/// `negative` may be empty (all values non-negative).
+template <typename T>
+std::vector<T> log_inverse(std::span<const T> mapped,
+                           const std::vector<bool>& negative, double base,
+                           double zero_threshold);
+
+/// The error-bound mapping g of Theorem 2 (without the round-off guard):
+/// b_a = log_base(1 + b_r).
+double bound_forward(double rel_bound, double base);
+
+}  // namespace transpwr
+
+#endif  // TRANSPWR_CORE_LOG_TRANSFORM_H

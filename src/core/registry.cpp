@@ -1,0 +1,249 @@
+#include <array>
+#include <cmath>
+
+#include "common/error.h"
+#include "core/compressor.h"
+#include "core/transformed.h"
+#include "fpzip/fpzip.h"
+#include "isabela/isabela.h"
+#include "sz/sz.h"
+#include "zfp/zfp.h"
+
+namespace transpwr {
+namespace {
+
+sz::Params sz_params(const CompressorParams& p, sz::Mode mode) {
+  sz::Params sp;
+  sp.mode = mode;
+  sp.bound = p.bound;
+  sp.quant_intervals = p.quant_intervals;
+  return sp;
+}
+
+/// SZ with a plain absolute bound, or the blockwise PWR baseline.
+class SzCompressor final : public Compressor {
+ public:
+  explicit SzCompressor(sz::Mode mode, Scheme scheme)
+      : mode_(mode), scheme_(scheme) {}
+  Scheme scheme() const override { return scheme_; }
+
+  std::vector<std::uint8_t> compress(std::span<const float> d, Dims dims,
+                                     const CompressorParams& p) override {
+    return sz::compress<float>(d, dims, sz_params(p, mode_));
+  }
+  std::vector<std::uint8_t> compress(std::span<const double> d, Dims dims,
+                                     const CompressorParams& p) override {
+    return sz::compress<double>(d, dims, sz_params(p, mode_));
+  }
+  std::vector<float> decompress_f32(std::span<const std::uint8_t> s,
+                                    Dims* dims) override {
+    return sz::decompress<float>(s, dims);
+  }
+  std::vector<double> decompress_f64(std::span<const std::uint8_t> s,
+                                     Dims* dims) override {
+    return sz::decompress<double>(s, dims);
+  }
+
+ private:
+  sz::Mode mode_;
+  Scheme scheme_;
+};
+
+/// ZFP in precision mode (the paper's ZFP_P). An explicit -p can be given;
+/// otherwise a bound-derived heuristic close to the paper's hand tuning is
+/// used. Does not strictly respect the relative bound by design.
+class ZfpPrecisionCompressor final : public Compressor {
+ public:
+  Scheme scheme() const override { return Scheme::kZfpP; }
+
+  static std::uint32_t pick_precision(const CompressorParams& p) {
+    if (p.zfp_precision) return p.zfp_precision;
+    int bits = static_cast<int>(std::ceil(std::log2(1.0 / p.bound)));
+    return static_cast<std::uint32_t>(std::max(4, bits + 16));
+  }
+
+  std::vector<std::uint8_t> compress(std::span<const float> d, Dims dims,
+                                     const CompressorParams& p) override {
+    return zfp::compress<float>(d, dims, make_params(p));
+  }
+  std::vector<std::uint8_t> compress(std::span<const double> d, Dims dims,
+                                     const CompressorParams& p) override {
+    return zfp::compress<double>(d, dims, make_params(p));
+  }
+  std::vector<float> decompress_f32(std::span<const std::uint8_t> s,
+                                    Dims* dims) override {
+    return zfp::decompress<float>(s, dims);
+  }
+  std::vector<double> decompress_f64(std::span<const std::uint8_t> s,
+                                     Dims* dims) override {
+    return zfp::decompress<double>(s, dims);
+  }
+
+ private:
+  static zfp::Params make_params(const CompressorParams& p) {
+    zfp::Params zp;
+    zp.mode = zfp::Mode::kPrecision;
+    zp.precision = pick_precision(p);
+    return zp;
+  }
+};
+
+/// The paper's contribution: SZ_T / ZFP_T.
+class TransformedCompressor final : public Compressor {
+ public:
+  explicit TransformedCompressor(InnerCodec codec)
+      : codec_(codec) {}
+  Scheme scheme() const override {
+    return codec_ == InnerCodec::kSz         ? Scheme::kSzT
+           : codec_ == InnerCodec::kSzInterp ? Scheme::kSziT
+                                             : Scheme::kZfpT;
+  }
+
+  std::vector<std::uint8_t> compress(std::span<const float> d, Dims dims,
+                                     const CompressorParams& p) override {
+    return transformed_compress<float>(d, dims, codec_, make_params(p));
+  }
+  std::vector<std::uint8_t> compress(std::span<const double> d, Dims dims,
+                                     const CompressorParams& p) override {
+    return transformed_compress<double>(d, dims, codec_, make_params(p));
+  }
+  std::vector<float> decompress_f32(std::span<const std::uint8_t> s,
+                                    Dims* dims) override {
+    return transformed_decompress<float>(s, dims);
+  }
+  std::vector<double> decompress_f64(std::span<const std::uint8_t> s,
+                                     Dims* dims) override {
+    return transformed_decompress<double>(s, dims);
+  }
+
+ private:
+  static TransformedParams make_params(const CompressorParams& p) {
+    TransformedParams tp;
+    tp.rel_bound = p.bound;
+    tp.log_base = p.log_base;
+    tp.quant_intervals = p.quant_intervals;
+    return tp;
+  }
+
+  InnerCodec codec_;
+};
+
+class FpzipCompressor final : public Compressor {
+ public:
+  Scheme scheme() const override { return Scheme::kFpzip; }
+
+  std::vector<std::uint8_t> compress(std::span<const float> d, Dims dims,
+                                     const CompressorParams& p) override {
+    fpzip::Params fp;
+    fp.precision = p.fpzip_precision
+                       ? p.fpzip_precision
+                       : fpzip::precision_for_rel_bound<float>(p.bound);
+    return fpzip::compress<float>(d, dims, fp);
+  }
+  std::vector<std::uint8_t> compress(std::span<const double> d, Dims dims,
+                                     const CompressorParams& p) override {
+    fpzip::Params fp;
+    fp.precision = p.fpzip_precision
+                       ? p.fpzip_precision
+                       : fpzip::precision_for_rel_bound<double>(p.bound);
+    return fpzip::compress<double>(d, dims, fp);
+  }
+  std::vector<float> decompress_f32(std::span<const std::uint8_t> s,
+                                    Dims* dims) override {
+    return fpzip::decompress<float>(s, dims);
+  }
+  std::vector<double> decompress_f64(std::span<const std::uint8_t> s,
+                                     Dims* dims) override {
+    return fpzip::decompress<double>(s, dims);
+  }
+};
+
+class IsabelaCompressor final : public Compressor {
+ public:
+  Scheme scheme() const override { return Scheme::kIsabela; }
+
+  std::vector<std::uint8_t> compress(std::span<const float> d, Dims dims,
+                                     const CompressorParams& p) override {
+    return isabela::compress<float>(d, dims, make_params(p));
+  }
+  std::vector<std::uint8_t> compress(std::span<const double> d, Dims dims,
+                                     const CompressorParams& p) override {
+    return isabela::compress<double>(d, dims, make_params(p));
+  }
+  std::vector<float> decompress_f32(std::span<const std::uint8_t> s,
+                                    Dims* dims) override {
+    return isabela::decompress<float>(s, dims);
+  }
+  std::vector<double> decompress_f64(std::span<const std::uint8_t> s,
+                                     Dims* dims) override {
+    return isabela::decompress<double>(s, dims);
+  }
+
+ private:
+  static isabela::Params make_params(const CompressorParams& p) {
+    isabela::Params ip;
+    ip.rel_bound = p.bound;
+    return ip;
+  }
+};
+
+constexpr std::array<Scheme, 8> kAllSchemes = {
+    Scheme::kSzAbs, Scheme::kSzPwr, Scheme::kSzT,     Scheme::kZfpP,
+    Scheme::kZfpT,  Scheme::kFpzip, Scheme::kIsabela, Scheme::kSziT};
+
+}  // namespace
+
+const char* scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kSzAbs:
+      return "SZ_ABS";
+    case Scheme::kSzPwr:
+      return "SZ_PWR";
+    case Scheme::kSzT:
+      return "SZ_T";
+    case Scheme::kZfpP:
+      return "ZFP_P";
+    case Scheme::kZfpT:
+      return "ZFP_T";
+    case Scheme::kFpzip:
+      return "FPZIP";
+    case Scheme::kIsabela:
+      return "ISABELA";
+    case Scheme::kSziT:
+      return "SZI_T";
+  }
+  return "unknown";
+}
+
+Scheme scheme_from_name(const std::string& name) {
+  for (Scheme s : kAllSchemes)
+    if (name == scheme_name(s)) return s;
+  throw ParamError("unknown scheme name: " + name);
+}
+
+std::unique_ptr<Compressor> make_compressor(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kSzAbs:
+      return std::make_unique<SzCompressor>(sz::Mode::kAbs, Scheme::kSzAbs);
+    case Scheme::kSzPwr:
+      return std::make_unique<SzCompressor>(sz::Mode::kPwrBlock,
+                                            Scheme::kSzPwr);
+    case Scheme::kSzT:
+      return std::make_unique<TransformedCompressor>(InnerCodec::kSz);
+    case Scheme::kZfpP:
+      return std::make_unique<ZfpPrecisionCompressor>();
+    case Scheme::kZfpT:
+      return std::make_unique<TransformedCompressor>(InnerCodec::kZfp);
+    case Scheme::kFpzip:
+      return std::make_unique<FpzipCompressor>();
+    case Scheme::kIsabela:
+      return std::make_unique<IsabelaCompressor>();
+    case Scheme::kSziT:
+      return std::make_unique<TransformedCompressor>(InnerCodec::kSzInterp);
+  }
+  throw ParamError("make_compressor: unknown scheme");
+}
+
+std::span<const Scheme> all_schemes() { return kAllSchemes; }
+
+}  // namespace transpwr

@@ -1,0 +1,65 @@
+#ifndef TRANSPWR_CORE_TEMPORAL_H
+#define TRANSPWR_CORE_TEMPORAL_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/transformed.h"
+
+namespace transpwr {
+
+/// Temporal extension of the paper's scheme (in the spirit of the
+/// time-dimension prediction later SZ work added): simulations write many
+/// snapshots of the same field, and consecutive snapshots differ far less
+/// than neighboring points do. TemporalCompressor keeps the reconstructed
+/// *log-domain* state of the previous snapshot; each new snapshot is
+/// log-mapped and its delta against that state is compressed with the
+/// absolute bound b'_a. Because the reference is the decoder's own
+/// reconstruction, |m̂_t − m_t| ≤ b'_a holds every step — the pointwise
+/// relative bound br carries over to every snapshot with no error
+/// accumulation.
+///
+/// Usage: one instance per field on each side; feed snapshots in order.
+/// The first snapshot is a keyframe (plain SZ_T/ZFP_T stream); subsequent
+/// ones are delta streams. Streams are self-describing, but must be
+/// decompressed in the order they were produced.
+class TemporalCompressor {
+ public:
+  TemporalCompressor(InnerCodec codec, TransformedParams params);
+
+  /// Compress the next snapshot (keyframe if it is the first).
+  std::vector<std::uint8_t> compress_snapshot(std::span<const float> data,
+                                              Dims dims);
+
+  /// Reset state so the next snapshot becomes a keyframe again.
+  void reset();
+
+  std::size_t snapshots_seen() const { return snapshots_; }
+
+ private:
+  InnerCodec codec_;
+  TransformedParams params_;
+  Dims dims_;
+  std::vector<float> prev_mapped_;  // decoder-visible log-domain state
+  std::size_t snapshots_ = 0;
+};
+
+/// Stateful decoder mirroring TemporalCompressor.
+class TemporalDecompressor {
+ public:
+  /// Decompress the next snapshot stream (keyframe or delta).
+  std::vector<float> decompress_snapshot(
+      std::span<const std::uint8_t> stream, Dims* dims_out = nullptr);
+
+  void reset();
+
+ private:
+  Dims dims_;
+  std::vector<float> prev_mapped_;
+  std::size_t snapshots_ = 0;
+};
+
+}  // namespace transpwr
+
+#endif  // TRANSPWR_CORE_TEMPORAL_H

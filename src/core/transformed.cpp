@@ -1,0 +1,129 @@
+#include "core/transformed.h"
+
+#include <cmath>
+
+#include "common/bitstream.h"
+#include "common/bytestream.h"
+#include "common/error.h"
+#include "common/timer.h"
+#include "lossless/lossless.h"
+#include "lossless/rle.h"
+#include "sz/interp.h"
+#include "sz/sz.h"
+#include "zfp/zfp.h"
+
+namespace transpwr {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x31545254;  // "TRT1"
+
+}  // namespace
+
+template <typename T>
+std::vector<std::uint8_t> transformed_compress(std::span<const T> data,
+                                               Dims dims, InnerCodec codec,
+                                               const TransformedParams& p,
+                                               StageTimes* times) {
+  dims.validate();
+  if (data.size() != dims.count())
+    throw ParamError("transformed: data size does not match dims");
+
+  // --- preprocessing: log map + sign compression (Algorithm 1 lines 1-17).
+  Timer pre;
+  TransformResult<T> tr = log_forward<T>(data, p.rel_bound, p.log_base);
+  std::vector<std::uint8_t> sign_bytes;
+  if (!tr.negative.empty()) {
+    BitWriter bw;
+    rle::encode_bits(tr.negative, bw);
+    auto raw = bw.take();
+    sign_bytes = lossless::compress(raw);
+  }
+  double pre_s = pre.seconds();
+
+  // --- inner absolute-error-bounded compression (line 18).
+  std::vector<std::uint8_t> inner;
+  if (codec == InnerCodec::kSz) {
+    sz::Params sp;
+    sp.mode = sz::Mode::kAbs;
+    sp.bound = tr.adjusted_abs_bound;
+    sp.quant_intervals = p.quant_intervals;
+    inner = sz::compress<T>(tr.mapped, dims, sp);
+  } else if (codec == InnerCodec::kSzInterp) {
+    sz_interp::Params ip;
+    ip.bound = tr.adjusted_abs_bound;
+    ip.quant_intervals = p.quant_intervals;
+    inner = sz_interp::compress<T>(tr.mapped, dims, ip);
+  } else {
+    zfp::Params zp;
+    zp.mode = zfp::Mode::kAccuracy;
+    zp.tolerance = tr.adjusted_abs_bound;
+    inner = zfp::compress<T>(tr.mapped, dims, zp);
+  }
+
+  ByteWriter out;
+  out.put(kMagic);
+  out.put(static_cast<std::uint8_t>(data_type_of<T>()));
+  out.put(static_cast<std::uint8_t>(codec));
+  out.put(static_cast<std::uint8_t>(tr.negative.empty() ? 0 : 1));
+  out.put(std::uint8_t{0});
+  out.put(p.log_base);
+  out.put(tr.zero_threshold);
+  out.put_sized(sign_bytes);
+  out.put_sized(inner);
+
+  if (times) times->pre_seconds = pre_s;
+  return out.take();
+}
+
+template <typename T>
+std::vector<T> transformed_decompress(std::span<const std::uint8_t> stream,
+                                      Dims* dims_out, StageTimes* times) {
+  ByteReader in(stream);
+  if (in.get<std::uint32_t>() != kMagic)
+    throw StreamError("transformed: bad magic");
+  auto dtype = static_cast<DataType>(in.get<std::uint8_t>());
+  if (dtype != data_type_of<T>())
+    throw StreamError("transformed: stream data type does not match");
+  auto codec = static_cast<InnerCodec>(in.get<std::uint8_t>());
+  bool has_signs = in.get<std::uint8_t>() != 0;
+  in.get<std::uint8_t>();
+  double base = in.get<double>();
+  double zero_threshold = in.get<double>();
+  auto sign_bytes = in.get_sized();
+  auto inner = in.get_sized();
+
+  Dims dims;
+  std::vector<T> mapped;
+  if (codec == InnerCodec::kSz)
+    mapped = sz::decompress<T>(inner, &dims);
+  else if (codec == InnerCodec::kSzInterp)
+    mapped = sz_interp::decompress<T>(inner, &dims);
+  else
+    mapped = zfp::decompress<T>(inner, &dims);
+  if (dims_out) *dims_out = dims;
+
+  // --- postprocessing: sign decompression + inverse map.
+  Timer post;
+  std::vector<bool> negative;
+  if (has_signs) {
+    auto raw = lossless::decompress(sign_bytes);
+    BitReader br(raw);
+    negative = rle::decode_bits(br);
+  }
+  auto out = log_inverse<T>(mapped, negative, base, zero_threshold);
+  if (times) times->post_seconds = post.seconds();
+  return out;
+}
+
+template std::vector<std::uint8_t> transformed_compress<float>(
+    std::span<const float>, Dims, InnerCodec, const TransformedParams&,
+    StageTimes*);
+template std::vector<std::uint8_t> transformed_compress<double>(
+    std::span<const double>, Dims, InnerCodec, const TransformedParams&,
+    StageTimes*);
+template std::vector<float> transformed_decompress<float>(
+    std::span<const std::uint8_t>, Dims*, StageTimes*);
+template std::vector<double> transformed_decompress<double>(
+    std::span<const std::uint8_t>, Dims*, StageTimes*);
+
+}  // namespace transpwr

@@ -1,0 +1,34 @@
+#ifndef TRANSPWR_DATA_FIELD_H
+#define TRANSPWR_DATA_FIELD_H
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace transpwr {
+
+/// A named scalar field with its logical shape — the unit every compressor,
+/// metric, and bench operates on.
+template <typename T>
+struct Field {
+  std::string name;
+  Dims dims;
+  std::vector<T> values;
+
+  Field() = default;
+  Field(std::string n, Dims d)
+      : name(std::move(n)), dims(d), values(d.count()) {}
+  Field(std::string n, Dims d, std::vector<T> v)
+      : name(std::move(n)), dims(d), values(std::move(v)) {}
+
+  std::span<const T> span() const { return values; }
+  std::span<T> span() { return values; }
+  std::size_t bytes() const { return values.size() * sizeof(T); }
+};
+
+}  // namespace transpwr
+
+#endif  // TRANSPWR_DATA_FIELD_H

@@ -1,0 +1,85 @@
+#include "data/io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/error.h"
+
+namespace transpwr {
+namespace io {
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+FilePtr open_or_throw(const std::string& path, const char* mode) {
+  FilePtr f(std::fopen(path.c_str(), mode));
+  if (!f) throw StreamError("io: cannot open " + path);
+  return f;
+}
+
+}  // namespace
+
+void write_bytes(const std::string& path,
+                 std::span<const std::uint8_t> data) {
+  auto f = open_or_throw(path, "wb");
+  if (!data.empty() &&
+      std::fwrite(data.data(), 1, data.size(), f.get()) != data.size())
+    throw StreamError("io: short write to " + path);
+}
+
+std::vector<std::uint8_t> read_bytes(const std::string& path) {
+  auto f = open_or_throw(path, "rb");
+  std::fseek(f.get(), 0, SEEK_END);
+  long size = std::ftell(f.get());
+  if (size < 0) throw StreamError("io: cannot stat " + path);
+  std::fseek(f.get(), 0, SEEK_SET);
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(size));
+  if (!data.empty() &&
+      std::fread(data.data(), 1, data.size(), f.get()) != data.size())
+    throw StreamError("io: short read from " + path);
+  return data;
+}
+
+void write_floats(const std::string& path, std::span<const float> data) {
+  write_bytes(path,
+              {reinterpret_cast<const std::uint8_t*>(data.data()),
+               data.size() * sizeof(float)});
+}
+
+std::vector<float> read_floats(const std::string& path) {
+  auto bytes = read_bytes(path);
+  if (bytes.size() % sizeof(float) != 0)
+    throw StreamError("io: file size not a multiple of 4: " + path);
+  std::vector<float> out(bytes.size() / sizeof(float));
+  std::memcpy(out.data(), bytes.data(), bytes.size());
+  return out;
+}
+
+void write_pgm(const std::string& path, std::size_t width, std::size_t height,
+               std::span<const float> values, float vmin, float vmax) {
+  if (values.size() != width * height)
+    throw ParamError("write_pgm: size mismatch");
+  auto f = open_or_throw(path, "wb");
+  std::fprintf(f.get(), "P5\n%zu %zu\n255\n", width, height);
+  float range = vmax > vmin ? vmax - vmin : 1.0f;
+  std::vector<std::uint8_t> row(width);
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      float v = (values[y * width + x] - vmin) / range;
+      v = std::clamp(v, 0.0f, 1.0f);
+      row[x] = static_cast<std::uint8_t>(v * 255.0f + 0.5f);
+    }
+    if (std::fwrite(row.data(), 1, row.size(), f.get()) != row.size())
+      throw StreamError("io: short write to " + path);
+  }
+}
+
+}  // namespace io
+}  // namespace transpwr

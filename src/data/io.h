@@ -1,0 +1,28 @@
+#ifndef TRANSPWR_DATA_IO_H
+#define TRANSPWR_DATA_IO_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace transpwr {
+namespace io {
+
+/// Raw little-endian binary dump/load (the format the paper's POSIX
+/// file-per-process experiments use).
+void write_bytes(const std::string& path, std::span<const std::uint8_t> data);
+std::vector<std::uint8_t> read_bytes(const std::string& path);
+
+void write_floats(const std::string& path, std::span<const float> data);
+std::vector<float> read_floats(const std::string& path);
+
+/// 8-bit grayscale PGM image for the visual-quality figures (Figs. 4, 5).
+/// Values are linearly mapped from [vmin, vmax] to [0, 255] with clamping.
+void write_pgm(const std::string& path, std::size_t width, std::size_t height,
+               std::span<const float> values, float vmin, float vmax);
+
+}  // namespace io
+}  // namespace transpwr
+
+#endif  // TRANSPWR_DATA_IO_H

@@ -1,0 +1,228 @@
+#include "lossless/huffman.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.h"
+
+namespace transpwr {
+namespace {
+
+// Reverse the low `len` bits of `code` so that a single LSB-first
+// BitWriter::write_bits emits the code MSB-first (as canonical decoding
+// expects to consume it).
+std::uint32_t reverse_bits(std::uint32_t code, unsigned len) {
+  std::uint32_t r = 0;
+  for (unsigned i = 0; i < len; ++i) {
+    r = (r << 1) | (code & 1);
+    code >>= 1;
+  }
+  return r;
+}
+
+}  // namespace
+
+void HuffmanCoder::build(std::span<const std::uint64_t> freq) {
+  lengths_.assign(freq.size(), 0);
+
+  // Collect live symbols.
+  std::vector<std::uint32_t> live;
+  for (std::uint32_t s = 0; s < freq.size(); ++s)
+    if (freq[s] > 0) live.push_back(s);
+
+  if (live.empty()) {
+    codes_.clear();
+    assign_canonical_codes();
+    return;
+  }
+  if (live.size() == 1) {
+    lengths_[live[0]] = 1;
+    assign_canonical_codes();
+    return;
+  }
+
+  // Standard two-queue-free heap construction; retried with halved
+  // frequencies if the tree exceeds kMaxCodeLen.
+  std::vector<std::uint64_t> f(live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) f[i] = freq[live[i]];
+
+  for (;;) {
+    struct Node {
+      std::uint64_t freq;
+      std::int32_t left, right;  // -1 for leaves
+      std::uint32_t leaf;        // index into `live` when leaf
+    };
+    std::vector<Node> nodes;
+    nodes.reserve(2 * live.size());
+    using QEntry = std::pair<std::uint64_t, std::uint32_t>;  // (freq, node)
+    std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> q;
+    for (std::uint32_t i = 0; i < live.size(); ++i) {
+      nodes.push_back({f[i], -1, -1, i});
+      q.emplace(f[i], i);
+    }
+    while (q.size() > 1) {
+      auto [fa, a] = q.top();
+      q.pop();
+      auto [fb, b] = q.top();
+      q.pop();
+      nodes.push_back({fa + fb, static_cast<std::int32_t>(a),
+                       static_cast<std::int32_t>(b), 0});
+      q.emplace(fa + fb, static_cast<std::uint32_t>(nodes.size() - 1));
+    }
+
+    // Depth-first traversal to assign lengths (iterative; trees can be deep).
+    unsigned max_len = 0;
+    std::vector<std::pair<std::uint32_t, unsigned>> stack;
+    stack.emplace_back(static_cast<std::uint32_t>(nodes.size() - 1), 0);
+    std::vector<unsigned> depth(live.size(), 0);
+    while (!stack.empty()) {
+      auto [n, d] = stack.back();
+      stack.pop_back();
+      const Node& node = nodes[n];
+      if (node.left < 0) {
+        depth[node.leaf] = std::max(1u, d);
+        max_len = std::max(max_len, std::max(1u, d));
+      } else {
+        stack.emplace_back(static_cast<std::uint32_t>(node.left), d + 1);
+        stack.emplace_back(static_cast<std::uint32_t>(node.right), d + 1);
+      }
+    }
+
+    if (max_len <= kMaxCodeLen) {
+      for (std::size_t i = 0; i < live.size(); ++i)
+        lengths_[live[i]] = static_cast<std::uint8_t>(depth[i]);
+      break;
+    }
+    for (auto& v : f) v = (v + 1) >> 1;  // flatten and retry
+  }
+
+  assign_canonical_codes();
+}
+
+void HuffmanCoder::build_from(std::span<const std::uint32_t> symbols,
+                              std::uint32_t alphabet) {
+  std::vector<std::uint64_t> freq(alphabet, 0);
+  for (auto s : symbols) {
+    if (s >= alphabet) throw ParamError("HuffmanCoder: symbol out of range");
+    ++freq[s];
+  }
+  build(freq);
+}
+
+void HuffmanCoder::assign_canonical_codes() {
+  codes_.assign(lengths_.size(), 0);
+
+  std::uint32_t count[kMaxCodeLen + 2] = {};
+  for (auto l : lengths_)
+    if (l) ++count[l];
+
+  // first canonical code of each length
+  std::uint32_t code = 0;
+  std::uint32_t next_code[kMaxCodeLen + 2] = {};
+  for (unsigned len = 1; len <= kMaxCodeLen; ++len) {
+    code = (code + count[len - 1]) << 1;
+    next_code[len] = code;
+    first_code_[len] = code;
+  }
+
+  // symbols sorted by (length, symbol) — ascending symbol order falls out of
+  // the scan order below.
+  sorted_symbols_.clear();
+  std::uint32_t index = 0;
+  for (unsigned len = 1; len <= kMaxCodeLen; ++len) {
+    first_index_[len] = index;
+    index += count[len];
+  }
+  first_index_[kMaxCodeLen + 1] = index;
+  sorted_symbols_.resize(index);
+  std::uint32_t fill[kMaxCodeLen + 2];
+  std::copy(std::begin(first_index_), std::end(first_index_),
+            std::begin(fill));
+  for (std::uint32_t s = 0; s < lengths_.size(); ++s) {
+    unsigned len = lengths_[s];
+    if (!len) continue;
+    sorted_symbols_[fill[len]++] = s;
+    codes_[s] = reverse_bits(next_code[len]++, len);
+  }
+
+  // Fast table: every index whose low `len` bits match a short code's
+  // stream pattern resolves in one lookup.
+  fast_table_.assign(std::size_t{1} << kFastBits, FastEntry{});
+  for (std::uint32_t s = 0; s < lengths_.size(); ++s) {
+    unsigned len = lengths_[s];
+    if (!len || len > kFastBits) continue;
+    std::uint32_t pattern = codes_[s];  // already in stream (reversed) order
+    for (std::uint32_t hi = 0; hi < (1u << (kFastBits - len)); ++hi) {
+      FastEntry& e = fast_table_[pattern | (hi << len)];
+      e.symbol = s;
+      e.length = static_cast<std::uint8_t>(len);
+    }
+  }
+}
+
+void HuffmanCoder::write_table(BitWriter& bw) const {
+  // Dense code-length table with zero-run compression:
+  //   u32 alphabet size, then per entry: 6-bit length; a 0 length is
+  //   followed by a 16-bit run count of additional zeros to skip.
+  bw.write_bits(lengths_.size(), 32);
+  for (std::size_t i = 0; i < lengths_.size();) {
+    unsigned len = lengths_[i];
+    bw.write_bits(len, 6);
+    if (len == 0) {
+      std::size_t run = 1;
+      while (i + run < lengths_.size() && lengths_[i + run] == 0 &&
+             run < 65536)
+        ++run;
+      bw.write_bits(run - 1, 16);
+      i += run;
+    } else {
+      ++i;
+    }
+  }
+}
+
+void HuffmanCoder::read_table(BitReader& br) {
+  auto alphabet = static_cast<std::size_t>(br.read_bits(32));
+  if (alphabet > (std::size_t{1} << 28))
+    throw StreamError("HuffmanCoder: implausible alphabet size");
+  lengths_.assign(alphabet, 0);
+  for (std::size_t i = 0; i < alphabet;) {
+    unsigned len = static_cast<unsigned>(br.read_bits(6));
+    if (len > kMaxCodeLen) throw StreamError("HuffmanCoder: bad code length");
+    if (len == 0) {
+      std::size_t run = static_cast<std::size_t>(br.read_bits(16)) + 1;
+      if (i + run > alphabet) throw StreamError("HuffmanCoder: bad zero run");
+      i += run;
+    } else {
+      lengths_[i++] = static_cast<std::uint8_t>(len);
+    }
+  }
+  assign_canonical_codes();
+}
+
+void HuffmanCoder::encode(std::uint32_t symbol, BitWriter& bw) const {
+  if (symbol >= lengths_.size() || lengths_[symbol] == 0)
+    throw ParamError("HuffmanCoder: encoding symbol without a code");
+  bw.write_bits(codes_[symbol], lengths_[symbol]);
+}
+
+std::uint32_t HuffmanCoder::decode(BitReader& br) const {
+  if (br.bits_remaining() >= kFastBits) {
+    const FastEntry& e =
+        fast_table_[static_cast<std::uint32_t>(br.peek_bits(kFastBits))];
+    if (e.length) {
+      br.skip_bits(e.length);
+      return e.symbol;
+    }
+  }
+  std::uint32_t acc = 0;
+  for (unsigned len = 1; len <= kMaxCodeLen; ++len) {
+    acc = (acc << 1) | static_cast<std::uint32_t>(br.read_bit());
+    std::uint32_t count = first_index_[len + 1] - first_index_[len];
+    if (count && acc >= first_code_[len] && acc - first_code_[len] < count)
+      return sorted_symbols_[first_index_[len] + (acc - first_code_[len])];
+  }
+  throw StreamError("HuffmanCoder: invalid code in stream");
+}
+
+}  // namespace transpwr

@@ -1,0 +1,67 @@
+#ifndef TRANSPWR_LOSSLESS_HUFFMAN_H
+#define TRANSPWR_LOSSLESS_HUFFMAN_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bitstream.h"
+
+namespace transpwr {
+
+/// Canonical Huffman coder over an arbitrary u32 symbol alphabet.
+///
+/// This is the entropy stage SZ applies to its quantization codes (whose
+/// alphabet can be 2^16+ symbols) and the backend of the LZ77 token coder.
+/// Code lengths are capped at kMaxCodeLen; if the optimal tree is deeper,
+/// frequencies are repeatedly halved until it fits (the standard
+/// length-limiting fallback).
+class HuffmanCoder {
+ public:
+  static constexpr unsigned kMaxCodeLen = 32;
+
+  /// Build codes from symbol frequencies. freq.size() is the alphabet size.
+  void build(std::span<const std::uint64_t> freq);
+
+  /// Convenience: count frequencies of `symbols` over alphabet [0, alphabet).
+  void build_from(std::span<const std::uint32_t> symbols,
+                  std::uint32_t alphabet);
+
+  /// Serialize the code-length table (canonical codes are implied).
+  void write_table(BitWriter& bw) const;
+  /// Rebuild decoder state from a serialized table.
+  void read_table(BitReader& br);
+
+  void encode(std::uint32_t symbol, BitWriter& bw) const;
+  std::uint32_t decode(BitReader& br) const;
+
+  /// Encoded length in bits of `symbol` (0 if the symbol has no code).
+  unsigned code_length(std::uint32_t symbol) const {
+    return symbol < lengths_.size() ? lengths_[symbol] : 0;
+  }
+  std::size_t alphabet_size() const { return lengths_.size(); }
+
+ private:
+  void assign_canonical_codes();
+
+  std::vector<std::uint8_t> lengths_;         // code length per symbol
+  std::vector<std::uint32_t> codes_;          // canonical code per symbol
+  // Canonical decoding state: for each length L, the first code of length L
+  // and the index into sorted_symbols_ where codes of length L start.
+  std::uint32_t first_code_[kMaxCodeLen + 2] = {};
+  std::uint32_t first_index_[kMaxCodeLen + 2] = {};
+  std::vector<std::uint32_t> sorted_symbols_;  // symbols ordered canonically
+
+  // Single-level fast decode table: indexed by the next kFastBits of the
+  // stream, resolves any code of length <= kFastBits in one lookup.
+  static constexpr unsigned kFastBits = 12;
+  struct FastEntry {
+    std::uint32_t symbol = 0;
+    std::uint8_t length = 0;  // 0 => code longer than kFastBits
+  };
+  std::vector<FastEntry> fast_table_;
+};
+
+}  // namespace transpwr
+
+#endif  // TRANSPWR_LOSSLESS_HUFFMAN_H

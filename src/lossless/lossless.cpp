@@ -1,0 +1,43 @@
+#include "lossless/lossless.h"
+
+#include "common/error.h"
+#include "lossless/lz77.h"
+
+namespace transpwr {
+namespace lossless {
+namespace {
+constexpr std::uint8_t kMethodRaw = 0;
+constexpr std::uint8_t kMethodLz77 = 1;
+}  // namespace
+
+std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input) {
+  std::vector<std::uint8_t> coded = lz77::compress(input);
+  std::vector<std::uint8_t> out;
+  if (coded.size() < input.size()) {
+    out.reserve(coded.size() + 1);
+    out.push_back(kMethodLz77);
+    out.insert(out.end(), coded.begin(), coded.end());
+  } else {
+    out.reserve(input.size() + 1);
+    out.push_back(kMethodRaw);
+    out.insert(out.end(), input.begin(), input.end());
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> stream) {
+  if (stream.empty()) throw StreamError("lossless: empty stream");
+  std::uint8_t method = stream[0];
+  auto body = stream.subspan(1);
+  switch (method) {
+    case kMethodRaw:
+      return {body.begin(), body.end()};
+    case kMethodLz77:
+      return lz77::decompress(body);
+    default:
+      throw StreamError("lossless: unknown method tag");
+  }
+}
+
+}  // namespace lossless
+}  // namespace transpwr

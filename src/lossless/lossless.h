@@ -1,0 +1,20 @@
+#ifndef TRANSPWR_LOSSLESS_LOSSLESS_H
+#define TRANSPWR_LOSSLESS_LOSSLESS_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace transpwr {
+namespace lossless {
+
+/// General-purpose lossless byte compression with a 1-byte method tag.
+/// Compresses with LZ77+Huffman and falls back to a raw copy whenever the
+/// coded form would be larger, so callers can pipe anything through it.
+std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input);
+std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> stream);
+
+}  // namespace lossless
+}  // namespace transpwr
+
+#endif  // TRANSPWR_LOSSLESS_LOSSLESS_H

@@ -1,0 +1,222 @@
+#include "lossless/lz77.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bitstream.h"
+#include "common/error.h"
+#include "lossless/huffman.h"
+
+namespace transpwr {
+namespace lz77 {
+namespace {
+
+constexpr std::size_t kWindow = 1u << 16;
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 1024;
+constexpr unsigned kHashBits = 16;
+constexpr int kMaxChain = 48;
+
+// Length symbols: 256 = end-of-stream, 257+k encodes match length class k.
+// Classes follow an Elias-gamma-like split: class k covers lengths
+// [kMinMatch + base(k), kMinMatch + base(k+1)) with `extra(k)` raw bits.
+constexpr unsigned kNumLenClasses = 24;
+constexpr std::uint32_t kEos = 256;
+constexpr std::uint32_t kLenBase = 257;
+constexpr std::uint32_t kLitLenAlphabet = kLenBase + kNumLenClasses;
+
+unsigned len_class_extra(unsigned k) { return k < 4 ? 0 : (k - 4) / 2 + 1; }
+
+std::uint32_t len_class_base(unsigned k) {
+  std::uint32_t b = 0;
+  for (unsigned i = 0; i < k; ++i) b += 1u << len_class_extra(i);
+  return b;
+}
+
+// Distance classes: class k covers [dist_base(k), dist_base(k+1)) with
+// k/2-ish extra bits (deflate-style).
+constexpr unsigned kNumDistClasses = 32;
+
+unsigned dist_class_extra(unsigned k) { return k < 2 ? 0 : (k - 2) / 2; }
+
+std::uint32_t dist_class_base(unsigned k) {
+  std::uint32_t b = 1;
+  for (unsigned i = 0; i < k; ++i) b += 1u << dist_class_extra(i);
+  return b;
+}
+
+struct ClassTables {
+  std::uint32_t len_base[kNumLenClasses + 1];
+  std::uint32_t dist_base[kNumDistClasses + 1];
+  ClassTables() {
+    for (unsigned k = 0; k <= kNumLenClasses; ++k)
+      len_base[k] = len_class_base(k);
+    for (unsigned k = 0; k <= kNumDistClasses; ++k)
+      dist_base[k] = dist_class_base(k);
+  }
+  unsigned len_class(std::uint32_t len_off) const {
+    unsigned k =
+        static_cast<unsigned>(std::upper_bound(len_base, len_base +
+                                                             kNumLenClasses,
+                                               len_off) -
+                              len_base) -
+        1;
+    return k;
+  }
+  unsigned dist_class(std::uint32_t dist) const {
+    unsigned k = static_cast<unsigned>(
+                     std::upper_bound(dist_base, dist_base + kNumDistClasses,
+                                      dist) -
+                     dist_base) -
+                 1;
+    return k;
+  }
+};
+
+const ClassTables& tables() {
+  static const ClassTables t;
+  return t;
+}
+
+struct Token {
+  std::uint32_t literal_or_len;  // literal byte, or match length offset
+  std::uint32_t dist;            // 0 => literal
+};
+
+std::uint32_t hash4(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input) {
+  const ClassTables& ct = tables();
+  const std::size_t n = input.size();
+  std::vector<Token> toks;
+  toks.reserve(n / 3 + 16);
+
+  std::vector<std::int64_t> head(std::size_t{1} << kHashBits, -1);
+  std::vector<std::int64_t> prev(n, -1);
+
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t best_len = 0;
+    std::size_t best_dist = 0;
+    if (i + kMinMatch <= n) {
+      std::uint32_t h = hash4(input.data() + i);
+      std::int64_t cand = head[h];
+      int chain = kMaxChain;
+      const std::size_t limit = std::min(kMaxMatch, n - i);
+      while (cand >= 0 && chain-- > 0 &&
+             i - static_cast<std::size_t>(cand) <= kWindow) {
+        const std::uint8_t* a = input.data() + i;
+        const std::uint8_t* b = input.data() + cand;
+        std::size_t l = 0;
+        while (l < limit && a[l] == b[l]) ++l;
+        if (l > best_len) {
+          best_len = l;
+          best_dist = i - static_cast<std::size_t>(cand);
+          if (l >= limit) break;
+        }
+        cand = prev[static_cast<std::size_t>(cand)];
+      }
+    }
+
+    if (best_len >= kMinMatch) {
+      toks.push_back({static_cast<std::uint32_t>(best_len - kMinMatch),
+                      static_cast<std::uint32_t>(best_dist)});
+      // Insert hash entries for every covered position (bounded work).
+      std::size_t end = std::min(i + best_len, n >= 3 ? n - 3 : 0);
+      for (std::size_t j = i; j < end; ++j) {
+        std::uint32_t h = hash4(input.data() + j);
+        prev[j] = head[h];
+        head[h] = static_cast<std::int64_t>(j);
+      }
+      i += best_len;
+    } else {
+      toks.push_back({input[i], 0});
+      if (i + 4 <= n) {
+        std::uint32_t h = hash4(input.data() + i);
+        prev[i] = head[h];
+        head[h] = static_cast<std::int64_t>(i);
+      }
+      ++i;
+    }
+  }
+
+  // Frequency pass.
+  std::vector<std::uint64_t> litlen_freq(kLitLenAlphabet, 0);
+  std::vector<std::uint64_t> dist_freq(kNumDistClasses, 0);
+  for (const Token& t : toks) {
+    if (t.dist == 0) {
+      ++litlen_freq[t.literal_or_len];
+    } else {
+      ++litlen_freq[kLenBase + ct.len_class(t.literal_or_len)];
+      ++dist_freq[ct.dist_class(t.dist)];
+    }
+  }
+  ++litlen_freq[kEos];
+
+  HuffmanCoder litlen, dist;
+  litlen.build(litlen_freq);
+  dist.build(dist_freq);
+
+  BitWriter bw;
+  bw.write_bits(n, 64);
+  litlen.write_table(bw);
+  dist.write_table(bw);
+  for (const Token& t : toks) {
+    if (t.dist == 0) {
+      litlen.encode(t.literal_or_len, bw);
+    } else {
+      unsigned lk = ct.len_class(t.literal_or_len);
+      litlen.encode(kLenBase + lk, bw);
+      bw.write_bits(t.literal_or_len - ct.len_base[lk], len_class_extra(lk));
+      unsigned dk = ct.dist_class(t.dist);
+      dist.encode(dk, bw);
+      bw.write_bits(t.dist - ct.dist_base[dk], dist_class_extra(dk));
+    }
+  }
+  litlen.encode(kEos, bw);
+  return bw.take();
+}
+
+std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> stream) {
+  const ClassTables& ct = tables();
+  BitReader br(stream);
+  auto n = static_cast<std::size_t>(br.read_bits(64));
+  HuffmanCoder litlen, dist;
+  litlen.read_table(br);
+  dist.read_table(br);
+
+  std::vector<std::uint8_t> out;
+  out.reserve(n);
+  for (;;) {
+    std::uint32_t sym = litlen.decode(br);
+    if (sym == kEos) break;
+    if (sym < 256) {
+      out.push_back(static_cast<std::uint8_t>(sym));
+      continue;
+    }
+    unsigned lk = sym - kLenBase;
+    if (lk >= kNumLenClasses) throw StreamError("lz77: bad length class");
+    std::size_t len = kMinMatch + ct.len_base[lk] +
+                      static_cast<std::size_t>(
+                          br.read_bits(len_class_extra(lk)));
+    unsigned dk = dist.decode(br);
+    if (dk >= kNumDistClasses) throw StreamError("lz77: bad distance class");
+    std::size_t d = ct.dist_base[dk] +
+                    static_cast<std::size_t>(
+                        br.read_bits(dist_class_extra(dk)));
+    if (d == 0 || d > out.size()) throw StreamError("lz77: bad distance");
+    std::size_t src = out.size() - d;
+    for (std::size_t j = 0; j < len; ++j) out.push_back(out[src + j]);
+  }
+  if (out.size() != n) throw StreamError("lz77: size mismatch");
+  return out;
+}
+
+}  // namespace lz77
+}  // namespace transpwr

@@ -1,0 +1,25 @@
+#ifndef TRANSPWR_LOSSLESS_LZ77_H
+#define TRANSPWR_LOSSLESS_LZ77_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace transpwr {
+
+/// DEFLATE-style LZ77 coder: hash-chain string matching over a 64 KiB
+/// window, literal/length and distance alphabets entropy-coded with two
+/// canonical Huffman tables. This plays the role of the GZIP stage SZ
+/// applies after Huffman coding.
+///
+/// Container layout (all inside one bit stream):
+///   u64 original size, litlen table, dist table, token bits.
+namespace lz77 {
+
+std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input);
+std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> stream);
+
+}  // namespace lz77
+}  // namespace transpwr
+
+#endif  // TRANSPWR_LOSSLESS_LZ77_H

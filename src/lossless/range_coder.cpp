@@ -1,0 +1,132 @@
+#include "lossless/range_coder.h"
+
+#include <algorithm>
+
+namespace transpwr {
+namespace {
+
+constexpr std::uint32_t kTop = 1u << 24;
+constexpr std::uint32_t kBot = 1u << 16;
+
+}  // namespace
+
+// --- RangeEncoder ------------------------------------------------------------
+
+void RangeEncoder::encode(std::uint32_t cum_low, std::uint32_t freq,
+                          std::uint32_t tot) {
+  if (freq == 0 || tot == 0 || cum_low + freq > tot)
+    throw ParamError("RangeEncoder: invalid interval");
+  std::uint32_t low = low_;
+  std::uint32_t range = range_;
+  range /= tot;
+  low += cum_low * range;
+  range *= freq;
+  // Subbotin carry-less renormalization.
+  while ((low ^ (low + range)) < kTop ||
+         (range < kBot && ((range = (0u - low) & (kBot - 1)), true))) {
+    out_.push_back(static_cast<std::uint8_t>(low >> 24));
+    low <<= 8;
+    range <<= 8;
+  }
+  low_ = low;
+  range_ = range;
+}
+
+std::vector<std::uint8_t> RangeEncoder::finish() {
+  std::uint32_t low = low_;
+  for (int i = 0; i < 4; ++i) {
+    out_.push_back(static_cast<std::uint8_t>(low >> 24));
+    low <<= 8;
+  }
+  return std::move(out_);
+}
+
+// --- RangeDecoder ------------------------------------------------------------
+
+RangeDecoder::RangeDecoder(std::span<const std::uint8_t> bytes) : in_(bytes) {
+  for (int i = 0; i < 4; ++i) code_ = (code_ << 8) | next_byte();
+}
+
+std::uint8_t RangeDecoder::next_byte() {
+  return pos_ < in_.size() ? in_[pos_++] : 0;
+}
+
+std::uint32_t RangeDecoder::decode_target(std::uint32_t tot) {
+  if (tot == 0) throw ParamError("RangeDecoder: zero total");
+  range_ /= tot;
+  std::uint32_t t =
+      (code_ - low_) / range_;
+  return std::min(t, tot - 1);
+}
+
+void RangeDecoder::consume(std::uint32_t cum_low, std::uint32_t freq,
+                           std::uint32_t tot) {
+  (void)tot;  // range_ already divided by tot in decode_target()
+  std::uint32_t low = low_;
+  std::uint32_t range = range_;
+  low += cum_low * range;
+  range *= freq;
+  while ((low ^ (low + range)) < kTop ||
+         (range < kBot && ((range = (0u - low) & (kBot - 1)), true))) {
+    code_ = (code_ << 8) | next_byte();
+    low <<= 8;
+    range <<= 8;
+  }
+  low_ = low;
+  range_ = range;
+}
+
+// --- AdaptiveModel -----------------------------------------------------------
+
+AdaptiveModel::AdaptiveModel(std::uint32_t alphabet) {
+  if (alphabet == 0 || alphabet > 4096)
+    throw ParamError("AdaptiveModel: alphabet must be in [1, 4096]");
+  freq_.assign(alphabet, 1);
+  total_ = alphabet;
+}
+
+std::uint32_t AdaptiveModel::cum_low(std::uint32_t symbol) const {
+  std::uint32_t c = 0;
+  for (std::uint32_t s = 0; s < symbol; ++s) c += freq_[s];
+  return c;
+}
+
+std::uint32_t AdaptiveModel::symbol_for(std::uint32_t target) const {
+  std::uint32_t c = 0;
+  for (std::uint32_t s = 0; s < freq_.size(); ++s) {
+    c += freq_[s];
+    if (target < c) return s;
+  }
+  throw StreamError("AdaptiveModel: target outside cumulative range");
+}
+
+void AdaptiveModel::update(std::uint32_t symbol) {
+  freq_[symbol] += kIncrement;
+  total_ += kIncrement;
+  if (total_ >= kMaxTotal) rescale();
+}
+
+void AdaptiveModel::rescale() {
+  total_ = 0;
+  for (auto& f : freq_) {
+    f = (f + 1) >> 1;
+    total_ += f;
+  }
+}
+
+void AdaptiveModel::encode(RangeEncoder& enc, std::uint32_t symbol) {
+  if (symbol >= freq_.size())
+    throw ParamError("AdaptiveModel: symbol out of range");
+  enc.encode(cum_low(symbol), freq_[symbol], total_);
+  update(symbol);
+}
+
+std::uint32_t AdaptiveModel::decode(RangeDecoder& dec) {
+  std::uint32_t target = dec.decode_target(total_);
+  std::uint32_t symbol = symbol_for(target);
+  dec.consume(cum_low(symbol), freq_[symbol], total_);
+  update(symbol);
+  return symbol;
+}
+
+}  // namespace transpwr

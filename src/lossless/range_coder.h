@@ -1,0 +1,87 @@
+#ifndef TRANSPWR_LOSSLESS_RANGE_CODER_H
+#define TRANSPWR_LOSSLESS_RANGE_CODER_H
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+
+namespace transpwr {
+
+/// Byte-oriented range coder (Subbotin style) with adaptive frequency
+/// models — the entropy stage FPZIP uses in place of static Huffman.
+/// Carry-less 32-bit renormalization, one output byte at a time.
+class RangeEncoder {
+ public:
+  /// Encode a symbol given its cumulative range [cum_low, cum_low+freq)
+  /// out of total `tot`. Caller supplies the model.
+  void encode(std::uint32_t cum_low, std::uint32_t freq, std::uint32_t tot);
+
+  /// Flush internal state; returns the coded bytes. Use once.
+  std::vector<std::uint8_t> finish();
+
+ private:
+  std::uint32_t low_ = 0;
+  std::uint32_t range_ = 0xffffffffu;
+  std::vector<std::uint8_t> out_;
+};
+
+class RangeDecoder {
+ public:
+  explicit RangeDecoder(std::span<const std::uint8_t> bytes);
+
+  /// Current scaled cumulative value in [0, tot); caller binary-searches
+  /// its model for the symbol whose cumulative interval contains it, then
+  /// must call consume() with that interval.
+  std::uint32_t decode_target(std::uint32_t tot);
+  void consume(std::uint32_t cum_low, std::uint32_t freq, std::uint32_t tot);
+
+ private:
+  std::uint8_t next_byte();
+
+  std::span<const std::uint8_t> in_;
+  std::size_t pos_ = 0;
+  std::uint32_t low_ = 0;
+  std::uint32_t range_ = 0xffffffffu;
+  std::uint32_t code_ = 0;
+};
+
+/// Adaptive frequency model over a small alphabet (<= 256 symbols) with
+/// periodic halving; O(n) update, fine for the magnitude-class alphabets
+/// the codecs use.
+class AdaptiveModel {
+ public:
+  explicit AdaptiveModel(std::uint32_t alphabet);
+
+  std::uint32_t alphabet() const {
+    return static_cast<std::uint32_t>(freq_.size());
+  }
+  std::uint32_t total() const { return total_; }
+
+  /// Cumulative frequency below `symbol`.
+  std::uint32_t cum_low(std::uint32_t symbol) const;
+  std::uint32_t freq(std::uint32_t symbol) const { return freq_[symbol]; }
+
+  /// Symbol whose cumulative interval contains `target`.
+  std::uint32_t symbol_for(std::uint32_t target) const;
+
+  /// Bump a symbol's frequency (call after encode/decode of it).
+  void update(std::uint32_t symbol);
+
+  void encode(RangeEncoder& enc, std::uint32_t symbol);
+  std::uint32_t decode(RangeDecoder& dec);
+
+ private:
+  void rescale();
+
+  std::vector<std::uint32_t> freq_;
+  std::uint32_t total_ = 0;
+  static constexpr std::uint32_t kMaxTotal = 1u << 16;
+  static constexpr std::uint32_t kIncrement = 32;
+};
+
+}  // namespace transpwr
+
+#endif  // TRANSPWR_LOSSLESS_RANGE_CODER_H

@@ -1,0 +1,55 @@
+#ifndef TRANSPWR_LOSSLESS_RLE_H
+#define TRANSPWR_LOSSLESS_RLE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitstream.h"
+
+namespace transpwr {
+namespace rle {
+
+/// Run-length code a bit vector (e.g. a sign bitmap) as alternating-run
+/// Elias-gamma lengths. Dense same-sign regions — the common case in
+/// scientific fields — collapse to a few bits.
+inline void encode_bits(const std::vector<bool>& bits, BitWriter& bw) {
+  bw.write_bits(bits.size(), 64);
+  if (bits.empty()) return;
+  bool cur = bits[0];
+  bw.write_bit(cur);
+  std::size_t i = 0;
+  while (i < bits.size()) {
+    std::size_t run = 1;
+    while (i + run < bits.size() && bits[i + run] == cur) ++run;
+    // Elias gamma of `run` (run >= 1).
+    unsigned nbits = 0;
+    for (std::size_t v = run; v > 1; v >>= 1) ++nbits;
+    bw.write_bits(0, nbits);      // nbits zeros
+    bw.write_bit(true);           // stop bit = MSB of run
+    bw.write_bits(run, nbits);    // low bits of run (LSB-first)
+    i += run;
+    cur = !cur;
+  }
+}
+
+inline std::vector<bool> decode_bits(BitReader& br) {
+  auto n = static_cast<std::size_t>(br.read_bits(64));
+  std::vector<bool> bits;
+  bits.reserve(n);
+  if (n == 0) return bits;
+  bool cur = br.read_bit();
+  while (bits.size() < n) {
+    unsigned nbits = 0;
+    while (!br.read_bit()) ++nbits;
+    std::size_t run = (std::size_t{1} << nbits) | br.read_bits(nbits);
+    for (std::size_t j = 0; j < run && bits.size() < n; ++j)
+      bits.push_back(cur);
+    cur = !cur;
+  }
+  return bits;
+}
+
+}  // namespace rle
+}  // namespace transpwr
+
+#endif  // TRANSPWR_LOSSLESS_RLE_H

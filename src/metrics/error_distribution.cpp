@@ -1,0 +1,91 @@
+#include "metrics/error_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace transpwr {
+namespace {
+
+ErrorDistribution analyze(const std::vector<double>& err, double bound,
+                          std::size_t bins) {
+  if (bins < 2) throw ParamError("error distribution: bins must be >= 2");
+  if (!(bound > 0)) throw ParamError("error distribution: bound must be > 0");
+
+  ErrorDistribution d;
+  d.histogram.assign(bins, 0);
+  d.bin_width = 2.0 * bound / static_cast<double>(bins);
+  if (err.empty()) return d;
+
+  const auto n = static_cast<double>(err.size());
+  double sum = 0;
+  std::size_t outside = 0;
+  for (double e : err) {
+    sum += e;
+    if (e < -bound || e > bound) {
+      ++outside;
+      continue;
+    }
+    auto bin = static_cast<std::size_t>((e + bound) / d.bin_width);
+    d.histogram[std::min(bin, bins - 1)]++;
+  }
+  d.mean = sum / n;
+  d.outside_bound = static_cast<double>(outside) / n;
+
+  double m2 = 0, m3 = 0, m4 = 0;
+  for (double e : err) {
+    double c = e - d.mean;
+    m2 += c * c;
+    m3 += c * c * c;
+    m4 += c * c * c * c;
+  }
+  m2 /= n;
+  m3 /= n;
+  m4 /= n;
+  d.stddev = std::sqrt(m2);
+  d.skewness = m2 > 0 ? m3 / std::pow(m2, 1.5) : 0.0;
+  d.excess_kurtosis = m2 > 0 ? m4 / (m2 * m2) - 3.0 : 0.0;
+
+  auto autocorr = [&](std::size_t lag) {
+    if (err.size() <= lag || m2 == 0) return 0.0;
+    double acc = 0;
+    for (std::size_t i = lag; i < err.size(); ++i)
+      acc += (err[i] - d.mean) * (err[i - lag] - d.mean);
+    return acc / (static_cast<double>(err.size() - lag) * m2);
+  };
+  d.autocorr_lag1 = autocorr(1);
+  d.autocorr_lag2 = autocorr(2);
+  return d;
+}
+
+}  // namespace
+
+ErrorDistribution analyze_error_distribution(
+    std::span<const float> original, std::span<const float> decompressed,
+    double bound, std::size_t bins) {
+  if (original.size() != decompressed.size())
+    throw ParamError("error distribution: size mismatch");
+  std::vector<double> err(original.size());
+  for (std::size_t i = 0; i < original.size(); ++i)
+    err[i] = static_cast<double>(decompressed[i]) -
+             static_cast<double>(original[i]);
+  return analyze(err, bound, bins);
+}
+
+ErrorDistribution analyze_relative_error_distribution(
+    std::span<const float> original, std::span<const float> decompressed,
+    double rel_bound, std::size_t bins) {
+  if (original.size() != decompressed.size())
+    throw ParamError("error distribution: size mismatch");
+  std::vector<double> err;
+  err.reserve(original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    double x = original[i];
+    if (x == 0.0) continue;
+    err.push_back((static_cast<double>(decompressed[i]) - x) / std::abs(x));
+  }
+  return analyze(err, rel_bound, bins);
+}
+
+}  // namespace transpwr

@@ -1,0 +1,48 @@
+#ifndef TRANSPWR_METRICS_ERROR_DISTRIBUTION_H
+#define TRANSPWR_METRICS_ERROR_DISTRIBUTION_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace transpwr {
+
+/// Distributional analysis of a compressor's pointwise error signal, after
+/// Lindstrom's "Error Distributions of Lossy Floating-Point Compressors"
+/// (JSM 2017) — the paper's reference [7]. Post-analysis pipelines care not
+/// only about the max error but whether errors are uniform-ish, unbiased,
+/// and spatially uncorrelated (biased or correlated errors masquerade as
+/// physics in derived quantities).
+struct ErrorDistribution {
+  std::vector<std::size_t> histogram;  ///< counts over [-bound, +bound]
+  double bin_width = 0;
+  double mean = 0;        ///< error bias; ~0 for a good compressor
+  double stddev = 0;
+  double skewness = 0;
+  double excess_kurtosis = 0;  ///< 0 for Gaussian, -1.2 for uniform
+  /// Lag-k autocorrelation of the error signal in scan order; near 0 means
+  /// errors do not alias into smooth structures.
+  double autocorr_lag1 = 0;
+  double autocorr_lag2 = 0;
+  /// Fraction of probability mass outside [-bound, +bound] (must be 0 for a
+  /// bounded compressor).
+  double outside_bound = 0;
+};
+
+/// Analyze the signed error signal err[i] = dec[i] - orig[i].
+/// `bound` scales the histogram range; `bins` must be >= 2.
+ErrorDistribution analyze_error_distribution(std::span<const float> original,
+                                             std::span<const float>
+                                                 decompressed,
+                                             double bound,
+                                             std::size_t bins = 64);
+
+/// Same, but for the *relative* error signal (dec-orig)/|orig| over nonzero
+/// originals — the natural view for pointwise-relative compressors.
+ErrorDistribution analyze_relative_error_distribution(
+    std::span<const float> original, std::span<const float> decompressed,
+    double rel_bound, std::size_t bins = 64);
+
+}  // namespace transpwr
+
+#endif  // TRANSPWR_METRICS_ERROR_DISTRIBUTION_H

@@ -1,0 +1,191 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace transpwr {
+namespace {
+
+template <typename T>
+ErrorStats compute_impl(std::span<const T> orig, std::span<const T> dec) {
+  if (orig.size() != dec.size())
+    throw ParamError("compute_error_stats: size mismatch");
+  ErrorStats s;
+  s.count = orig.size();
+  s.rel_errors.resize(orig.size());
+  if (orig.empty()) return s;
+
+  double vmin = orig[0], vmax = orig[0];
+  double sum_abs = 0, sum_sq = 0;
+  double sum_rel = 0, sum_rel_sq = 0;
+  std::size_t rel_count = 0;
+
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    double x = orig[i], xd = dec[i];
+    vmin = std::min(vmin, x);
+    vmax = std::max(vmax, x);
+    double ae = std::abs(x - xd);
+    s.max_abs = std::max(s.max_abs, ae);
+    sum_abs += ae;
+    sum_sq += ae * ae;
+    if (x == 0.0) {
+      if (xd == 0.0) {
+        s.rel_errors[i] = 0.0;
+      } else {
+        s.rel_errors[i] = std::numeric_limits<double>::infinity();
+        ++s.modified_zeros;
+      }
+    } else {
+      double re = ae / std::abs(x);
+      s.rel_errors[i] = re;
+      s.max_rel = std::max(s.max_rel, re);
+      sum_rel += re;
+      sum_rel_sq += re * re;
+      ++rel_count;
+    }
+  }
+
+  auto n = static_cast<double>(orig.size());
+  s.avg_abs = sum_abs / n;
+  s.avg_rel = rel_count ? sum_rel / static_cast<double>(rel_count) : 0.0;
+
+  double range = vmax - vmin;
+  double mse = sum_sq / n;
+  s.psnr = mse > 0 && range > 0
+               ? 20.0 * std::log10(range) - 10.0 * std::log10(mse)
+               : std::numeric_limits<double>::infinity();
+  double rel_mse =
+      rel_count ? sum_rel_sq / static_cast<double>(rel_count) : 0.0;
+  s.rel_psnr = rel_mse > 0 ? -10.0 * std::log10(rel_mse)
+                           : std::numeric_limits<double>::infinity();
+  return s;
+}
+
+}  // namespace
+
+double ErrorStats::fraction_bounded(double bound) const {
+  if (rel_errors.empty()) return 1.0;
+  return 1.0 - static_cast<double>(unbounded_at(bound)) /
+                   static_cast<double>(rel_errors.size());
+}
+
+std::size_t ErrorStats::unbounded_at(double bound) const {
+  std::size_t bad = 0;
+  for (double e : rel_errors)
+    if (!(e <= bound)) ++bad;
+  return bad;
+}
+
+ErrorStats compute_error_stats(std::span<const float> original,
+                               std::span<const float> decompressed) {
+  return compute_impl<float>(original, decompressed);
+}
+ErrorStats compute_error_stats(std::span<const double> original,
+                               std::span<const double> decompressed) {
+  return compute_impl<double>(original, decompressed);
+}
+
+double compression_ratio(std::size_t original_bytes,
+                         std::size_t compressed_bytes) {
+  if (compressed_bytes == 0) throw ParamError("compression_ratio: zero size");
+  return static_cast<double>(original_bytes) /
+         static_cast<double>(compressed_bytes);
+}
+
+double bit_rate(std::size_t compressed_bytes, std::size_t num_values) {
+  if (num_values == 0) throw ParamError("bit_rate: zero values");
+  return 8.0 * static_cast<double>(compressed_bytes) /
+         static_cast<double>(num_values);
+}
+
+AngleSkew angle_skew(std::span<const float> vx, std::span<const float> vy,
+                     std::span<const float> vz, std::span<const float> dx,
+                     std::span<const float> dy, std::span<const float> dz,
+                     std::span<const std::uint32_t> block_of,
+                     std::size_t num_blocks) {
+  std::size_t n = vx.size();
+  if (vy.size() != n || vz.size() != n || dx.size() != n || dy.size() != n ||
+      dz.size() != n || block_of.size() != n)
+    throw ParamError("angle_skew: size mismatch");
+
+  AngleSkew out;
+  out.block_mean_deg.assign(num_blocks, 0.0);
+  std::vector<std::size_t> block_n(num_blocks, 0);
+  double sum = 0;
+  constexpr double kRadToDeg = 57.29577951308232;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    double ax = vx[i], ay = vy[i], az = vz[i];
+    double bx = dx[i], by = dy[i], bz = dz[i];
+    double na = std::sqrt(ax * ax + ay * ay + az * az);
+    double nb = std::sqrt(bx * bx + by * by + bz * bz);
+    double theta = 0.0;
+    if (na > 0 && nb > 0) {
+      double c = (ax * bx + ay * by + az * bz) / (na * nb);
+      c = std::clamp(c, -1.0, 1.0);
+      theta = std::acos(c) * kRadToDeg;
+    } else if (na != nb) {
+      theta = 90.0;  // one vector vanished entirely
+    }
+    sum += theta;
+    out.overall_max_deg = std::max(out.overall_max_deg, theta);
+    std::uint32_t b = block_of[i];
+    if (b < num_blocks) {
+      out.block_mean_deg[b] += theta;
+      ++block_n[b];
+    }
+  }
+  for (std::size_t b = 0; b < num_blocks; ++b)
+    if (block_n[b]) out.block_mean_deg[b] /= static_cast<double>(block_n[b]);
+  out.overall_mean_deg = n ? sum / static_cast<double>(n) : 0.0;
+  return out;
+}
+
+TransformQuality transform_quality(
+    const std::vector<std::vector<double>>& blocks) {
+  TransformQuality q;
+  if (blocks.empty()) return q;
+  std::size_t n = blocks[0].size();
+  for (const auto& b : blocks)
+    if (b.size() != n) throw ParamError("transform_quality: ragged blocks");
+  auto m = static_cast<double>(blocks.size());
+
+  // Mean per coefficient position.
+  std::vector<double> mean(n, 0.0);
+  for (const auto& b : blocks)
+    for (std::size_t i = 0; i < n; ++i) mean[i] += b[i];
+  for (auto& v : mean) v /= m;
+
+  // Covariance matrix (n x n).
+  std::vector<double> cov(n * n, 0.0);
+  for (const auto& b : blocks)
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        cov[i * n + j] += (b[i] - mean[i]) * (b[j] - mean[j]);
+  for (auto& v : cov) v /= m;
+
+  double diag_sq = 0, all_sq = 0, log_geo = 0;
+  bool any_zero_var = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    double d = cov[i * n + i];
+    diag_sq += d * d;
+    if (d * d > 0)
+      log_geo += std::log(d * d);
+    else
+      any_zero_var = true;
+    for (std::size_t j = 0; j < n; ++j) all_sq += cov[i * n + j] * cov[i * n + j];
+  }
+  q.decorrelation_efficiency = all_sq > 0 ? diag_sq / all_sq : 1.0;
+  if (any_zero_var || n == 0) {
+    q.coding_gain = 0.0;
+  } else {
+    double geo = std::exp(log_geo / static_cast<double>(n));
+    q.coding_gain = diag_sq / (static_cast<double>(n) * geo);
+  }
+  return q;
+}
+
+}  // namespace transpwr

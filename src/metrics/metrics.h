@@ -1,0 +1,74 @@
+#ifndef TRANSPWR_METRICS_METRICS_H
+#define TRANSPWR_METRICS_METRICS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace transpwr {
+
+/// Distortion statistics between an original field and its decompressed
+/// counterpart, in the vocabulary of the paper's Table IV and figures.
+struct ErrorStats {
+  double max_abs = 0;       ///< max |x - xd|
+  double avg_abs = 0;       ///< mean |x - xd|
+  double max_rel = 0;       ///< max |x - xd| / |x| over x != 0
+  double avg_rel = 0;       ///< mean pointwise relative error over x != 0
+  double psnr = 0;          ///< classic PSNR w.r.t. original value range
+  double rel_psnr = 0;      ///< PSNR of relative errors, value range := 1
+  std::size_t modified_zeros = 0;  ///< points where x == 0 but xd != 0
+  std::size_t count = 0;
+
+  /// Per-point relative errors (|x-xd|/|x|; 0 for preserved zeros, +inf for
+  /// modified zeros). Kept so callers can test arbitrary bounds afterwards.
+  std::vector<double> rel_errors;
+
+  /// Fraction of points whose pointwise relative error is <= `bound`.
+  /// A point with x == 0 counts as bounded iff xd == 0 (the paper's `*`
+  /// annotation marks compressors that modify original zeros).
+  double fraction_bounded(double bound) const;
+  std::size_t unbounded_at(double bound) const;
+};
+
+/// Compute full distortion stats; spans must have equal size.
+ErrorStats compute_error_stats(std::span<const float> original,
+                               std::span<const float> decompressed);
+ErrorStats compute_error_stats(std::span<const double> original,
+                               std::span<const double> decompressed);
+
+/// compressed-size-based metrics
+double compression_ratio(std::size_t original_bytes,
+                         std::size_t compressed_bytes);
+/// bits used per scalar value
+double bit_rate(std::size_t compressed_bytes, std::size_t num_values);
+
+/// Per-block mean angle skew (degrees) between original and reconstructed
+/// 3-D velocity vectors (paper Fig. 5). Inputs are the three velocity
+/// components of `n` particles plus a block id per particle in
+/// [0, num_blocks); returns mean skew per block (empty blocks -> 0).
+struct AngleSkew {
+  std::vector<double> block_mean_deg;
+  double overall_mean_deg = 0;
+  double overall_max_deg = 0;
+};
+AngleSkew angle_skew(std::span<const float> vx, std::span<const float> vy,
+                     std::span<const float> vz, std::span<const float> dx,
+                     std::span<const float> dy, std::span<const float> dz,
+                     std::span<const std::uint32_t> block_of,
+                     std::size_t num_blocks);
+
+/// Transform-quality metrics from the paper's Definition 1, computed over a
+/// sample of transformed coefficient blocks (one row per block, n columns).
+struct TransformQuality {
+  double decorrelation_efficiency = 0;  ///< eta
+  double coding_gain = 0;               ///< gamma
+};
+TransformQuality transform_quality(
+    const std::vector<std::vector<double>>& coefficient_blocks);
+
+}  // namespace transpwr
+
+#endif  // TRANSPWR_METRICS_METRICS_H

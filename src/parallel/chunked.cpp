@@ -1,0 +1,367 @@
+#include "parallel/chunked.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include "common/bytestream.h"
+#include "common/checksum.h"
+#include "common/error.h"
+#include "common/thread_pool.h"
+
+namespace transpwr {
+namespace chunked {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x314B4843;  // "CHK1"
+
+std::size_t resolve_threads(std::size_t threads) {
+  if (threads) return threads;
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc ? hc : 2;
+}
+
+struct Slab {
+  std::size_t row_begin;  // along the slowest dimension
+  std::size_t row_count;
+  Dims dims;              // shape of the slab
+  std::size_t offset;     // element offset into the full field
+};
+
+std::vector<Slab> plan_slabs(Dims dims, std::size_t chunks) {
+  const std::size_t rows = dims[0];
+  chunks = std::clamp<std::size_t>(chunks, 1, rows);
+  std::size_t per = (rows + chunks - 1) / chunks;
+  std::size_t row_elems = dims.count() / rows;
+
+  std::vector<Slab> slabs;
+  for (std::size_t b = 0; b < rows; b += per) {
+    Slab s;
+    s.row_begin = b;
+    s.row_count = std::min(per, rows - b);
+    s.dims = dims;
+    s.dims.d[0] = s.row_count;
+    s.offset = b * row_elems;
+    slabs.push_back(s);
+  }
+  return slabs;
+}
+
+std::vector<Slab> slabs_from_rows(Dims dims,
+                                  std::span<const std::uint64_t> rows) {
+  std::size_t row_elems = dims.count() / dims[0];
+  std::vector<Slab> slabs;
+  std::size_t at = 0;
+  for (auto rc : rows) {
+    if (rc == 0) throw StreamError("chunked: empty slab");
+    Slab s;
+    s.row_begin = at;
+    s.row_count = static_cast<std::size_t>(rc);
+    s.dims = dims;
+    s.dims.d[0] = s.row_count;
+    s.offset = at * row_elems;
+    at += s.row_count;
+    slabs.push_back(s);
+  }
+  if (at != dims[0])
+    throw StreamError("chunked: slab rows do not sum to field rows");
+  return slabs;
+}
+
+/// Shared container writer: header + per-slab row counts + slab streams.
+template <typename T>
+std::vector<std::uint8_t> write_container(
+    Dims dims, Scheme scheme, std::span<const std::uint64_t> slab_rows,
+    const std::vector<std::vector<std::uint8_t>>& streams) {
+  ByteWriter out;
+  out.put(kMagic);
+  out.put(static_cast<std::uint8_t>(data_type_of<T>()));
+  out.put(static_cast<std::uint8_t>(scheme));
+  out.put(static_cast<std::uint8_t>(dims.nd));
+  out.put(std::uint8_t{0});
+  for (int i = 0; i < 3; ++i)
+    out.put(static_cast<std::uint64_t>(dims.d[static_cast<std::size_t>(i)]));
+  out.put(static_cast<std::uint32_t>(slab_rows.size()));
+  for (auto rc : slab_rows) out.put(rc);
+  for (const auto& s : streams) {
+    out.put(fnv1a64(s));
+    out.put_sized(s);
+  }
+  return out.take();
+}
+
+}  // namespace
+
+template <typename T>
+std::vector<std::uint8_t> compress(std::span<const T> data, Dims dims,
+                                   const Params& params) {
+  dims.validate();
+  if (data.size() != dims.count())
+    throw ParamError("chunked: data size does not match dims");
+
+  const std::size_t threads = resolve_threads(params.threads);
+  const std::size_t chunks =
+      params.num_chunks ? params.num_chunks : threads;
+  auto slabs = plan_slabs(dims, chunks);
+
+  std::vector<std::vector<std::uint8_t>> streams(slabs.size());
+  std::atomic<bool> failed{false};
+  ThreadPool pool(threads);
+  pool.parallel_for(slabs.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      try {
+        auto comp = make_compressor(params.scheme);
+        const Slab& s = slabs[i];
+        streams[i] = comp->compress(
+            data.subspan(s.offset, s.dims.count()), s.dims,
+            params.compressor);
+      } catch (...) {
+        failed = true;
+      }
+    }
+  });
+  if (failed) throw StreamError("chunked: a slab failed to compress");
+
+  std::vector<std::uint64_t> slab_rows;
+  slab_rows.reserve(slabs.size());
+  for (const auto& s : slabs) slab_rows.push_back(s.row_count);
+  return write_container<T>(dims, params.scheme, slab_rows, streams);
+}
+
+template <typename T>
+std::vector<T> decompress(std::span<const std::uint8_t> stream,
+                          Dims* dims_out, std::size_t threads) {
+  ByteReader in(stream);
+  if (in.get<std::uint32_t>() != kMagic)
+    throw StreamError("chunked: bad magic");
+  auto dtype = static_cast<DataType>(in.get<std::uint8_t>());
+  if (dtype != data_type_of<T>())
+    throw StreamError("chunked: stream data type does not match");
+  auto scheme = static_cast<Scheme>(in.get<std::uint8_t>());
+  int nd = in.get<std::uint8_t>();
+  in.get<std::uint8_t>();
+  Dims dims;
+  dims.nd = nd;
+  for (int i = 0; i < 3; ++i)
+    dims.d[static_cast<std::size_t>(i)] =
+        static_cast<std::size_t>(in.get<std::uint64_t>());
+  dims.validate();
+  auto num_slabs = in.get<std::uint32_t>();
+  if (num_slabs == 0 || num_slabs > dims[0])
+    throw StreamError("chunked: implausible slab count");
+  if (dims_out) *dims_out = dims;
+
+  std::vector<std::uint64_t> slab_rows(num_slabs);
+  for (auto& rc : slab_rows) rc = in.get<std::uint64_t>();
+  std::vector<std::uint64_t> slab_sums(num_slabs);
+  std::vector<std::span<const std::uint8_t>> slab_streams(num_slabs);
+  for (std::uint32_t i = 0; i < num_slabs; ++i) {
+    slab_sums[i] = in.get<std::uint64_t>();
+    slab_streams[i] = in.get_sized();
+  }
+
+  auto slabs = slabs_from_rows(dims, slab_rows);
+
+  std::vector<T> out(dims.count());
+  std::atomic<bool> failed{false};
+  ThreadPool pool(resolve_threads(threads));
+  pool.parallel_for(slabs.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      try {
+        if (fnv1a64(slab_streams[i]) != slab_sums[i]) {
+          failed = true;
+          continue;
+        }
+        auto comp = make_compressor(scheme);
+        Dims got;
+        std::vector<T> slab_data;
+        if constexpr (std::is_same_v<T, float>)
+          slab_data = comp->decompress_f32(slab_streams[i], &got);
+        else
+          slab_data = comp->decompress_f64(slab_streams[i], &got);
+        if (!(got == slabs[i].dims) ||
+            slab_data.size() != slabs[i].dims.count()) {
+          failed = true;
+          continue;
+        }
+        std::memcpy(out.data() + slabs[i].offset, slab_data.data(),
+                    slab_data.size() * sizeof(T));
+      } catch (...) {
+        failed = true;
+      }
+    }
+  });
+  if (failed)
+    throw StreamError(
+        "chunked: a slab failed to decompress (corrupt or checksum mismatch)");
+  return out;
+}
+
+template <typename T>
+std::vector<T> decompress_rows(std::span<const std::uint8_t> stream,
+                               std::size_t row_begin, std::size_t row_end,
+                               Dims* roi_dims_out, std::size_t threads) {
+  ByteReader in(stream);
+  if (in.get<std::uint32_t>() != kMagic)
+    throw StreamError("chunked: bad magic");
+  auto dtype = static_cast<DataType>(in.get<std::uint8_t>());
+  if (dtype != data_type_of<T>())
+    throw StreamError("chunked: stream data type does not match");
+  auto scheme = static_cast<Scheme>(in.get<std::uint8_t>());
+  int nd = in.get<std::uint8_t>();
+  in.get<std::uint8_t>();
+  Dims dims;
+  dims.nd = nd;
+  for (int i = 0; i < 3; ++i)
+    dims.d[static_cast<std::size_t>(i)] =
+        static_cast<std::size_t>(in.get<std::uint64_t>());
+  dims.validate();
+  if (row_begin >= row_end || row_end > dims[0])
+    throw ParamError("chunked: row range out of bounds");
+  auto num_slabs = in.get<std::uint32_t>();
+  if (num_slabs == 0 || num_slabs > dims[0])
+    throw StreamError("chunked: implausible slab count");
+
+  std::vector<std::uint64_t> slab_rows(num_slabs);
+  for (auto& rc : slab_rows) rc = in.get<std::uint64_t>();
+  std::vector<std::uint64_t> slab_sums(num_slabs);
+  std::vector<std::span<const std::uint8_t>> slab_streams(num_slabs);
+  for (std::uint32_t i = 0; i < num_slabs; ++i) {
+    slab_sums[i] = in.get<std::uint64_t>();
+    slab_streams[i] = in.get_sized();
+  }
+  auto slabs = slabs_from_rows(dims, slab_rows);
+
+  const std::size_t row_elems = dims.count() / dims[0];
+  Dims roi = dims;
+  roi.d[0] = row_end - row_begin;
+  if (roi_dims_out) *roi_dims_out = roi;
+
+  // Slabs overlapping the requested row range.
+  std::vector<std::size_t> wanted;
+  for (std::size_t i = 0; i < slabs.size(); ++i) {
+    const Slab& s = slabs[i];
+    if (s.row_begin < row_end && s.row_begin + s.row_count > row_begin)
+      wanted.push_back(i);
+  }
+
+  std::vector<T> out(roi.count());
+  std::atomic<bool> failed{false};
+  ThreadPool pool(resolve_threads(threads));
+  pool.parallel_for(wanted.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t w = begin; w < end; ++w) {
+      const std::size_t i = wanted[w];
+      try {
+        if (fnv1a64(slab_streams[i]) != slab_sums[i]) {
+          failed = true;
+          continue;
+        }
+        auto comp = make_compressor(scheme);
+        Dims got;
+        std::vector<T> slab_data;
+        if constexpr (std::is_same_v<T, float>)
+          slab_data = comp->decompress_f32(slab_streams[i], &got);
+        else
+          slab_data = comp->decompress_f64(slab_streams[i], &got);
+        const Slab& s = slabs[i];
+        if (!(got == s.dims) || slab_data.size() != s.dims.count()) {
+          failed = true;
+          continue;
+        }
+        // Copy the overlapping rows into the ROI buffer.
+        std::size_t from = std::max(s.row_begin, row_begin);
+        std::size_t to = std::min(s.row_begin + s.row_count, row_end);
+        std::memcpy(out.data() + (from - row_begin) * row_elems,
+                    slab_data.data() + (from - s.row_begin) * row_elems,
+                    (to - from) * row_elems * sizeof(T));
+      } catch (...) {
+        failed = true;
+      }
+    }
+  });
+  if (failed)
+    throw StreamError(
+        "chunked: a slab failed to decompress (corrupt or checksum mismatch)");
+  return out;
+}
+
+// --- StreamingCompressor ------------------------------------------------------
+
+template <typename T>
+StreamingCompressor<T>::StreamingCompressor(Dims full_dims, Params params,
+                                            std::size_t rows_per_chunk)
+    : dims_(full_dims), params_(params), rows_per_chunk_(rows_per_chunk) {
+  dims_.validate();
+  if (rows_per_chunk_ == 0 || rows_per_chunk_ > dims_[0])
+    throw ParamError("streaming: rows_per_chunk out of range");
+  rows_total_ = dims_[0];
+  row_elems_ = dims_.count() / rows_total_;
+  buffer_.reserve(rows_per_chunk_ * row_elems_);
+}
+
+template <typename T>
+void StreamingCompressor<T>::append(std::span<const T> rows) {
+  if (finished_) throw ParamError("streaming: append after finish");
+  if (rows.size() % row_elems_ != 0)
+    throw ParamError("streaming: append size must be whole rows");
+  std::size_t n_rows = rows.size() / row_elems_;
+  if (rows_seen_ + n_rows > rows_total_)
+    throw ParamError("streaming: more rows than the field holds");
+  std::size_t consumed = 0;
+  while (consumed < n_rows) {
+    std::size_t want = rows_per_chunk_ - buffer_.size() / row_elems_;
+    std::size_t take = std::min(want, n_rows - consumed);
+    auto chunk = rows.subspan(consumed * row_elems_, take * row_elems_);
+    buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());
+    consumed += take;
+    rows_seen_ += take;
+    if (buffer_.size() == rows_per_chunk_ * row_elems_) flush_slab();
+  }
+}
+
+template <typename T>
+void StreamingCompressor<T>::flush_slab() {
+  std::size_t slab_rows = buffer_.size() / row_elems_;
+  Dims slab_dims = dims_;
+  slab_dims.d[0] = slab_rows;
+  auto comp = make_compressor(params_.scheme);
+  slabs_.push_back(
+      comp->compress(std::span<const T>(buffer_), slab_dims,
+                     params_.compressor));
+  slab_rows_.push_back(slab_rows);
+  buffer_.clear();
+}
+
+template <typename T>
+std::vector<std::uint8_t> StreamingCompressor<T>::finish() {
+  if (finished_) throw ParamError("streaming: finish called twice");
+  if (rows_seen_ != rows_total_)
+    throw ParamError("streaming: field incomplete (" +
+                     std::to_string(rows_total_ - rows_seen_) +
+                     " rows missing)");
+  if (!buffer_.empty()) flush_slab();
+  finished_ = true;
+  return write_container<T>(dims_, params_.scheme, slab_rows_, slabs_);
+}
+
+template class StreamingCompressor<float>;
+template class StreamingCompressor<double>;
+
+template std::vector<std::uint8_t> compress<float>(std::span<const float>,
+                                                   Dims, const Params&);
+template std::vector<std::uint8_t> compress<double>(std::span<const double>,
+                                                    Dims, const Params&);
+template std::vector<float> decompress<float>(std::span<const std::uint8_t>,
+                                              Dims*, std::size_t);
+template std::vector<double> decompress<double>(
+    std::span<const std::uint8_t>, Dims*, std::size_t);
+template std::vector<float> decompress_rows<float>(
+    std::span<const std::uint8_t>, std::size_t, std::size_t, Dims*,
+    std::size_t);
+template std::vector<double> decompress_rows<double>(
+    std::span<const std::uint8_t>, std::size_t, std::size_t, Dims*,
+    std::size_t);
+
+}  // namespace chunked
+}  // namespace transpwr

@@ -1,0 +1,185 @@
+#include "parallel/harness.h"
+
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "common/error.h"
+#include "common/timer.h"
+#include "data/io.h"
+
+namespace transpwr {
+namespace parallel {
+namespace {
+
+struct RankTimes {
+  double compress_s = 0, write_s = 0, read_s = 0, decompress_s = 0;
+  std::size_t compressed_bytes = 0;
+  bool ok = true;
+};
+
+std::string rank_path(const std::string& dir, std::size_t rank) {
+  return dir + "/transpwr_rank_" + std::to_string(rank) + ".bin";
+}
+
+// Floor an I/O phase's elapsed time at bytes/bandwidth by sleeping out the
+// remainder; returns the effective phase time.
+double throttle_io(double actual_s, std::size_t bytes, double mbps) {
+  if (mbps <= 0) return actual_s;
+  double floor_s =
+      static_cast<double>(bytes) / (mbps * 1024.0 * 1024.0);
+  if (actual_s < floor_s)
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(floor_s - actual_s));
+  return std::max(actual_s, floor_s);
+}
+
+}  // namespace
+
+RunResult run(const RunConfig& cfg, const std::vector<Field<float>>& shards) {
+  if (shards.empty()) throw ParamError("parallel::run: no shards");
+  if (cfg.ranks == 0) throw ParamError("parallel::run: zero ranks");
+
+  std::vector<RankTimes> times(cfg.ranks);
+  std::barrier sync(static_cast<std::ptrdiff_t>(cfg.ranks));
+  std::atomic<bool> failed{false};
+
+  auto body = [&](std::size_t rank) {
+    try {
+      const Field<float>& shard = shards[rank % shards.size()];
+      auto comp = make_compressor(cfg.scheme);
+      RankTimes& t = times[rank];
+
+      // --- dump: compress, then write own file (file-per-process).
+      sync.arrive_and_wait();
+      Timer tc;
+      auto stream = comp->compress(shard.span(), shard.dims, cfg.params);
+      t.compress_s = tc.seconds();
+      t.compressed_bytes = stream.size();
+
+      sync.arrive_and_wait();
+      Timer tw;
+      io::write_bytes(rank_path(cfg.dir, rank), stream);
+      t.write_s =
+          throttle_io(tw.seconds(), stream.size(), cfg.pfs_mbps_per_rank);
+
+      // --- load: read own file, then decompress.
+      sync.arrive_and_wait();
+      Timer tr;
+      auto loaded = io::read_bytes(rank_path(cfg.dir, rank));
+      t.read_s =
+          throttle_io(tr.seconds(), loaded.size(), cfg.pfs_mbps_per_rank);
+
+      sync.arrive_and_wait();
+      Timer td;
+      auto decomp = comp->decompress_f32(loaded);
+      t.decompress_s = td.seconds();
+
+      if (decomp.size() != shard.values.size()) t.ok = false;
+      if (t.ok && cfg.verify_rel_bound > 0) {
+        for (std::size_t i = 0; i < decomp.size(); ++i) {
+          double x = shard.values[i];
+          double xd = decomp[i];
+          if (x == 0.0 ? xd != 0.0
+                       : !(std::abs(x - xd) <=
+                           cfg.verify_rel_bound * std::abs(x))) {
+            t.ok = false;
+            break;
+          }
+        }
+      }
+      std::remove(rank_path(cfg.dir, rank).c_str());
+    } catch (...) {
+      failed = true;
+      times[rank].ok = false;
+      // Unblock the remaining ranks' barriers permanently.
+      sync.arrive_and_drop();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(cfg.ranks);
+  for (std::size_t r = 0; r < cfg.ranks; ++r) threads.emplace_back(body, r);
+  for (auto& th : threads) th.join();
+  if (failed) throw StreamError("parallel::run: a rank failed");
+
+  RunResult res;
+  res.ranks = cfg.ranks;
+  res.raw_bytes_per_rank = shards[0].bytes();
+  res.verified = true;
+  std::size_t raw_total = 0;
+  for (std::size_t r = 0; r < cfg.ranks; ++r) {
+    const RankTimes& t = times[r];
+    res.compress_s = std::max(res.compress_s, t.compress_s);
+    res.write_s = std::max(res.write_s, t.write_s);
+    res.read_s = std::max(res.read_s, t.read_s);
+    res.decompress_s = std::max(res.decompress_s, t.decompress_s);
+    res.compressed_bytes_total += t.compressed_bytes;
+    raw_total += shards[r % shards.size()].bytes();
+    if (!t.ok) res.verified = false;
+  }
+  res.compression_ratio =
+      static_cast<double>(raw_total) /
+      static_cast<double>(std::max<std::size_t>(1, res.compressed_bytes_total));
+  return res;
+}
+
+RunResult run_raw_baseline(std::size_t ranks, const std::string& dir,
+                           const std::vector<Field<float>>& shards,
+                           double pfs_mbps_per_rank) {
+  if (shards.empty()) throw ParamError("run_raw_baseline: no shards");
+  if (ranks == 0) throw ParamError("run_raw_baseline: zero ranks");
+
+  std::vector<RankTimes> times(ranks);
+  std::barrier sync(static_cast<std::ptrdiff_t>(ranks));
+  std::atomic<bool> failed{false};
+
+  auto body = [&](std::size_t rank) {
+    try {
+      const Field<float>& shard = shards[rank % shards.size()];
+      RankTimes& t = times[rank];
+      sync.arrive_and_wait();
+      Timer tw;
+      io::write_floats(rank_path(dir, rank), shard.span());
+      t.write_s = throttle_io(tw.seconds(), shard.bytes(),
+                              pfs_mbps_per_rank);
+      sync.arrive_and_wait();
+      Timer tr;
+      auto loaded = io::read_floats(rank_path(dir, rank));
+      t.read_s = throttle_io(tr.seconds(), loaded.size() * sizeof(float),
+                             pfs_mbps_per_rank);
+      t.compressed_bytes = loaded.size() * sizeof(float);
+      if (loaded.size() != shard.values.size()) t.ok = false;
+      std::remove(rank_path(dir, rank).c_str());
+    } catch (...) {
+      failed = true;
+      times[rank].ok = false;
+      sync.arrive_and_drop();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(ranks);
+  for (std::size_t r = 0; r < ranks; ++r) threads.emplace_back(body, r);
+  for (auto& th : threads) th.join();
+  if (failed) throw StreamError("run_raw_baseline: a rank failed");
+
+  RunResult res;
+  res.ranks = ranks;
+  res.raw_bytes_per_rank = shards[0].bytes();
+  res.verified = true;
+  for (std::size_t r = 0; r < ranks; ++r) {
+    res.write_s = std::max(res.write_s, times[r].write_s);
+    res.read_s = std::max(res.read_s, times[r].read_s);
+    res.compressed_bytes_total += times[r].compressed_bytes;
+    if (!times[r].ok) res.verified = false;
+  }
+  res.compression_ratio = 1.0;
+  return res;
+}
+
+}  // namespace parallel
+}  // namespace transpwr

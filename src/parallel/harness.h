@@ -1,0 +1,59 @@
+#ifndef TRANSPWR_PARALLEL_HARNESS_H
+#define TRANSPWR_PARALLEL_HARNESS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/compressor.h"
+#include "data/field.h"
+
+namespace transpwr {
+namespace parallel {
+
+/// Thread-rank stand-in for the paper's MPI file-per-process experiments
+/// (Fig. 6): every rank owns a shard, dumping = compress + write its own
+/// file, loading = read its own file + decompress. Elapsed phase times are
+/// the max over ranks (the parallel makespan), matching how the paper
+/// reports breakdowns.
+struct RunResult {
+  std::size_t ranks = 0;
+  std::size_t raw_bytes_per_rank = 0;
+  std::size_t compressed_bytes_total = 0;
+  double compression_ratio = 0;
+  // makespan seconds per phase
+  double compress_s = 0;
+  double write_s = 0;
+  double read_s = 0;
+  double decompress_s = 0;
+  double dump_s() const { return compress_s + write_s; }
+  double load_s() const { return read_s + decompress_s; }
+  bool verified = false;  ///< decompressed output matched the compressor's
+};
+
+struct RunConfig {
+  Scheme scheme = Scheme::kSzT;
+  CompressorParams params;
+  std::size_t ranks = 4;
+  std::string dir = "/tmp";       ///< where per-rank files are written
+  double verify_rel_bound = 0;    ///< >0: check pointwise bound after load
+  /// >0: emulate a bandwidth-starved parallel file system by flooring each
+  /// rank's write/read time at bytes / this rate. The paper's GPFS runs sit
+  /// near 8 MB/s per rank at 4,096 ranks; 0 leaves raw local-disk speed.
+  double pfs_mbps_per_rank = 0;
+};
+
+/// Run dump+load over `shards` (one field per rank, reused round-robin if
+/// fewer shards than ranks). Files are removed afterwards.
+RunResult run(const RunConfig& cfg, const std::vector<Field<float>>& shards);
+
+/// Raw (uncompressed) dump/load baseline for the same shards.
+/// `pfs_mbps_per_rank` throttles I/O like RunConfig::pfs_mbps_per_rank.
+RunResult run_raw_baseline(std::size_t ranks, const std::string& dir,
+                           const std::vector<Field<float>>& shards,
+                           double pfs_mbps_per_rank = 0);
+
+}  // namespace parallel
+}  // namespace transpwr
+
+#endif  // TRANSPWR_PARALLEL_HARNESS_H

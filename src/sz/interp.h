@@ -1,0 +1,44 @@
+#ifndef TRANSPWR_SZ_INTERP_H
+#define TRANSPWR_SZ_INTERP_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace transpwr {
+namespace sz_interp {
+
+/// SZ3-style multi-level interpolation compressor (clean-room).
+///
+/// Where classic SZ predicts each point from already-decoded raster
+/// neighbors (Lorenzo), this traverses the grid coarse-to-fine: the corner
+/// point seeds the coarsest grid, and each level halves the stride,
+/// predicting the new points by linear or 4-point cubic interpolation
+/// along one dimension at a time from the already-reconstructed coarser
+/// grid. Residuals go through the same linear-scaling quantization +
+/// Huffman (+ gated LZ) stack as SZ, so the absolute error bound is
+/// honored identically. Interpolation sees *two-sided* context, which
+/// beats one-sided Lorenzo on smooth data — the successor design (SZ3)
+/// whose pointwise-relative mode pairs it with exactly the paper's log
+/// transform.
+struct Params {
+  double bound = 1e-3;  ///< absolute error bound
+  std::uint32_t quant_intervals = 65536;
+  bool cubic = true;  ///< 4-point cubic where available, else linear
+  bool lz_stage = true;
+};
+
+template <typename T>
+std::vector<std::uint8_t> compress(std::span<const T> data, Dims dims,
+                                   const Params& params);
+
+template <typename T>
+std::vector<T> decompress(std::span<const std::uint8_t> stream,
+                          Dims* dims_out = nullptr);
+
+}  // namespace sz_interp
+}  // namespace transpwr
+
+#endif  // TRANSPWR_SZ_INTERP_H

@@ -1,0 +1,551 @@
+#include "sz/sz.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/bitstream.h"
+#include "common/bytestream.h"
+#include "common/error.h"
+#include "lossless/huffman.h"
+#include "lossless/lossless.h"
+#include "sz/outlier_coding.h"
+
+namespace transpwr {
+namespace sz {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x315A5354;  // "TSZ1"
+constexpr std::int16_t kAllZeroBlock = std::numeric_limits<std::int16_t>::min();
+
+std::uint32_t default_block_edge(int nd) {
+  switch (nd) {
+    case 1:
+      return 32;
+    case 2:
+      return 12;
+    default:
+      return 8;
+  }
+}
+
+void validate(const Params& p, const Dims& dims) {
+  dims.validate();
+  if (!(p.bound > 0)) throw ParamError("sz: bound must be positive");
+  if (p.quant_intervals < 4 || (p.quant_intervals & (p.quant_intervals - 1)))
+    throw ParamError("sz: quant_intervals must be a power of two >= 4");
+}
+
+/// Geometry shared by the encode and decode passes: strides, and the
+/// per-point block id used by the PWR mode.
+struct Geometry {
+  Dims dims;
+  std::size_t stride_y = 0, stride_z = 0;  // element strides
+  std::uint32_t edge = 1;
+  std::size_t nbx = 1, nby = 1, nbz = 1;
+
+  explicit Geometry(Dims d, std::uint32_t block_edge) : dims(d) {
+    if (d.nd == 1) {
+      stride_y = stride_z = 0;
+    } else if (d.nd == 2) {
+      stride_y = d[1];  // row stride for [ny][nx]
+    } else {
+      stride_y = d[2];
+      stride_z = d[1] * d[2];
+    }
+    edge = block_edge;
+    if (edge) {
+      if (d.nd == 1) {
+        nbx = (d[0] + edge - 1) / edge;
+      } else if (d.nd == 2) {
+        nby = (d[0] + edge - 1) / edge;
+        nbx = (d[1] + edge - 1) / edge;
+      } else {
+        nbz = (d[0] + edge - 1) / edge;
+        nby = (d[1] + edge - 1) / edge;
+        nbx = (d[2] + edge - 1) / edge;
+      }
+    }
+  }
+
+  std::size_t num_blocks() const { return nbx * nby * nbz; }
+
+  std::size_t block_of(std::size_t z, std::size_t y, std::size_t x) const {
+    if (dims.nd == 1) return x / edge;
+    if (dims.nd == 2) return (y / edge) * nbx + x / edge;
+    return ((z / edge) * nby + y / edge) * nbx + x / edge;
+  }
+};
+
+/// Lorenzo predictor over the reconstructed-value buffer. Out-of-range
+/// neighbors contribute 0.
+template <typename T>
+double lorenzo_predict(const T* r, const Geometry& g, std::size_t z,
+                       std::size_t y, std::size_t x, std::size_t idx) {
+  auto at = [&](std::size_t i) { return static_cast<double>(r[i]); };
+  switch (g.dims.nd) {
+    case 1:
+      return x > 0 ? at(idx - 1) : 0.0;
+    case 2: {
+      double a = x > 0 ? at(idx - 1) : 0.0;
+      double b = y > 0 ? at(idx - g.stride_y) : 0.0;
+      double ab = (x > 0 && y > 0) ? at(idx - g.stride_y - 1) : 0.0;
+      return a + b - ab;
+    }
+    default: {
+      double c100 = z > 0 ? at(idx - g.stride_z) : 0.0;
+      double c010 = y > 0 ? at(idx - g.stride_y) : 0.0;
+      double c001 = x > 0 ? at(idx - 1) : 0.0;
+      double c110 = (z > 0 && y > 0) ? at(idx - g.stride_z - g.stride_y) : 0.0;
+      double c101 = (z > 0 && x > 0) ? at(idx - g.stride_z - 1) : 0.0;
+      double c011 = (y > 0 && x > 0) ? at(idx - g.stride_y - 1) : 0.0;
+      double c111 = (z > 0 && y > 0 && x > 0)
+                        ? at(idx - g.stride_z - g.stride_y - 1)
+                        : 0.0;
+      return c100 + c010 + c001 - c110 - c101 - c011 + c111;
+    }
+  }
+}
+
+/// Per-block exponent of the minimum nonzero |x| (PWR mode). Blocks with no
+/// nonzero value get the kAllZeroBlock sentinel.
+template <typename T>
+std::vector<std::int16_t> block_exponents(std::span<const T> data,
+                                          const Geometry& g) {
+  std::vector<double> min_nonzero(g.num_blocks(),
+                                  std::numeric_limits<double>::infinity());
+  const std::size_t nz = g.dims.nd == 3 ? g.dims[0] : 1;
+  const std::size_t ny = g.dims.nd >= 2 ? g.dims[g.dims.nd - 2] : 1;
+  const std::size_t nx = g.dims[g.dims.nd - 1];
+  std::size_t idx = 0;
+  for (std::size_t z = 0; z < nz; ++z)
+    for (std::size_t y = 0; y < ny; ++y)
+      for (std::size_t x = 0; x < nx; ++x, ++idx) {
+        double a = std::abs(static_cast<double>(data[idx]));
+        if (a > 0) {
+          std::size_t b = g.block_of(z, y, x);
+          min_nonzero[b] = std::min(min_nonzero[b], a);
+        }
+      }
+  std::vector<std::int16_t> exps(g.num_blocks());
+  for (std::size_t b = 0; b < exps.size(); ++b) {
+    if (!std::isfinite(min_nonzero[b])) {
+      exps[b] = kAllZeroBlock;
+    } else {
+      int e = 0;
+      std::frexp(min_nonzero[b], &e);
+      // min = m * 2^e with m in [0.5, 1) => floor(log2 min) = e - 1.
+      exps[b] = static_cast<std::int16_t>(
+          std::clamp(e - 1, -16000, 16000));
+    }
+  }
+  return exps;
+}
+
+double block_bound(double rel_bound, std::int16_t exp) {
+  if (exp == kAllZeroBlock) return std::ldexp(rel_bound, -200);
+  return std::ldexp(rel_bound, exp);
+}
+
+std::uint32_t default_regression_edge(int nd) {
+  switch (nd) {
+    case 1:
+      return 128;
+    case 2:
+      return 12;
+    default:
+      return 6;
+  }
+}
+
+/// Hybrid-predictor plan (Predictor::kAuto): per regression-grid block, a
+/// choice bit and, for regression blocks, the nd+1 fitted plane
+/// coefficients (intercept, then one slope per axis, x fastest).
+template <typename T>
+struct RegPlan {
+  std::vector<std::uint8_t> use_reg;   // 1 per block
+  std::vector<T> coeffs;               // (nd+1) per regression block
+  std::vector<std::size_t> coeff_off;  // per block; SIZE_MAX if Lorenzo
+
+  bool regression_for(std::size_t block) const {
+    return !use_reg.empty() && use_reg[block] != 0;
+  }
+  double predict(std::size_t block, int nd, std::size_t lz, std::size_t ly,
+                 std::size_t lx) const {
+    const T* c = coeffs.data() + coeff_off[block];
+    double p = static_cast<double>(c[0]) +
+               static_cast<double>(c[1]) * static_cast<double>(lx);
+    if (nd >= 2) p += static_cast<double>(c[2]) * static_cast<double>(ly);
+    if (nd == 3) p += static_cast<double>(c[3]) * static_cast<double>(lz);
+    return p;
+  }
+
+  /// Rebuild coeff_off from use_reg (after deserialization).
+  void index(int nd) {
+    coeff_off.assign(use_reg.size(), SIZE_MAX);
+    std::size_t off = 0;
+    for (std::size_t b = 0; b < use_reg.size(); ++b)
+      if (use_reg[b]) {
+        coeff_off[b] = off;
+        off += static_cast<std::size_t>(nd) + 1;
+      }
+  }
+};
+
+/// Least-squares plane fit per block plus a sampled cost comparison against
+/// the Lorenzo predictor (both estimated on original values, as SZ 2.x
+/// does). Regression must beat Lorenzo by a margin covering its coefficient
+/// storage cost.
+template <typename T>
+RegPlan<T> build_regression_plan(std::span<const T> data, const Geometry& g) {
+  const int nd = g.dims.nd;
+  const std::size_t nz = nd == 3 ? g.dims[0] : 1;
+  const std::size_t ny = nd >= 2 ? g.dims[nd - 2] : 1;
+  const std::size_t nx = g.dims[nd - 1];
+  const std::size_t nblocks = g.num_blocks();
+
+  struct Acc {
+    double sum_v = 0, sum_vx = 0, sum_vy = 0, sum_vz = 0;
+    double n = 0;
+    double ex = 0, ey = 0, ez = 0;  // block extents (set later)
+  };
+  std::vector<Acc> acc(nblocks);
+
+  // Pass 1: moments for the fit. Local coordinates restart inside each
+  // block; a regular grid makes the axes uncorrelated, so each slope only
+  // needs its own axis moments.
+  std::size_t idx = 0;
+  for (std::size_t z = 0; z < nz; ++z)
+    for (std::size_t y = 0; y < ny; ++y)
+      for (std::size_t x = 0; x < nx; ++x, ++idx) {
+        std::size_t b = g.block_of(z, y, x);
+        double v = static_cast<double>(data[idx]);
+        Acc& a = acc[b];
+        a.sum_v += v;
+        a.sum_vx += v * static_cast<double>(x % g.edge);
+        a.sum_vy += v * static_cast<double>(y % g.edge);
+        a.sum_vz += v * static_cast<double>(z % g.edge);
+        a.n += 1;
+      }
+  // Block extents (edge, clipped at the domain boundary).
+  for (std::size_t bz = 0; bz < g.nbz; ++bz)
+    for (std::size_t by = 0; by < g.nby; ++by)
+      for (std::size_t bx = 0; bx < g.nbx; ++bx) {
+        std::size_t b = (bz * g.nby + by) * g.nbx + bx;
+        acc[b].ex = static_cast<double>(
+            std::min<std::size_t>(g.edge, nx - bx * g.edge));
+        acc[b].ey = nd >= 2 ? static_cast<double>(std::min<std::size_t>(
+                                  g.edge, ny - by * g.edge))
+                            : 1.0;
+        acc[b].ez = nd == 3 ? static_cast<double>(std::min<std::size_t>(
+                                  g.edge, nz - bz * g.edge))
+                            : 1.0;
+      }
+
+  // Closed-form slopes: b1 = cov(v, lx) / var(lx) with
+  // var(lx) = (ex^2 - 1) / 12 per point over a full axis.
+  auto fit = [&](const Acc& a, double coeffs_out[4]) {
+    double mean_x = (a.ex - 1) / 2, mean_y = (a.ey - 1) / 2,
+           mean_z = (a.ez - 1) / 2;
+    double var_x = (a.ex * a.ex - 1) / 12.0;
+    double var_y = (a.ey * a.ey - 1) / 12.0;
+    double var_z = (a.ez * a.ez - 1) / 12.0;
+    double mean_v = a.sum_v / a.n;
+    double b1 = var_x > 0 ? (a.sum_vx / a.n - mean_v * mean_x) / var_x : 0;
+    double b2 = var_y > 0 ? (a.sum_vy / a.n - mean_v * mean_y) / var_y : 0;
+    double b3 = var_z > 0 ? (a.sum_vz / a.n - mean_v * mean_z) / var_z : 0;
+    coeffs_out[0] = mean_v - b1 * mean_x - b2 * mean_y - b3 * mean_z;
+    coeffs_out[1] = b1;
+    coeffs_out[2] = b2;
+    coeffs_out[3] = b3;
+  };
+
+  std::vector<double> fitted(nblocks * 4);
+  for (std::size_t b = 0; b < nblocks; ++b)
+    fit(acc[b], fitted.data() + 4 * b);
+
+  // Pass 2: compare sampled absolute prediction errors. Lorenzo is
+  // estimated on original values (its compression-time accuracy is close
+  // for bounded errors).
+  std::vector<double> err_reg(nblocks, 0), err_lor(nblocks, 0);
+  idx = 0;
+  for (std::size_t z = 0; z < nz; ++z)
+    for (std::size_t y = 0; y < ny; ++y)
+      for (std::size_t x = 0; x < nx; ++x, ++idx) {
+        std::size_t b = g.block_of(z, y, x);
+        double v = static_cast<double>(data[idx]);
+        const double* c = fitted.data() + 4 * b;
+        double rp = c[0] + c[1] * static_cast<double>(x % g.edge) +
+                    c[2] * static_cast<double>(y % g.edge) +
+                    c[3] * static_cast<double>(z % g.edge);
+        err_reg[b] += std::abs(v - rp);
+        err_lor[b] += std::abs(v - lorenzo_predict(data.data(), g, z, y, x,
+                                                   idx));
+      }
+
+  RegPlan<T> plan;
+  plan.use_reg.resize(nblocks);
+  // In-sample regression error flatters the fit, and regression pays for
+  // its stored coefficients, so require a decisive win over Lorenzo.
+  for (std::size_t b = 0; b < nblocks; ++b)
+    plan.use_reg[b] =
+        std::isfinite(err_reg[b]) && err_reg[b] < 0.5 * err_lor[b] ? 1 : 0;
+  plan.coeff_off.assign(nblocks, SIZE_MAX);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    if (!plan.use_reg[b]) continue;
+    plan.coeff_off[b] = plan.coeffs.size();
+    const double* c = fitted.data() + 4 * b;
+    plan.coeffs.push_back(static_cast<T>(c[0]));
+    plan.coeffs.push_back(static_cast<T>(c[1]));
+    if (nd >= 2) plan.coeffs.push_back(static_cast<T>(c[2]));
+    if (nd == 3) plan.coeffs.push_back(static_cast<T>(c[3]));
+  }
+  return plan;
+}
+
+}  // namespace
+
+template <typename T>
+std::vector<std::uint8_t> compress(std::span<const T> data, Dims dims,
+                                   const Params& params) {
+  validate(params, dims);
+  if (data.size() != dims.count())
+    throw ParamError("sz: data size does not match dims");
+
+  Params p = params;
+  if (p.mode == Mode::kPwrBlock && p.block_edge == 0)
+    p.block_edge = default_block_edge(dims.nd);
+  Geometry g(dims, p.mode == Mode::kPwrBlock ? p.block_edge : 1);
+
+  std::vector<std::int16_t> exps;
+  if (p.mode == Mode::kPwrBlock) exps = block_exponents<T>(data, g);
+
+  const bool hybrid = p.predictor == Predictor::kAuto;
+  Geometry rg(dims, hybrid ? default_regression_edge(dims.nd) : 1);
+  RegPlan<T> reg;
+  if (hybrid) reg = build_regression_plan<T>(data, rg);
+
+  const std::uint32_t radius = p.quant_intervals / 2;
+  std::vector<std::uint32_t> codes(data.size());
+  std::vector<T> outliers;
+  std::vector<T> recon(data.size());
+
+  const std::size_t nz = dims.nd == 3 ? dims[0] : 1;
+  const std::size_t ny = dims.nd >= 2 ? dims[dims.nd - 2] : 1;
+  const std::size_t nx = dims[dims.nd - 1];
+
+  std::size_t idx = 0;
+  for (std::size_t z = 0; z < nz; ++z)
+    for (std::size_t y = 0; y < ny; ++y)
+      for (std::size_t x = 0; x < nx; ++x, ++idx) {
+        const double eb = p.mode == Mode::kPwrBlock
+                              ? block_bound(p.bound, exps[g.block_of(z, y, x)])
+                              : p.bound;
+        const double v = static_cast<double>(data[idx]);
+        double pred;
+        std::size_t rb = 0;
+        if (hybrid && (rb = rg.block_of(z, y, x), reg.regression_for(rb)))
+          pred = reg.predict(rb, dims.nd, z % rg.edge, y % rg.edge,
+                             x % rg.edge);
+        else
+          pred = lorenzo_predict(recon.data(), g, z, y, x, idx);
+        const double diff = v - pred;
+        const double threshold =
+            (static_cast<double>(radius) - 0.5) * 2.0 * eb;
+        bool predictable = std::abs(diff) < threshold;  // false for NaN too
+        if (predictable) {
+          auto q = static_cast<std::int64_t>(std::llround(diff / (2.0 * eb)));
+          T r = static_cast<T>(pred + 2.0 * eb * static_cast<double>(q));
+          if (std::abs(static_cast<double>(r) - v) <= eb) {
+            codes[idx] = static_cast<std::uint32_t>(
+                static_cast<std::int64_t>(radius) + q);
+            recon[idx] = r;
+            continue;
+          }
+        }
+        codes[idx] = 0;  // outlier marker
+        outliers.push_back(data[idx]);
+        recon[idx] = data[idx];
+      }
+
+  // Entropy stage: Huffman over the quantization codes, then optionally LZ.
+  HuffmanCoder huff;
+  huff.build_from(codes, p.quant_intervals);
+  BitWriter bw;
+  huff.write_table(bw);
+  for (auto c : codes) huff.encode(c, bw);
+  std::vector<std::uint8_t> coded = bw.take();
+  std::uint8_t lz_applied = sz_detail::maybe_lz(coded, p.lz_stage) ? 1 : 0;
+
+  ByteWriter out;
+  out.put(kMagic);
+  out.put(static_cast<std::uint8_t>(data_type_of<T>()));
+  out.put(static_cast<std::uint8_t>(dims.nd));
+  out.put(static_cast<std::uint8_t>(p.mode));
+  out.put(lz_applied);
+  out.put(static_cast<std::uint8_t>(p.predictor));
+  for (int i = 0; i < 3; ++i)
+    out.put(static_cast<std::uint64_t>(dims.d[static_cast<std::size_t>(i)]));
+  out.put(p.bound);
+  out.put(p.quant_intervals);
+  out.put(p.block_edge);
+
+  if (hybrid) {
+    out.put(static_cast<std::uint32_t>(rg.edge));
+    out.put_sized(lossless::compress(reg.use_reg));
+    out.put_sized(lossless::compress(
+        {reinterpret_cast<const std::uint8_t*>(reg.coeffs.data()),
+         reg.coeffs.size() * sizeof(T)}));
+  }
+
+  if (p.mode == Mode::kPwrBlock) {
+    auto exp_bytes = lossless::compress(
+        {reinterpret_cast<const std::uint8_t*>(exps.data()),
+         exps.size() * sizeof(std::int16_t)});
+    out.put_sized(exp_bytes);
+  }
+  out.put_sized(coded);
+  out.put_sized(
+      lossless::compress(sz_detail::encode_outliers(outliers)));
+  return out.take();
+}
+
+template <typename T>
+std::vector<T> decompress(std::span<const std::uint8_t> stream,
+                          Dims* dims_out) {
+  ByteReader in(stream);
+  if (in.get<std::uint32_t>() != kMagic)
+    throw StreamError("sz: bad magic");
+  auto dtype = static_cast<DataType>(in.get<std::uint8_t>());
+  if (dtype != data_type_of<T>())
+    throw StreamError("sz: stream data type does not match requested type");
+  int nd = in.get<std::uint8_t>();
+  auto mode = static_cast<Mode>(in.get<std::uint8_t>());
+  std::uint8_t lz_applied = in.get<std::uint8_t>();
+  auto predictor = static_cast<Predictor>(in.get<std::uint8_t>());
+  Dims dims;
+  dims.nd = nd;
+  for (int i = 0; i < 3; ++i)
+    dims.d[static_cast<std::size_t>(i)] =
+        static_cast<std::size_t>(in.get<std::uint64_t>());
+  dims.validate();
+  double bound = in.get<double>();
+  std::uint32_t intervals = in.get<std::uint32_t>();
+  std::uint32_t block_edge = in.get<std::uint32_t>();
+  if (dims_out) *dims_out = dims;
+
+  Geometry g(dims, mode == Mode::kPwrBlock ? block_edge : 1);
+
+  const bool hybrid = predictor == Predictor::kAuto;
+  std::uint32_t reg_edge = 1;
+  RegPlan<T> reg;
+  if (hybrid) {
+    reg_edge = in.get<std::uint32_t>();
+    if (reg_edge == 0) throw StreamError("sz: bad regression edge");
+    reg.use_reg = lossless::decompress(in.get_sized());
+    auto coeff_bytes = lossless::decompress(in.get_sized());
+    if (coeff_bytes.size() % sizeof(T) != 0)
+      throw StreamError("sz: regression coefficient size mismatch");
+    reg.coeffs.resize(coeff_bytes.size() / sizeof(T));
+    std::memcpy(reg.coeffs.data(), coeff_bytes.data(), coeff_bytes.size());
+    reg.index(nd);
+  }
+  Geometry rg(dims, hybrid ? reg_edge : 1);
+  if (hybrid && reg.use_reg.size() != rg.num_blocks())
+    throw StreamError("sz: regression plan size mismatch");
+  std::vector<std::int16_t> exps;
+  if (mode == Mode::kPwrBlock) {
+    auto exp_bytes = lossless::decompress(in.get_sized());
+    if (exp_bytes.size() != g.num_blocks() * sizeof(std::int16_t))
+      throw StreamError("sz: block exponent section size mismatch");
+    exps.resize(g.num_blocks());
+    std::memcpy(exps.data(), exp_bytes.data(), exp_bytes.size());
+  }
+
+  auto coded_span = in.get_sized();
+  std::vector<std::uint8_t> coded_store;
+  if (lz_applied) {
+    coded_store = lossless::decompress(coded_span);
+    coded_span = coded_store;
+  }
+  auto outlier_bytes = lossless::decompress(in.get_sized());
+  std::vector<T> outliers = sz_detail::decode_outliers<T>(outlier_bytes);
+
+  const std::size_t n = dims.count();
+  BitReader br(coded_span);
+  HuffmanCoder huff;
+  huff.read_table(br);
+
+  const std::uint32_t radius = intervals / 2;
+  std::vector<T> recon(n);
+  const std::size_t nz = dims.nd == 3 ? dims[0] : 1;
+  const std::size_t ny = dims.nd >= 2 ? dims[dims.nd - 2] : 1;
+  const std::size_t nx = dims[dims.nd - 1];
+  std::size_t outlier_next = 0;
+  std::size_t idx = 0;
+  for (std::size_t z = 0; z < nz; ++z)
+    for (std::size_t y = 0; y < ny; ++y)
+      for (std::size_t x = 0; x < nx; ++x, ++idx) {
+        std::uint32_t code = huff.decode(br);
+        if (code == 0) {
+          if (outlier_next >= outliers.size())
+            throw StreamError("sz: outlier stream exhausted");
+          recon[idx] = outliers[outlier_next++];
+          continue;
+        }
+        const double eb = mode == Mode::kPwrBlock
+                              ? block_bound(bound, exps[g.block_of(z, y, x)])
+                              : bound;
+        double pred;
+        std::size_t rb = 0;
+        if (hybrid && (rb = rg.block_of(z, y, x), reg.regression_for(rb)))
+          pred = reg.predict(rb, dims.nd, z % rg.edge, y % rg.edge,
+                             x % rg.edge);
+        else
+          pred = lorenzo_predict(recon.data(), g, z, y, x, idx);
+        auto q = static_cast<std::int64_t>(code) -
+                 static_cast<std::int64_t>(radius);
+        recon[idx] =
+            static_cast<T>(pred + 2.0 * eb * static_cast<double>(q));
+      }
+  if (outlier_next != outliers.size())
+    throw StreamError("sz: trailing outliers in stream");
+  return recon;
+}
+
+template std::vector<std::uint8_t> compress<float>(std::span<const float>,
+                                                   Dims, const Params&);
+template std::vector<std::uint8_t> compress<double>(std::span<const double>,
+                                                    Dims, const Params&);
+template std::vector<float> decompress<float>(std::span<const std::uint8_t>,
+                                              Dims*);
+template std::vector<double> decompress<double>(std::span<const std::uint8_t>,
+                                                Dims*);
+
+}  // namespace sz
+
+namespace sz_detail {
+
+bool maybe_lz(std::vector<std::uint8_t>& coded, bool enabled) {
+  if (!enabled || coded.size() <= 64) return false;
+  std::uint32_t hist[256] = {};
+  const std::size_t step = std::max<std::size_t>(1, coded.size() / 8192);
+  std::size_t samples = 0;
+  for (std::size_t i = 0; i < coded.size(); i += step, ++samples)
+    ++hist[coded[i]];
+  double entropy = 0;
+  for (std::uint32_t h : hist)
+    if (h) {
+      double f = static_cast<double>(h) / static_cast<double>(samples);
+      entropy -= f * std::log2(f);
+    }
+  if (entropy >= 7.2) return false;
+  auto squeezed = lossless::compress(coded);
+  if (squeezed.size() >= coded.size()) return false;
+  coded = std::move(squeezed);
+  return true;
+}
+
+}  // namespace sz_detail
+}  // namespace transpwr

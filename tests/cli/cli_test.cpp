@@ -1,0 +1,197 @@
+#include "cli/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "common/error.h"
+#include "data/io.h"
+
+namespace transpwr {
+namespace {
+
+std::string tmp(const std::string& name) {
+  return ::testing::TempDir() + "/transpwr_cli_" + name;
+}
+
+TEST(CliParse, DimsFormats) {
+  EXPECT_EQ(cli::parse_dims("1000000"), Dims(1000000));
+  EXPECT_EQ(cli::parse_dims("1800x3600"), Dims(1800, 3600));
+  EXPECT_EQ(cli::parse_dims("512x512x512"), Dims(512, 512, 512));
+  EXPECT_THROW(cli::parse_dims(""), ParamError);
+  EXPECT_THROW(cli::parse_dims("4x"), ParamError);
+  EXPECT_THROW(cli::parse_dims("4x4x4x4"), ParamError);
+  EXPECT_THROW(cli::parse_dims("abc"), ParamError);
+  EXPECT_THROW(cli::parse_dims("0x4"), ParamError);
+}
+
+TEST(CliParse, CompressArgs) {
+  auto a = cli::parse_args({"compress", "-s", "ZFP_T", "-b", "1e-4", "-d",
+                            "64x64x64", "--base", "10", "--threads", "3",
+                            "in.bin", "out.tpz"});
+  EXPECT_EQ(a.command, "compress");
+  EXPECT_EQ(a.scheme, Scheme::kZfpT);
+  EXPECT_DOUBLE_EQ(a.bound, 1e-4);
+  EXPECT_DOUBLE_EQ(a.log_base, 10.0);
+  EXPECT_EQ(a.threads, 3u);
+  EXPECT_EQ(a.input, "in.bin");
+  EXPECT_EQ(a.output, "out.tpz");
+  ASSERT_TRUE(a.dims.has_value());
+  EXPECT_EQ(*a.dims, Dims(64, 64, 64));
+}
+
+TEST(CliParse, Defaults) {
+  auto a = cli::parse_args({"compress", "-d", "100", "i", "o"});
+  EXPECT_EQ(a.scheme, Scheme::kSzT);
+  EXPECT_DOUBLE_EQ(a.bound, 1e-3);
+  EXPECT_EQ(a.dtype, DataType::kFloat32);
+}
+
+TEST(CliParse, Rejections) {
+  EXPECT_THROW(cli::parse_args({}), ParamError);
+  EXPECT_THROW(cli::parse_args({"frobnicate"}), ParamError);
+  EXPECT_THROW(cli::parse_args({"compress", "i", "o"}), ParamError);  // no -d
+  EXPECT_THROW(cli::parse_args({"compress", "-d", "10", "only_one"}),
+               ParamError);
+  EXPECT_THROW(cli::parse_args({"compress", "-d", "10", "-b"}), ParamError);
+  EXPECT_THROW(cli::parse_args({"compress", "-d", "10", "--wat", "i", "o"}),
+               ParamError);
+  EXPECT_THROW(cli::parse_args({"compress", "-d", "10", "-t", "f16", "i",
+                                "o"}),
+               ParamError);
+  EXPECT_THROW(cli::parse_args({"compress", "-d", "10", "-b", "-1", "i",
+                                "o"}),
+               ParamError);
+  EXPECT_THROW(cli::parse_args({"gen", "-d", "10", "-o", "x"}), ParamError);
+  EXPECT_THROW(cli::parse_args({"info"}), ParamError);
+}
+
+TEST(CliEndToEnd, GenCompressInfoDecompressEval) {
+  std::string raw = tmp("field.bin");
+  std::string packed = tmp("field.tpz");
+  std::string restored = tmp("field_out.bin");
+
+  // gen
+  auto g = cli::parse_args({"gen", "-w", "nyx", "-d", "24x24x24", "--seed",
+                            "7", "-o", raw});
+  ASSERT_EQ(cli::run(g), 0);
+
+  // compress
+  auto c = cli::parse_args({"compress", "-s", "SZ_T", "-b", "1e-2", "-d",
+                            "24x24x24", "--threads", "2", raw, packed});
+  ASSERT_EQ(cli::run(c), 0);
+  auto raw_bytes = io::read_bytes(raw);
+  auto packed_bytes = io::read_bytes(packed);
+  EXPECT_LT(packed_bytes.size(), raw_bytes.size());
+
+  // info
+  auto i = cli::parse_args({"info", packed});
+  EXPECT_EQ(cli::run(i), 0);
+
+  // decompress
+  auto d = cli::parse_args({"decompress", packed, restored});
+  ASSERT_EQ(cli::run(d), 0);
+
+  // eval: restored must be within the bound of the original
+  auto e = cli::parse_args({"eval", "-d", "24x24x24", "-b", "1e-2", raw,
+                            restored});
+  EXPECT_EQ(cli::run(e), 0);
+  auto orig = io::read_floats(raw);
+  auto dec = io::read_floats(restored);
+  ASSERT_EQ(orig.size(), dec.size());
+  for (std::size_t j = 0; j < orig.size(); ++j) {
+    if (orig[j] == 0.0f)
+      ASSERT_EQ(dec[j], 0.0f);
+    else
+      ASSERT_LE(std::abs(orig[j] - dec[j]), 1e-2 * std::abs(orig[j]));
+  }
+
+  std::remove(raw.c_str());
+  std::remove(packed.c_str());
+  std::remove(restored.c_str());
+}
+
+
+TEST(CliEndToEnd, SeriesRoundTrip) {
+  // Three evolving snapshots -> series container -> unseries -> verify.
+  std::string s0 = tmp("snap0.bin"), s1 = tmp("snap1.bin"),
+              s2 = tmp("snap2.bin");
+  std::string packed = tmp("series.tps");
+  std::string prefix = tmp("snap_out");
+
+  ASSERT_EQ(cli::run(cli::parse_args({"gen", "-w", "hurricane", "-d",
+                                      "8x24x24", "--seed", "3", "-o", s0})),
+            0);
+  // Derive two more steps by re-generating with nearby seeds (stand-in for
+  // simulation output files).
+  ASSERT_EQ(cli::run(cli::parse_args({"gen", "-w", "hurricane", "-d",
+                                      "8x24x24", "--seed", "3", "-o", s1})),
+            0);
+  ASSERT_EQ(cli::run(cli::parse_args({"gen", "-w", "hurricane", "-d",
+                                      "8x24x24", "--seed", "4", "-o", s2})),
+            0);
+
+  auto c = cli::parse_args({"series", "-d", "8x24x24", "-b", "1e-2", "-o",
+                            packed, s0, s1, s2});
+  ASSERT_EQ(cli::run(c), 0);
+  auto u = cli::parse_args({"unseries", packed, "-o", prefix});
+  ASSERT_EQ(cli::run(u), 0);
+
+  for (int t = 0; t < 3; ++t) {
+    char name[32];
+    std::snprintf(name, sizeof name, "_%03d.bin", t);
+    auto orig = io::read_floats(t == 0 ? s0 : t == 1 ? s1 : s2);
+    auto dec = io::read_floats(prefix + name);
+    ASSERT_EQ(orig.size(), dec.size());
+    for (std::size_t i = 0; i < orig.size(); ++i) {
+      if (orig[i] == 0.0f)
+        ASSERT_EQ(dec[i], 0.0f);
+      else
+        ASSERT_LE(std::abs(orig[i] - dec[i]), 1e-2 * std::abs(orig[i]));
+    }
+    std::remove((prefix + name).c_str());
+  }
+  std::remove(s0.c_str());
+  std::remove(s1.c_str());
+  std::remove(s2.c_str());
+  std::remove(packed.c_str());
+}
+
+TEST(CliParse, SeriesValidation) {
+  EXPECT_THROW(cli::parse_args({"series", "-d", "10", "-o", "x"}),
+               ParamError);  // no snapshots
+  EXPECT_THROW(cli::parse_args({"series", "-d", "10", "a", "b"}),
+               ParamError);  // no -o
+  EXPECT_THROW(cli::parse_args({"series", "-o", "x", "a"}),
+               ParamError);  // no dims
+  EXPECT_THROW(cli::parse_args({"unseries", "a", "b"}), ParamError);
+  auto ok = cli::parse_args({"series", "-d", "4x4", "-o", "out", "a", "b"});
+  EXPECT_EQ(ok.inputs.size(), 2u);
+}
+
+TEST(CliEndToEnd, InfoRejectsGarbage) {
+  std::string junk = tmp("junk.bin");
+  std::vector<std::uint8_t> bytes = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  io::write_bytes(junk, bytes);
+  auto i = cli::parse_args({"info", junk});
+  EXPECT_EQ(cli::run(i), 1);
+  std::remove(junk.c_str());
+}
+
+TEST(CliEndToEnd, CompressRejectsWrongSize) {
+  std::string raw = tmp("short.bin");
+  io::write_floats(raw, std::vector<float>(10, 1.0f));
+  auto c = cli::parse_args({"compress", "-d", "100", raw, tmp("x.tpz")});
+  EXPECT_THROW(cli::run(c), ParamError);
+  std::remove(raw.c_str());
+}
+
+TEST(CliEndToEnd, MainEntryReportsUsageOnError) {
+  const char* argv[] = {"transpwr", "bogus-command"};
+  EXPECT_EQ(cli::main_entry(2, argv), 2);
+}
+
+}  // namespace
+}  // namespace transpwr

@@ -1,0 +1,163 @@
+#include "common/bitstream.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace transpwr {
+namespace {
+
+TEST(BitStream, EmptyTake) {
+  BitWriter bw;
+  auto bytes = bw.take();
+  EXPECT_TRUE(bytes.empty());
+}
+
+TEST(BitStream, SingleBits) {
+  BitWriter bw;
+  bool pattern[] = {true, false, true, true, false, false, true, false, true};
+  for (bool b : pattern) bw.write_bit(b);
+  auto bytes = bw.take();
+  BitReader br(bytes);
+  for (bool b : pattern) EXPECT_EQ(br.read_bit(), b);
+}
+
+TEST(BitStream, FullWidthWrites) {
+  BitWriter bw;
+  bw.write_bits(0xdeadbeefcafebabeULL, 64);
+  bw.write_bits(0x12345678ULL, 32);
+  bw.write_bits(1, 1);
+  auto bytes = bw.take();
+  BitReader br(bytes);
+  EXPECT_EQ(br.read_bits(64), 0xdeadbeefcafebabeULL);
+  EXPECT_EQ(br.read_bits(32), 0x12345678ULL);
+  EXPECT_EQ(br.read_bits(1), 1u);
+}
+
+TEST(BitStream, ZeroWidthWriteIsNoop) {
+  BitWriter bw;
+  bw.write_bits(0xff, 0);
+  bw.write_bits(0x3, 2);
+  auto bytes = bw.take();
+  BitReader br(bytes);
+  EXPECT_EQ(br.read_bits(0), 0u);
+  EXPECT_EQ(br.read_bits(2), 3u);
+}
+
+TEST(BitStream, ValueMaskedToWidth) {
+  BitWriter bw;
+  bw.write_bits(0xffff, 4);  // only low 4 bits should be kept
+  bw.write_bits(0, 4);
+  auto bytes = bw.take();
+  BitReader br(bytes);
+  EXPECT_EQ(br.read_bits(4), 0xfu);
+  EXPECT_EQ(br.read_bits(4), 0u);
+}
+
+TEST(BitStream, BitCountTracksWrites) {
+  BitWriter bw;
+  EXPECT_EQ(bw.bit_count(), 0u);
+  bw.write_bits(1, 3);
+  EXPECT_EQ(bw.bit_count(), 3u);
+  bw.write_bits(0, 64);
+  EXPECT_EQ(bw.bit_count(), 67u);
+}
+
+TEST(BitStream, ReadPastEndThrows) {
+  BitWriter bw;
+  bw.write_bits(0x7, 3);
+  auto bytes = bw.take();  // padded to 1 byte
+  BitReader br(bytes);
+  br.read_bits(8);
+  EXPECT_THROW(br.read_bit(), StreamError);
+}
+
+TEST(BitStream, RemainingAndPos) {
+  BitWriter bw;
+  bw.write_bits(0xab, 8);
+  bw.write_bits(0xcd, 8);
+  auto bytes = bw.take();
+  BitReader br(bytes);
+  EXPECT_EQ(br.bits_remaining(), 16u);
+  br.read_bits(5);
+  EXPECT_EQ(br.bit_pos(), 5u);
+  EXPECT_EQ(br.bits_remaining(), 11u);
+}
+
+
+TEST(BitStream, PeekDoesNotAdvance) {
+  BitWriter bw;
+  bw.write_bits(0xabcd, 16);
+  auto bytes = bw.take();
+  BitReader br(bytes);
+  EXPECT_EQ(br.peek_bits(8), 0xcdu);
+  EXPECT_EQ(br.peek_bits(8), 0xcdu);  // unchanged
+  EXPECT_EQ(br.bit_pos(), 0u);
+  EXPECT_EQ(br.read_bits(16), 0xabcdu);
+}
+
+TEST(BitStream, PeekPastEndPadsZero) {
+  BitWriter bw;
+  bw.write_bits(0x7, 3);
+  auto bytes = bw.take();  // one byte: 0b00000111
+  BitReader br(bytes);
+  br.read_bits(8);
+  EXPECT_EQ(br.peek_bits(16), 0u);  // nothing left, zero padded
+}
+
+TEST(BitStream, SkipMatchesRead) {
+  BitWriter bw;
+  for (int i = 0; i < 100; ++i) bw.write_bits(static_cast<unsigned>(i), 7);
+  auto bytes = bw.take();
+  BitReader a(bytes), b(bytes);
+  a.read_bits(21);
+  b.skip_bits(21);
+  EXPECT_EQ(a.bit_pos(), b.bit_pos());
+  EXPECT_EQ(a.read_bits(7), b.read_bits(7));
+}
+
+TEST(BitStream, SkipPastEndThrows) {
+  BitWriter bw;
+  bw.write_bits(1, 8);
+  auto bytes = bw.take();
+  BitReader br(bytes);
+  EXPECT_THROW(br.skip_bits(9), StreamError);
+  EXPECT_NO_THROW(br.skip_bits(8));
+}
+
+TEST(BitStream, LargeSkipForRandomAccess) {
+  BitWriter bw;
+  for (int i = 0; i < 1000; ++i) bw.write_bits(static_cast<unsigned>(i), 32);
+  auto bytes = bw.take();
+  BitReader br(bytes);
+  br.skip_bits(32 * 777);
+  EXPECT_EQ(br.read_bits(32), 777u);
+}
+
+// Property: any random sequence of (value, width) writes reads back exactly.
+class BitStreamFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitStreamFuzz, RandomRoundTrip) {
+  Rng rng(GetParam());
+  std::vector<std::pair<std::uint64_t, unsigned>> ops;
+  BitWriter bw;
+  for (int i = 0; i < 5000; ++i) {
+    unsigned width = static_cast<unsigned>(rng.below(65));
+    std::uint64_t value = rng.next();
+    if (width < 64) value &= (std::uint64_t{1} << width) - 1;
+    ops.emplace_back(value, width);
+    bw.write_bits(value, width);
+  }
+  auto bytes = bw.take();
+  BitReader br(bytes);
+  for (auto [value, width] : ops) EXPECT_EQ(br.read_bits(width), value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitStreamFuzz,
+                         ::testing::Values(1, 2, 3, 7, 1337, 0xabcdef));
+
+}  // namespace
+}  // namespace transpwr

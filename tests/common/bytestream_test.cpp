@@ -1,0 +1,78 @@
+#include "common/bytestream.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/error.h"
+
+namespace transpwr {
+namespace {
+
+TEST(ByteStream, PodRoundTrip) {
+  ByteWriter bw;
+  bw.put<std::uint8_t>(0xab);
+  bw.put<std::uint32_t>(0xdeadbeef);
+  bw.put<std::uint64_t>(0x0123456789abcdefULL);
+  bw.put<double>(3.25);
+  bw.put<float>(-1.5f);
+  auto bytes = bw.take();
+
+  ByteReader br(bytes);
+  EXPECT_EQ(br.get<std::uint8_t>(), 0xab);
+  EXPECT_EQ(br.get<std::uint32_t>(), 0xdeadbeefu);
+  EXPECT_EQ(br.get<std::uint64_t>(), 0x0123456789abcdefULL);
+  EXPECT_EQ(br.get<double>(), 3.25);
+  EXPECT_EQ(br.get<float>(), -1.5f);
+  EXPECT_EQ(br.remaining(), 0u);
+}
+
+TEST(ByteStream, SizedSections) {
+  ByteWriter bw;
+  std::vector<std::uint8_t> a = {1, 2, 3};
+  std::vector<std::uint8_t> empty;
+  std::vector<std::uint8_t> b = {9};
+  bw.put_sized(a);
+  bw.put_sized(empty);
+  bw.put_sized(b);
+  auto bytes = bw.take();
+
+  ByteReader br(bytes);
+  auto sa = br.get_sized();
+  ASSERT_EQ(sa.size(), 3u);
+  EXPECT_EQ(sa[2], 3);
+  EXPECT_EQ(br.get_sized().size(), 0u);
+  auto sb = br.get_sized();
+  ASSERT_EQ(sb.size(), 1u);
+  EXPECT_EQ(sb[0], 9);
+}
+
+TEST(ByteStream, TruncatedReadThrows) {
+  ByteWriter bw;
+  bw.put<std::uint16_t>(7);
+  auto bytes = bw.take();
+  ByteReader br(bytes);
+  EXPECT_THROW(br.get<std::uint32_t>(), StreamError);
+}
+
+TEST(ByteStream, TruncatedSizedSectionThrows) {
+  ByteWriter bw;
+  bw.put<std::uint64_t>(100);  // claims 100 bytes but has none
+  auto bytes = bw.take();
+  ByteReader br(bytes);
+  EXPECT_THROW(br.get_sized(), StreamError);
+}
+
+TEST(ByteStream, PosTracksReads) {
+  ByteWriter bw;
+  bw.put<std::uint32_t>(1);
+  bw.put<std::uint32_t>(2);
+  auto bytes = bw.take();
+  ByteReader br(bytes);
+  EXPECT_EQ(br.pos(), 0u);
+  br.get<std::uint32_t>();
+  EXPECT_EQ(br.pos(), 4u);
+}
+
+}  // namespace
+}  // namespace transpwr

@@ -1,0 +1,51 @@
+#include "common/types.h"
+
+#include <gtest/gtest.h>
+
+namespace transpwr {
+namespace {
+
+TEST(Dims, CountsPerDimensionality) {
+  EXPECT_EQ(Dims(10).count(), 10u);
+  EXPECT_EQ(Dims(3, 4).count(), 12u);
+  EXPECT_EQ(Dims(2, 3, 4).count(), 24u);
+}
+
+TEST(Dims, ToString) {
+  EXPECT_EQ(Dims(10).to_string(), "10");
+  EXPECT_EQ(Dims(3, 4).to_string(), "3x4");
+  EXPECT_EQ(Dims(2, 3, 4).to_string(), "2x3x4");
+}
+
+TEST(Dims, ValidateRejectsZeroSizes) {
+  Dims d(0);
+  EXPECT_THROW(d.validate(), ParamError);
+  Dims d2(3, 0);
+  EXPECT_THROW(d2.validate(), ParamError);
+  Dims d3(1, 2, 3);
+  EXPECT_NO_THROW(d3.validate());
+}
+
+TEST(Dims, ValidateRejectsBadNd) {
+  Dims d;
+  d.nd = 4;
+  EXPECT_THROW(d.validate(), ParamError);
+  d.nd = 0;
+  EXPECT_THROW(d.validate(), ParamError);
+}
+
+TEST(Dims, Equality) {
+  EXPECT_EQ(Dims(4, 5), Dims(4, 5));
+  EXPECT_FALSE(Dims(4, 5) == Dims(5, 4));
+  EXPECT_FALSE(Dims(20) == Dims(4, 5));
+}
+
+TEST(DataTypes, SizesAndMapping) {
+  EXPECT_EQ(size_of(DataType::kFloat32), 4u);
+  EXPECT_EQ(size_of(DataType::kFloat64), 8u);
+  EXPECT_EQ(data_type_of<float>(), DataType::kFloat32);
+  EXPECT_EQ(data_type_of<double>(), DataType::kFloat64);
+}
+
+}  // namespace
+}  // namespace transpwr

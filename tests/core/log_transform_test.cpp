@@ -1,0 +1,194 @@
+#include "core/log_transform.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace transpwr {
+namespace {
+
+constexpr double kE = 2.718281828459045;
+
+TEST(BoundForward, Theorem2Mapping) {
+  // b_a = log_base(1 + b_r)
+  EXPECT_NEAR(bound_forward(1.0, 2.0), 1.0, 1e-12);
+  EXPECT_NEAR(bound_forward(0.1, 2.0), std::log2(1.1), 1e-12);
+  EXPECT_NEAR(bound_forward(0.01, 10.0), std::log10(1.01), 1e-12);
+  EXPECT_NEAR(bound_forward(0.5, kE), std::log(1.5), 1e-12);
+  EXPECT_THROW(bound_forward(0.0, 2.0), ParamError);
+  EXPECT_THROW(bound_forward(0.1, 1.0), ParamError);
+}
+
+TEST(LogForward, MapsMagnitudesToLogs) {
+  std::vector<float> data = {1.0f, 2.0f, 4.0f, 0.5f};
+  auto r = log_forward<float>(data, 1e-3, 2.0);
+  EXPECT_NEAR(r.mapped[0], 0.0, 1e-6);
+  EXPECT_NEAR(r.mapped[1], 1.0, 1e-6);
+  EXPECT_NEAR(r.mapped[2], 2.0, 1e-6);
+  EXPECT_NEAR(r.mapped[3], -1.0, 1e-6);
+  EXPECT_TRUE(r.negative.empty());
+  EXPECT_FALSE(r.has_zeros);
+}
+
+TEST(LogForward, AdjustedBoundMatchesLemma2) {
+  std::vector<float> data = {2.0f, 1024.0f};
+  const double br = 1e-2;
+  auto r = log_forward<float>(data, br, 2.0);
+  double eps0 = std::numeric_limits<float>::epsilon();
+  // b'_a = log2(1 + br_eff) - max|log2 x| * eps0, max|log2 x| = 10.
+  EXPECT_NEAR(r.max_abs_log, 10.0, 1e-9);
+  EXPECT_LT(r.adjusted_abs_bound, std::log2(1.0 + br));
+  EXPECT_NEAR(r.adjusted_abs_bound, std::log2(1.0 + br) - 10.0 * eps0,
+              1e-6 * std::log2(1.0 + br));
+}
+
+TEST(LogForward, SignBitmapForMixedSigns) {
+  std::vector<float> data = {1.0f, -2.0f, 3.0f, -4.0f};
+  auto r = log_forward<float>(data, 1e-3, 2.0);
+  ASSERT_EQ(r.negative.size(), 4u);
+  EXPECT_FALSE(r.negative[0]);
+  EXPECT_TRUE(r.negative[1]);
+  EXPECT_FALSE(r.negative[2]);
+  EXPECT_TRUE(r.negative[3]);
+  // Magnitudes mapped regardless of sign.
+  EXPECT_NEAR(r.mapped[1], 1.0, 1e-6);
+  EXPECT_NEAR(r.mapped[3], 2.0, 1e-6);
+}
+
+TEST(LogForward, ZerosGetSentinelBelowThreshold) {
+  std::vector<float> data = {0.0f, 1.0f};
+  auto r = log_forward<float>(data, 1e-2, 2.0);
+  EXPECT_TRUE(r.has_zeros);
+  EXPECT_LT(static_cast<double>(r.mapped[0]),
+            r.zero_threshold - 0.9 * r.adjusted_abs_bound);
+  // Even after a worst-case inner-codec perturbation of b'_a the sentinel
+  // must stay below the threshold.
+  EXPECT_LT(static_cast<double>(r.mapped[0]) + r.adjusted_abs_bound,
+            r.zero_threshold);
+}
+
+TEST(LogInverse, ExactIdentityWithoutPerturbation) {
+  Rng rng(1);
+  std::vector<float> data(1000);
+  for (auto& v : data)
+    v = static_cast<float>(std::pow(10.0, rng.uniform(-20, 20)) *
+                           (rng.uniform() < 0.5 ? -1 : 1));
+  data[0] = 0.0f;
+  data[17] = 0.0f;
+  const double br = 1e-3;
+  for (double base : {2.0, kE, 10.0}) {
+    SCOPED_TRACE(base);
+    auto r = log_forward<float>(data, br, base);
+    auto back = log_inverse<float>(r.mapped, r.negative, base,
+                                   r.zero_threshold);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (data[i] == 0.0f) {
+        ASSERT_EQ(back[i], 0.0f);
+      } else {
+        ASSERT_LE(std::abs(back[i] - data[i]), br * std::abs(data[i])) << i;
+        ASSERT_EQ(std::signbit(back[i]), std::signbit(data[i]));
+      }
+    }
+  }
+}
+
+TEST(LogInverse, BoundHeldUnderWorstCasePerturbation) {
+  // Theorem 1 end-to-end: perturb every mapped value by ±b'_a (the inner
+  // codec's worst case) and verify the relative bound still holds.
+  Rng rng(2);
+  std::vector<float> data(2000);
+  for (auto& v : data)
+    v = static_cast<float>(std::pow(10.0, rng.uniform(-30, 30)) *
+                           (rng.uniform() < 0.5 ? -1 : 1));
+  for (double br : {1e-4, 1e-3, 1e-2, 1e-1}) {
+    SCOPED_TRACE(br);
+    auto r = log_forward<float>(data, br, 2.0);
+    std::vector<float> perturbed(r.mapped);
+    for (std::size_t i = 0; i < perturbed.size(); ++i) {
+      double delta = (i % 2 ? 1.0 : -1.0) * r.adjusted_abs_bound;
+      perturbed[i] = static_cast<float>(perturbed[i] + delta);
+    }
+    auto back =
+        log_inverse<float>(perturbed, r.negative, 2.0, r.zero_threshold);
+    for (std::size_t i = 0; i < data.size(); ++i)
+      ASSERT_LE(std::abs(back[i] - data[i]), br * std::abs(data[i]))
+          << "i=" << i << " x=" << data[i];
+  }
+}
+
+TEST(LogInverse, ZeroSurvivesWorstCasePerturbation) {
+  std::vector<float> data = {0.0f, 5.0f, 0.0f};
+  auto r = log_forward<float>(data, 1e-3, 2.0);
+  std::vector<float> perturbed(r.mapped);
+  perturbed[0] = static_cast<float>(perturbed[0] + r.adjusted_abs_bound);
+  perturbed[2] = static_cast<float>(perturbed[2] - r.adjusted_abs_bound);
+  auto back = log_inverse<float>(perturbed, r.negative, 2.0,
+                                 r.zero_threshold);
+  EXPECT_EQ(back[0], 0.0f);
+  EXPECT_EQ(back[2], 0.0f);
+}
+
+TEST(LogForward, RejectsInvalidInput) {
+  std::vector<float> nan_data = {1.0f,
+                                 std::numeric_limits<float>::quiet_NaN()};
+  EXPECT_THROW(log_forward<float>(nan_data, 1e-3, 2.0), ParamError);
+  std::vector<float> inf_data = {std::numeric_limits<float>::infinity()};
+  EXPECT_THROW(log_forward<float>(inf_data, 1e-3, 2.0), ParamError);
+  std::vector<float> ok = {1.0f};
+  EXPECT_THROW(log_forward<float>(ok, 0.0, 2.0), ParamError);
+  EXPECT_THROW(log_forward<float>(ok, 1.5, 2.0), ParamError);
+  EXPECT_THROW(log_forward<float>(ok, 1e-3, 0.5), ParamError);
+}
+
+TEST(LogForward, TooTightBoundForFloatThrows) {
+  // With max|log2 x| ~ 127 and float epsilon 1.2e-7, br below ~1.5e-5 * ...
+  // cannot be guaranteed once the guard exceeds log2(1+br).
+  std::vector<float> data = {1e38f, 1e-38f};
+  EXPECT_THROW(log_forward<float>(data, 1e-8, 2.0), ParamError);
+  // The same bound is fine for double.
+  std::vector<double> ddata = {1e38, 1e-38};
+  EXPECT_NO_THROW(log_forward<double>(ddata, 1e-8, 2.0));
+}
+
+TEST(LogForward, DoubleRoundTripTightBound) {
+  Rng rng(3);
+  std::vector<double> data(500);
+  for (auto& v : data) v = std::pow(10.0, rng.uniform(-100, 100));
+  const double br = 1e-9;
+  auto r = log_forward<double>(data, br, 2.0);
+  std::vector<double> perturbed(r.mapped);
+  for (std::size_t i = 0; i < perturbed.size(); ++i)
+    perturbed[i] += (i % 2 ? 1.0 : -1.0) * r.adjusted_abs_bound;
+  auto back = log_inverse<double>(perturbed, r.negative, 2.0,
+                                  r.zero_threshold);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    ASSERT_LE(std::abs(back[i] - data[i]), br * std::abs(data[i]));
+}
+
+TEST(LogTransform, BasesGiveEquivalentQuantizationIndices) {
+  // Lemma 3: q = log_{1+br} (x1/x0) regardless of base. Check the mapped
+  // differences divided by the mapped bound are base-independent.
+  std::vector<float> data = {3.7f, 9.1f, 0.002f, 512.0f};
+  const double br = 1e-2;
+  auto r2 = log_forward<float>(data, br, 2.0);
+  auto re = log_forward<float>(data, br, kE);
+  auto r10 = log_forward<float>(data, br, 10.0);
+  for (std::size_t i = 1; i < data.size(); ++i) {
+    double q2 = (static_cast<double>(r2.mapped[i]) - r2.mapped[i - 1]) /
+                bound_forward(br, 2.0);
+    double qe = (static_cast<double>(re.mapped[i]) - re.mapped[i - 1]) /
+                bound_forward(br, kE);
+    double q10 = (static_cast<double>(r10.mapped[i]) - r10.mapped[i - 1]) /
+                 bound_forward(br, 10.0);
+    EXPECT_NEAR(q2, qe, 1e-3 * std::abs(q2) + 1e-6);
+    EXPECT_NEAR(q2, q10, 1e-3 * std::abs(q2) + 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace transpwr

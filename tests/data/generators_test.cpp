@@ -1,0 +1,215 @@
+#include "data/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.h"
+#include "data/io.h"
+
+namespace transpwr {
+namespace {
+
+TEST(Generators, DmdIsDeterministic) {
+  auto a = gen::nyx_dark_matter_density(Dims(16, 16, 16), 7);
+  auto b = gen::nyx_dark_matter_density(Dims(16, 16, 16), 7);
+  EXPECT_EQ(a.values, b.values);
+  auto c = gen::nyx_dark_matter_density(Dims(16, 16, 16), 8);
+  EXPECT_NE(a.values, c.values);
+}
+
+TEST(Generators, DmdMatchesDocumentedDistribution) {
+  auto f = gen::nyx_dark_matter_density(Dims(48, 48, 48), 42);
+  std::size_t in_unit = 0, zeros = 0;
+  float vmax = 0;
+  for (float v : f.values) {
+    ASSERT_GE(v, 0.0f);
+    if (v <= 1.0f) ++in_unit;
+    if (v == 0.0f) ++zeros;
+    vmax = std::max(vmax, v);
+  }
+  double frac = static_cast<double>(in_unit) /
+                static_cast<double>(f.values.size());
+  // Paper: "a large majority (84%) of its data is distributed in [0, 1]".
+  EXPECT_GT(frac, 0.6);
+  EXPECT_LT(frac, 0.97);
+  EXPECT_GT(zeros, 0u) << "dmd must contain exact zeros";
+  EXPECT_LE(vmax, 1.4e4f);
+  EXPECT_GT(vmax, 10.0f) << "heavy tail expected";
+}
+
+TEST(Generators, NyxVelocityIsSignedAndLarge) {
+  auto f = gen::nyx_velocity(Dims(32, 32, 32), 3);
+  bool any_neg = false, any_pos = false;
+  float amax = 0;
+  for (float v : f.values) {
+    any_neg |= v < 0;
+    any_pos |= v > 0;
+    amax = std::max(amax, std::abs(v));
+  }
+  EXPECT_TRUE(any_neg);
+  EXPECT_TRUE(any_pos);
+  EXPECT_GT(amax, 1e5f);
+}
+
+TEST(Generators, HaccVelocityIsSpiky) {
+  auto f = gen::hacc_velocity(1 << 16, 11);
+  ASSERT_EQ(f.values.size(), std::size_t{1} << 16);
+  // Mean |delta| between neighbors should be a large fraction of the std —
+  // the "sharply varying" property the paper attributes to HACC.
+  double sum_delta = 0, sum_sq = 0, sum = 0;
+  for (std::size_t i = 0; i < f.values.size(); ++i) {
+    sum += f.values[i];
+    sum_sq += static_cast<double>(f.values[i]) * f.values[i];
+    if (i) sum_delta += std::abs(f.values[i] - f.values[i - 1]);
+  }
+  double n = static_cast<double>(f.values.size());
+  double std_dev = std::sqrt(sum_sq / n - (sum / n) * (sum / n));
+  double mean_delta = sum_delta / (n - 1);
+  EXPECT_GT(mean_delta, 0.2 * std_dev);
+}
+
+TEST(Generators, CesmCloudFractionRangeAndZeros) {
+  auto f = gen::cesm_cloud_fraction(Dims(128, 256), 5);
+  std::size_t zeros = 0;
+  for (float v : f.values) {
+    ASSERT_GE(v, 0.0f);
+    ASSERT_LE(v, 1.0f);
+    if (v == 0.0f) ++zeros;
+  }
+  EXPECT_GT(zeros, f.values.size() / 100) << "clear-sky zero regions";
+}
+
+TEST(Generators, CesmFluxIsSigned) {
+  auto f = gen::cesm_flux(Dims(64, 128), 6);
+  bool any_neg = false, any_pos = false;
+  for (float v : f.values) {
+    any_neg |= v < 0;
+    any_pos |= v > 0;
+  }
+  EXPECT_TRUE(any_neg && any_pos);
+}
+
+
+TEST(Generators, CesmTemperatureIsPhysical) {
+  auto f = gen::cesm_temperature(Dims(96, 192), 11);
+  float vmin = 1e9f, vmax = -1e9f;
+  for (float v : f.values) {
+    vmin = std::min(vmin, v);
+    vmax = std::max(vmax, v);
+  }
+  EXPECT_GT(vmin, 180.0f);  // Kelvin, above any terrestrial minimum
+  EXPECT_LT(vmax, 340.0f);
+  EXPECT_GT(vmax - vmin, 20.0f);  // real latitudinal contrast
+}
+
+TEST(Generators, CesmPrecipitationIsSparseAndHeavyTailed) {
+  auto f = gen::cesm_precipitation(Dims(96, 192), 12);
+  std::size_t zeros = 0;
+  float vmax = 0;
+  for (float v : f.values) {
+    ASSERT_GE(v, 0.0f);
+    if (v == 0.0f) ++zeros;
+    vmax = std::max(vmax, v);
+  }
+  EXPECT_GT(zeros, f.values.size() / 3) << "dry cells dominate";
+  EXPECT_GT(vmax, 1e-8f) << "convective tail present";
+}
+
+TEST(Generators, CesmWindHasJetStructure) {
+  auto f = gen::cesm_wind(Dims(96, 192), 13);
+  bool any_strong_west = false, any_east = false;
+  for (float v : f.values) {
+    any_strong_west |= v > 15.0f;
+    any_east |= v < -10.0f;
+  }
+  EXPECT_TRUE(any_strong_west && any_east);
+}
+
+TEST(Generators, HurricaneWindHasVortexStructure) {
+  auto f = gen::hurricane_wind(Dims(8, 64, 64), 9);
+  float amax = 0;
+  bool any_neg = false;
+  for (float v : f.values) {
+    amax = std::max(amax, std::abs(v));
+    any_neg |= v < 0;
+  }
+  EXPECT_GT(amax, 30.0f);  // hurricane-strength winds
+  EXPECT_TRUE(any_neg);
+}
+
+TEST(Generators, HurricaneCloudZerosAndScale) {
+  auto f = gen::hurricane_cloud(Dims(8, 64, 64), 10);
+  std::size_t zeros = 0;
+  float vmax = 0;
+  for (float v : f.values) {
+    ASSERT_GE(v, 0.0f);
+    if (v == 0.0f) ++zeros;
+    vmax = std::max(vmax, v);
+  }
+  EXPECT_GT(zeros, f.values.size() / 4) << "cloud-free cells";
+  EXPECT_LT(vmax, 0.1f) << "mixing-ratio scale";
+}
+
+TEST(Generators, BundlesMatchPaperTableOne) {
+  auto hacc = gen::hacc_bundle(gen::Scale::kTiny, 1);
+  EXPECT_EQ(hacc.size(), 3u);  // velocity_x/y/z
+  for (const auto& f : hacc) EXPECT_EQ(f.dims.nd, 1);
+
+  auto cesm = gen::cesm_bundle(gen::Scale::kTiny, 1);
+  EXPECT_GE(cesm.size(), 8u);
+  for (const auto& f : cesm) EXPECT_EQ(f.dims.nd, 2);
+
+  auto nyx = gen::nyx_bundle(gen::Scale::kTiny, 1);
+  EXPECT_GE(nyx.size(), 4u);
+  for (const auto& f : nyx) EXPECT_EQ(f.dims.nd, 3);
+
+  auto hur = gen::hurricane_bundle(gen::Scale::kTiny, 1);
+  EXPECT_GE(hur.size(), 3u);
+  for (const auto& f : hur) EXPECT_EQ(f.dims.nd, 3);
+}
+
+TEST(Generators, ScalesAreOrdered) {
+  auto tiny = gen::nyx_bundle(gen::Scale::kTiny, 1);
+  auto small = gen::nyx_bundle(gen::Scale::kSmall, 1);
+  EXPECT_LT(tiny[0].values.size(), small[0].values.size());
+}
+
+TEST(Io, FloatRoundTrip) {
+  std::string path = ::testing::TempDir() + "/transpwr_io_test.bin";
+  std::vector<float> data = {1.5f, -2.25f, 0.0f, 1e30f};
+  io::write_floats(path, data);
+  EXPECT_EQ(io::read_floats(path), data);
+  std::remove(path.c_str());
+}
+
+TEST(Io, MissingFileThrows) {
+  EXPECT_THROW(io::read_bytes("/nonexistent/definitely/missing.bin"),
+               StreamError);
+}
+
+TEST(Io, PgmWriteProducesValidHeader) {
+  std::string path = ::testing::TempDir() + "/transpwr_test.pgm";
+  std::vector<float> img(64 * 32);
+  for (std::size_t i = 0; i < img.size(); ++i)
+    img[i] = static_cast<float>(i % 64) / 64.0f;
+  io::write_pgm(path, 64, 32, img, 0.0f, 1.0f);
+  auto bytes = io::read_bytes(path);
+  ASSERT_GT(bytes.size(), 15u);
+  EXPECT_EQ(bytes[0], 'P');
+  EXPECT_EQ(bytes[1], '5');
+  // payload must be width*height bytes after the header
+  std::string header(bytes.begin(), bytes.begin() + 15);
+  EXPECT_NE(header.find("64 32"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Io, PgmSizeMismatchThrows) {
+  std::vector<float> img(10);
+  EXPECT_THROW(io::write_pgm("/tmp/x.pgm", 4, 4, img, 0, 1), ParamError);
+}
+
+}  // namespace
+}  // namespace transpwr

@@ -1,0 +1,196 @@
+#include "lossless/huffman.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace transpwr {
+namespace {
+
+std::vector<std::uint8_t> encode_all(HuffmanCoder& coder,
+                                     const std::vector<std::uint32_t>& syms) {
+  BitWriter bw;
+  coder.write_table(bw);
+  for (auto s : syms) coder.encode(s, bw);
+  return bw.take();
+}
+
+std::vector<std::uint32_t> decode_all(std::span<const std::uint8_t> bytes,
+                                      std::size_t count) {
+  BitReader br(bytes);
+  HuffmanCoder coder;
+  coder.read_table(br);
+  std::vector<std::uint32_t> out(count);
+  for (auto& s : out) s = coder.decode(br);
+  return out;
+}
+
+TEST(Huffman, RoundTripSmallAlphabet) {
+  std::vector<std::uint32_t> syms = {0, 1, 2, 1, 0, 0, 3, 2, 1, 0, 0, 0};
+  HuffmanCoder coder;
+  coder.build_from(syms, 4);
+  auto bytes = encode_all(coder, syms);
+  EXPECT_EQ(decode_all(bytes, syms.size()), syms);
+}
+
+TEST(Huffman, SingleSymbolAlphabet) {
+  std::vector<std::uint32_t> syms(100, 5);
+  HuffmanCoder coder;
+  coder.build_from(syms, 10);
+  EXPECT_EQ(coder.code_length(5), 1u);
+  auto bytes = encode_all(coder, syms);
+  EXPECT_EQ(decode_all(bytes, syms.size()), syms);
+}
+
+TEST(Huffman, EmptyInputProducesEmptyTable) {
+  HuffmanCoder coder;
+  coder.build_from({}, 16);
+  BitWriter bw;
+  coder.write_table(bw);
+  auto bytes = bw.take();
+  BitReader br(bytes);
+  HuffmanCoder decoder;
+  decoder.read_table(br);
+  EXPECT_EQ(decoder.alphabet_size(), 16u);
+}
+
+TEST(Huffman, SkewedDistributionGetsShortCodesForFrequent) {
+  std::vector<std::uint64_t> freq(256, 0);
+  freq[0] = 1000000;
+  freq[1] = 10;
+  freq[200] = 1;
+  HuffmanCoder coder;
+  coder.build(freq);
+  EXPECT_LT(coder.code_length(0), coder.code_length(200));
+  EXPECT_LE(coder.code_length(0), 2u);
+}
+
+TEST(Huffman, CompressionBeatsRawForSkewedData) {
+  Rng rng(3);
+  std::vector<std::uint32_t> syms(20000);
+  for (auto& s : syms)
+    s = rng.uniform() < 0.95 ? 0 : static_cast<std::uint32_t>(rng.below(256));
+  HuffmanCoder coder;
+  coder.build_from(syms, 256);
+  auto bytes = encode_all(coder, syms);
+  // Raw would be 1 byte per symbol.
+  EXPECT_LT(bytes.size(), syms.size() / 2);
+  EXPECT_EQ(decode_all(bytes, syms.size()), syms);
+}
+
+TEST(Huffman, LargeAlphabetRoundTrip) {
+  // SZ-style: 2^16 symbol alphabet, concentrated around the center.
+  Rng rng(17);
+  const std::uint32_t alphabet = 1u << 16;
+  std::vector<std::uint32_t> syms(50000);
+  for (auto& s : syms) {
+    double g = rng.normal() * 40.0 + 32768.0;
+    s = static_cast<std::uint32_t>(
+        std::clamp(g, 0.0, static_cast<double>(alphabet - 1)));
+  }
+  HuffmanCoder coder;
+  coder.build_from(syms, alphabet);
+  auto bytes = encode_all(coder, syms);
+  EXPECT_EQ(decode_all(bytes, syms.size()), syms);
+}
+
+TEST(Huffman, UniformDistributionStaysNearLog2N) {
+  Rng rng(11);
+  std::vector<std::uint32_t> syms(64 * 500);
+  for (auto& s : syms) s = static_cast<std::uint32_t>(rng.below(64));
+  HuffmanCoder coder;
+  coder.build_from(syms, 64);
+  for (std::uint32_t s = 0; s < 64; ++s) {
+    EXPECT_GE(coder.code_length(s), 5u);
+    EXPECT_LE(coder.code_length(s), 8u);
+  }
+}
+
+TEST(Huffman, EncodingUnknownSymbolThrows) {
+  std::vector<std::uint32_t> syms = {1, 2, 1};
+  HuffmanCoder coder;
+  coder.build_from(syms, 8);
+  BitWriter bw;
+  EXPECT_THROW(coder.encode(5, bw), ParamError);   // no code assigned
+  EXPECT_THROW(coder.encode(100, bw), ParamError);  // out of alphabet
+}
+
+TEST(Huffman, OutOfRangeSymbolInBuildThrows) {
+  std::vector<std::uint32_t> syms = {1, 2, 9};
+  HuffmanCoder coder;
+  EXPECT_THROW(coder.build_from(syms, 8), ParamError);
+}
+
+TEST(Huffman, KraftInequalityHolds) {
+  Rng rng(23);
+  std::vector<std::uint64_t> freq(1000);
+  for (auto& f : freq) f = rng.below(10000);
+  HuffmanCoder coder;
+  coder.build(freq);
+  double kraft = 0;
+  for (std::uint32_t s = 0; s < 1000; ++s)
+    if (coder.code_length(s))
+      kraft += std::ldexp(1.0, -static_cast<int>(coder.code_length(s)));
+  EXPECT_LE(kraft, 1.0 + 1e-12);
+}
+
+
+TEST(Huffman, FastTableFallsBackForLongCodes) {
+  // A power-law frequency profile yields codes well past the 12-bit fast
+  // table; decoding must still be exact through the slow path.
+  std::vector<std::uint64_t> freq(600);
+  std::uint64_t f = 1;
+  for (std::size_t s = 0; s < freq.size(); ++s) {
+    freq[s] = f;
+    if (s % 30 == 29 && f < (1ULL << 40)) f *= 2;
+  }
+  HuffmanCoder coder;
+  coder.build(freq);
+  unsigned max_len = 0;
+  for (std::uint32_t s = 0; s < freq.size(); ++s)
+    max_len = std::max(max_len, coder.code_length(s));
+  ASSERT_GT(max_len, 12u) << "test needs codes longer than the fast table";
+
+  Rng rng(31);
+  std::vector<std::uint32_t> syms(20000);
+  for (auto& s : syms) s = static_cast<std::uint32_t>(rng.below(600));
+  auto bytes = encode_all(coder, syms);
+  EXPECT_EQ(decode_all(bytes, syms.size()), syms);
+}
+
+TEST(Huffman, DecodeNearStreamEndUsesSlowPathSafely) {
+  // Fewer than 12 bits remain for the last symbols; the fast path must not
+  // read past the end.
+  std::vector<std::uint32_t> syms = {0, 1, 0, 1, 0, 1, 1};
+  HuffmanCoder coder;
+  coder.build_from(syms, 2);  // 1-bit codes
+  auto bytes = encode_all(coder, syms);
+  EXPECT_EQ(decode_all(bytes, syms.size()), syms);
+}
+
+class HuffmanFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HuffmanFuzz, RandomRoundTrip) {
+  Rng rng(GetParam());
+  std::uint32_t alphabet = 2 + static_cast<std::uint32_t>(rng.below(5000));
+  std::vector<std::uint32_t> syms(1 + rng.below(30000));
+  for (auto& s : syms) {
+    // Mix of uniform and clustered symbols.
+    s = rng.uniform() < 0.5
+            ? static_cast<std::uint32_t>(rng.below(alphabet))
+            : static_cast<std::uint32_t>(rng.below(1 + alphabet / 50));
+  }
+  HuffmanCoder coder;
+  coder.build_from(syms, alphabet);
+  auto bytes = encode_all(coder, syms);
+  EXPECT_EQ(decode_all(bytes, syms.size()), syms);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HuffmanFuzz,
+                         ::testing::Values(1, 2, 3, 42, 99, 2024));
+
+}  // namespace
+}  // namespace transpwr

@@ -1,0 +1,206 @@
+#include "lossless/lz77.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/bitstream.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "lossless/lossless.h"
+#include "lossless/rle.h"
+
+namespace transpwr {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Lz77, EmptyInput) {
+  auto c = lz77::compress({});
+  auto d = lz77::decompress(c);
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(Lz77, SingleByte) {
+  std::vector<std::uint8_t> in = {42};
+  EXPECT_EQ(lz77::decompress(lz77::compress(in)), in);
+}
+
+TEST(Lz77, LongRunCompressesWell) {
+  std::vector<std::uint8_t> in(100000, 7);
+  auto c = lz77::compress(in);
+  EXPECT_LT(c.size(), in.size() / 50);
+  EXPECT_EQ(lz77::decompress(c), in);
+}
+
+TEST(Lz77, RepeatedPhraseCompresses) {
+  std::string phrase = "the quick brown fox jumps over the lazy dog. ";
+  std::string text;
+  for (int i = 0; i < 500; ++i) text += phrase;
+  auto in = bytes_of(text);
+  auto c = lz77::compress(in);
+  EXPECT_LT(c.size(), in.size() / 5);
+  EXPECT_EQ(lz77::decompress(c), in);
+}
+
+TEST(Lz77, OverlappingMatchCopy) {
+  // "abcabcabc..." forces matches whose source overlaps the destination.
+  std::vector<std::uint8_t> in;
+  for (int i = 0; i < 10000; ++i) in.push_back(static_cast<std::uint8_t>(
+      "abc"[i % 3]));
+  EXPECT_EQ(lz77::decompress(lz77::compress(in)), in);
+}
+
+TEST(Lz77, IncompressibleRandomRoundTrips) {
+  Rng rng(5);
+  std::vector<std::uint8_t> in(50000);
+  for (auto& b : in) b = static_cast<std::uint8_t>(rng.below(256));
+  EXPECT_EQ(lz77::decompress(lz77::compress(in)), in);
+}
+
+TEST(Lz77, MixedStructuredAndRandom) {
+  Rng rng(9);
+  std::vector<std::uint8_t> in;
+  for (int seg = 0; seg < 50; ++seg) {
+    if (seg % 2 == 0) {
+      in.insert(in.end(), 997, static_cast<std::uint8_t>(seg));
+    } else {
+      for (int i = 0; i < 1003; ++i)
+        in.push_back(static_cast<std::uint8_t>(rng.below(256)));
+    }
+  }
+  EXPECT_EQ(lz77::decompress(lz77::compress(in)), in);
+}
+
+TEST(Lz77, MatchesAcrossLargeDistances) {
+  Rng rng(13);
+  std::vector<std::uint8_t> block(4000);
+  for (auto& b : block) b = static_cast<std::uint8_t>(rng.below(256));
+  std::vector<std::uint8_t> in = block;
+  std::vector<std::uint8_t> sep(30000, 0);  // push the copy far away
+  in.insert(in.end(), sep.begin(), sep.end());
+  in.insert(in.end(), block.begin(), block.end());
+  auto c = lz77::compress(in);
+  EXPECT_EQ(lz77::decompress(c), in);
+  EXPECT_LT(c.size(), in.size() / 2);
+}
+
+TEST(Lz77, CorruptStreamThrows) {
+  auto c = lz77::compress(bytes_of("hello world hello world hello"));
+  c.resize(c.size() / 2);
+  EXPECT_THROW(lz77::decompress(c), StreamError);
+}
+
+TEST(Lossless, DispatchPrefersSmaller) {
+  // Compressible input should use the LZ method...
+  std::vector<std::uint8_t> runs(10000, 1);
+  auto c1 = lossless::compress(runs);
+  EXPECT_LT(c1.size(), 200u);
+  EXPECT_EQ(lossless::decompress(c1), runs);
+
+  // ...incompressible input must fall back to raw +1 byte.
+  Rng rng(1);
+  std::vector<std::uint8_t> rnd(1000);
+  for (auto& b : rnd) b = static_cast<std::uint8_t>(rng.below(256));
+  auto c2 = lossless::compress(rnd);
+  EXPECT_LE(c2.size(), rnd.size() + 1);
+  EXPECT_EQ(lossless::decompress(c2), rnd);
+}
+
+TEST(Lossless, EmptyStreamThrows) {
+  EXPECT_THROW(lossless::decompress({}), StreamError);
+}
+
+TEST(Lossless, UnknownMethodThrows) {
+  std::vector<std::uint8_t> bad = {0xee, 1, 2, 3};
+  EXPECT_THROW(lossless::decompress(bad), StreamError);
+}
+
+TEST(Rle, BitVectorRoundTrip) {
+  std::vector<bool> bits;
+  for (int i = 0; i < 1000; ++i) bits.push_back(i % 97 < 50);
+  BitWriter bw;
+  rle::encode_bits(bits, bw);
+  auto bytes = bw.take();
+  BitReader br(bytes);
+  EXPECT_EQ(rle::decode_bits(br), bits);
+}
+
+TEST(Rle, AllSameBitIsTiny) {
+  std::vector<bool> bits(1 << 20, true);
+  BitWriter bw;
+  rle::encode_bits(bits, bw);
+  auto bytes = bw.take();
+  EXPECT_LT(bytes.size(), 32u);
+  BitReader br(bytes);
+  EXPECT_EQ(rle::decode_bits(br), bits);
+}
+
+TEST(Rle, EmptyAndSingle) {
+  for (auto bits : {std::vector<bool>{}, std::vector<bool>{true},
+                    std::vector<bool>{false}}) {
+    BitWriter bw;
+    rle::encode_bits(bits, bw);
+    auto bytes = bw.take();
+    BitReader br(bytes);
+    EXPECT_EQ(rle::decode_bits(br), bits);
+  }
+}
+
+TEST(Rle, AlternatingBits) {
+  std::vector<bool> bits;
+  for (int i = 0; i < 4096; ++i) bits.push_back(i % 2 == 0);
+  BitWriter bw;
+  rle::encode_bits(bits, bw);
+  auto bytes = bw.take();
+  BitReader br(bytes);
+  EXPECT_EQ(rle::decode_bits(br), bits);
+}
+
+class Lz77Fuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Lz77Fuzz, RandomStructuredRoundTrip) {
+  Rng rng(GetParam());
+  std::vector<std::uint8_t> in;
+  std::size_t target = 1 + rng.below(60000);
+  while (in.size() < target) {
+    switch (rng.below(4)) {
+      case 0: {  // literal run
+        std::size_t n = 1 + rng.below(100);
+        for (std::size_t i = 0; i < n; ++i)
+          in.push_back(static_cast<std::uint8_t>(rng.below(256)));
+        break;
+      }
+      case 1: {  // constant run
+        in.insert(in.end(), 1 + rng.below(500),
+                  static_cast<std::uint8_t>(rng.below(256)));
+        break;
+      }
+      case 2: {  // copy of earlier region
+        if (in.empty()) break;
+        std::size_t src = rng.below(in.size());
+        std::size_t n = 1 + rng.below(std::min<std::size_t>(
+                                in.size() - src, 700));
+        for (std::size_t i = 0; i < n; ++i) in.push_back(in[src + i]);
+        break;
+      }
+      default: {  // ascending ramp
+        std::size_t n = 1 + rng.below(300);
+        for (std::size_t i = 0; i < n; ++i)
+          in.push_back(static_cast<std::uint8_t>(i));
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(lz77::decompress(lz77::compress(in)), in);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lz77Fuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace transpwr

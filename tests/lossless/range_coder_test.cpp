@@ -1,0 +1,130 @@
+#include "lossless/range_coder.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace transpwr {
+namespace {
+
+std::vector<std::uint8_t> encode_with_model(
+    const std::vector<std::uint32_t>& syms, std::uint32_t alphabet) {
+  RangeEncoder enc;
+  AdaptiveModel model(alphabet);
+  for (auto s : syms) model.encode(enc, s);
+  return enc.finish();
+}
+
+std::vector<std::uint32_t> decode_with_model(
+    std::span<const std::uint8_t> bytes, std::uint32_t alphabet,
+    std::size_t count) {
+  RangeDecoder dec(bytes);
+  AdaptiveModel model(alphabet);
+  std::vector<std::uint32_t> out(count);
+  for (auto& s : out) s = model.decode(dec);
+  return out;
+}
+
+TEST(RangeCoder, EmptyStream) {
+  auto bytes = encode_with_model({}, 4);
+  EXPECT_EQ(decode_with_model(bytes, 4, 0).size(), 0u);
+}
+
+TEST(RangeCoder, SingleSymbol) {
+  std::vector<std::uint32_t> syms = {2};
+  auto bytes = encode_with_model(syms, 4);
+  EXPECT_EQ(decode_with_model(bytes, 4, 1), syms);
+}
+
+TEST(RangeCoder, ConstantRunApproachesZeroBitsPerSymbol) {
+  std::vector<std::uint32_t> syms(100000, 3);
+  auto bytes = encode_with_model(syms, 16);
+  EXPECT_EQ(decode_with_model(bytes, 16, syms.size()), syms);
+  // Adaptive model should drive a constant stream far below 1 bit/symbol.
+  EXPECT_LT(bytes.size(), syms.size() / 20);
+}
+
+TEST(RangeCoder, SkewedBeatsUniformCoding) {
+  Rng rng(1);
+  std::vector<std::uint32_t> syms(50000);
+  for (auto& s : syms)
+    s = rng.uniform() < 0.9 ? 0 : static_cast<std::uint32_t>(rng.below(64));
+  auto bytes = encode_with_model(syms, 64);
+  EXPECT_EQ(decode_with_model(bytes, 64, syms.size()), syms);
+  // Entropy ~ 0.9*log2(1/0.9) + 0.1*(log2(10)+6) bits ~ 1.1 bits/symbol.
+  EXPECT_LT(bytes.size(), syms.size() / 4);
+}
+
+TEST(RangeCoder, UniformRandomRoundTrips) {
+  Rng rng(2);
+  std::vector<std::uint32_t> syms(30000);
+  for (auto& s : syms) s = static_cast<std::uint32_t>(rng.below(100));
+  auto bytes = encode_with_model(syms, 100);
+  EXPECT_EQ(decode_with_model(bytes, 100, syms.size()), syms);
+}
+
+TEST(RangeCoder, AdaptationTracksShiftingDistribution) {
+  // First half all 0s, second half all 63s: the model must adapt both ways.
+  std::vector<std::uint32_t> syms(20000, 0);
+  for (std::size_t i = 10000; i < syms.size(); ++i) syms[i] = 63;
+  auto bytes = encode_with_model(syms, 64);
+  EXPECT_EQ(decode_with_model(bytes, 64, syms.size()), syms);
+  EXPECT_LT(bytes.size(), 2000u);
+}
+
+TEST(RangeCoder, ModelValidation) {
+  EXPECT_THROW(AdaptiveModel(0), ParamError);
+  EXPECT_THROW(AdaptiveModel(100000), ParamError);
+  AdaptiveModel m(4);
+  RangeEncoder enc;
+  EXPECT_THROW(m.encode(enc, 7), ParamError);
+}
+
+TEST(RangeCoder, RawIntervalApi) {
+  // Static 3-symbol model via the low-level interface.
+  const std::uint32_t freq[3] = {5, 3, 2};
+  const std::uint32_t cum[3] = {0, 5, 8};
+  std::vector<std::uint32_t> syms = {0, 1, 2, 2, 0, 0, 1, 0, 2, 1, 0};
+  RangeEncoder enc;
+  for (auto s : syms) enc.encode(cum[s], freq[s], 10);
+  auto bytes = enc.finish();
+  RangeDecoder dec(bytes);
+  for (auto expected : syms) {
+    std::uint32_t t = dec.decode_target(10);
+    std::uint32_t s = t < 5 ? 0 : t < 8 ? 1 : 2;
+    dec.consume(cum[s], freq[s], 10);
+    ASSERT_EQ(s, expected);
+  }
+}
+
+TEST(RangeCoder, InvalidIntervalThrows) {
+  RangeEncoder enc;
+  EXPECT_THROW(enc.encode(0, 0, 10), ParamError);
+  EXPECT_THROW(enc.encode(8, 5, 10), ParamError);
+  RangeDecoder dec(std::vector<std::uint8_t>{1, 2, 3, 4});
+  EXPECT_THROW(dec.decode_target(0), ParamError);
+}
+
+class RangeCoderFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RangeCoderFuzz, RandomAlphabetsRoundTrip) {
+  Rng rng(GetParam());
+  std::uint32_t alphabet = 2 + static_cast<std::uint32_t>(rng.below(200));
+  std::vector<std::uint32_t> syms(1 + rng.below(40000));
+  for (auto& s : syms) {
+    s = rng.uniform() < 0.7
+            ? static_cast<std::uint32_t>(rng.below(1 + alphabet / 8))
+            : static_cast<std::uint32_t>(rng.below(alphabet));
+  }
+  auto bytes = encode_with_model(syms, alphabet);
+  EXPECT_EQ(decode_with_model(bytes, alphabet, syms.size()), syms);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RangeCoderFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace transpwr

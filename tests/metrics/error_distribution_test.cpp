@@ -1,0 +1,94 @@
+#include "metrics/error_distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace transpwr {
+namespace {
+
+TEST(ErrorDistribution, PerfectReconstructionIsDeltaAtZero) {
+  std::vector<float> a = {1.0f, 2.0f, 3.0f, 4.0f};
+  auto d = analyze_error_distribution(a, a, 1e-3, 8);
+  EXPECT_EQ(d.mean, 0.0);
+  EXPECT_EQ(d.stddev, 0.0);
+  EXPECT_EQ(d.outside_bound, 0.0);
+  // All mass in the bin containing zero.
+  std::size_t nonzero_bins = 0;
+  for (auto c : d.histogram)
+    if (c) ++nonzero_bins;
+  EXPECT_EQ(nonzero_bins, 1u);
+}
+
+TEST(ErrorDistribution, UniformErrorsHaveUniformSignature) {
+  Rng rng(1);
+  const double bound = 0.01;
+  std::vector<float> orig(200000, 10.0f), dec(orig.size());
+  for (std::size_t i = 0; i < orig.size(); ++i)
+    dec[i] = orig[i] + static_cast<float>(rng.uniform(-bound, bound));
+  auto d = analyze_error_distribution(orig, dec, bound, 16);
+  EXPECT_NEAR(d.mean, 0.0, bound / 50);
+  // Uniform[-b, b]: stddev = b/sqrt(3), excess kurtosis = -1.2, skew = 0.
+  EXPECT_NEAR(d.stddev, bound / std::sqrt(3.0), bound / 50);
+  EXPECT_NEAR(d.excess_kurtosis, -1.2, 0.1);
+  EXPECT_NEAR(d.skewness, 0.0, 0.05);
+  EXPECT_NEAR(d.autocorr_lag1, 0.0, 0.02);
+  // float rounding of orig+err can nudge a sample just past the bound
+  EXPECT_LE(d.outside_bound, 1e-4);
+  // Bins roughly equally filled.
+  for (auto c : d.histogram)
+    EXPECT_NEAR(static_cast<double>(c),
+                static_cast<double>(orig.size()) / 16.0,
+                static_cast<double>(orig.size()) / 16.0 * 0.15);
+}
+
+TEST(ErrorDistribution, DetectsBias) {
+  std::vector<float> orig(1000, 5.0f), dec(1000, 5.004f);
+  auto d = analyze_error_distribution(orig, dec, 0.01, 8);
+  EXPECT_NEAR(d.mean, 0.004, 1e-6);
+}
+
+TEST(ErrorDistribution, DetectsCorrelatedErrors) {
+  // Slowly varying sinusoidal error => high lag-1 autocorrelation.
+  std::vector<float> orig(10000, 1.0f), dec(orig.size());
+  for (std::size_t i = 0; i < orig.size(); ++i)
+    dec[i] = orig[i] +
+             0.005f * static_cast<float>(
+                          std::sin(0.01 * static_cast<double>(i)));
+  auto d = analyze_error_distribution(orig, dec, 0.01, 8);
+  EXPECT_GT(d.autocorr_lag1, 0.9);
+  EXPECT_GT(d.autocorr_lag2, 0.9);
+}
+
+TEST(ErrorDistribution, CountsMassOutsideBound) {
+  std::vector<float> orig = {1.0f, 1.0f, 1.0f, 1.0f};
+  std::vector<float> dec = {1.0f, 1.5f, 1.0f, 0.5f};  // 2 of 4 outside 0.1
+  auto d = analyze_error_distribution(orig, dec, 0.1, 4);
+  EXPECT_DOUBLE_EQ(d.outside_bound, 0.5);
+}
+
+TEST(ErrorDistribution, RelativeVariantSkipsZeros) {
+  std::vector<float> orig = {0.0f, 2.0f, -4.0f};
+  std::vector<float> dec = {0.0f, 2.02f, -4.04f};
+  auto d = analyze_relative_error_distribution(orig, dec, 0.05, 10);
+  // Signed relative errors: +0.01 for the positive point, -0.01 for the
+  // negative one (it moved away from zero), so mean ~ 0, spread ~ 0.01.
+  EXPECT_NEAR(d.mean, 0.0, 1e-6);
+  EXPECT_NEAR(d.stddev, 0.01, 1e-5);
+  EXPECT_EQ(d.outside_bound, 0.0);
+}
+
+TEST(ErrorDistribution, Validation) {
+  std::vector<float> a = {1.0f};
+  std::vector<float> b = {1.0f, 2.0f};
+  EXPECT_THROW(analyze_error_distribution(a, b, 0.1), ParamError);
+  EXPECT_THROW(analyze_error_distribution(a, a, 0.0), ParamError);
+  EXPECT_THROW(analyze_error_distribution(a, a, 0.1, 1), ParamError);
+}
+
+}  // namespace
+}  // namespace transpwr

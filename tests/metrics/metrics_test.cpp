@@ -1,0 +1,175 @@
+#include "metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace transpwr {
+namespace {
+
+TEST(ErrorStats, ExactReconstructionIsPerfect) {
+  std::vector<float> a = {1.0f, -2.0f, 3.5f, 0.0f};
+  auto s = compute_error_stats(a, a);
+  EXPECT_EQ(s.max_abs, 0.0);
+  EXPECT_EQ(s.max_rel, 0.0);
+  EXPECT_EQ(s.modified_zeros, 0u);
+  EXPECT_EQ(s.fraction_bounded(0.0), 1.0);
+  EXPECT_TRUE(std::isinf(s.psnr));
+}
+
+TEST(ErrorStats, KnownValues) {
+  std::vector<float> orig = {10.0f, -20.0f, 40.0f};
+  std::vector<float> dec = {11.0f, -22.0f, 40.0f};
+  auto s = compute_error_stats(orig, dec);
+  EXPECT_DOUBLE_EQ(s.max_abs, 2.0);
+  EXPECT_NEAR(s.avg_abs, (1.0 + 2.0 + 0.0) / 3.0, 1e-12);
+  EXPECT_NEAR(s.max_rel, 0.1, 1e-6);
+  EXPECT_NEAR(s.avg_rel, (0.1 + 0.1 + 0.0) / 3.0, 1e-6);
+}
+
+TEST(ErrorStats, ModifiedZeroDetected) {
+  std::vector<float> orig = {0.0f, 1.0f};
+  std::vector<float> dec = {1e-30f, 1.0f};
+  auto s = compute_error_stats(orig, dec);
+  EXPECT_EQ(s.modified_zeros, 1u);
+  EXPECT_LT(s.fraction_bounded(0.1), 1.0);
+  EXPECT_EQ(s.unbounded_at(1e9), 1u);  // a modified zero is never bounded
+}
+
+TEST(ErrorStats, PreservedZeroIsBounded) {
+  std::vector<float> orig = {0.0f, 2.0f};
+  std::vector<float> dec = {0.0f, 2.1f};
+  auto s = compute_error_stats(orig, dec);
+  EXPECT_EQ(s.modified_zeros, 0u);
+  EXPECT_EQ(s.fraction_bounded(0.06), 1.0);
+  EXPECT_EQ(s.unbounded_at(0.04), 1u);
+}
+
+TEST(ErrorStats, PsnrMatchesHandComputation) {
+  // range = 2, mse = (0.1^2)/2 => psnr = 20 log10(2) - 10 log10(0.005)
+  std::vector<float> orig = {0.0f, 2.0f};
+  std::vector<float> dec = {0.1f, 2.0f};
+  auto s = compute_error_stats(orig, dec);
+  double expected = 20.0 * std::log10(2.0) - 10.0 * std::log10(0.005);
+  EXPECT_NEAR(s.psnr, expected, 1e-4);
+}
+
+TEST(ErrorStats, SizeMismatchThrows) {
+  std::vector<float> a = {1.0f};
+  std::vector<float> b = {1.0f, 2.0f};
+  EXPECT_THROW(compute_error_stats(a, b), ParamError);
+}
+
+TEST(ErrorStats, DoubleOverload) {
+  std::vector<double> orig = {100.0, 200.0};
+  std::vector<double> dec = {101.0, 200.0};
+  auto s = compute_error_stats(orig, dec);
+  EXPECT_NEAR(s.max_rel, 0.01, 1e-12);
+}
+
+TEST(Ratios, CompressionRatioAndBitRate) {
+  EXPECT_DOUBLE_EQ(compression_ratio(1000, 100), 10.0);
+  EXPECT_DOUBLE_EQ(bit_rate(100, 100), 8.0);
+  EXPECT_THROW(compression_ratio(10, 0), ParamError);
+  EXPECT_THROW(bit_rate(10, 0), ParamError);
+}
+
+TEST(AngleSkewTest, IdenticalVectorsZeroSkew) {
+  std::vector<float> v = {1.0f, 2.0f, 3.0f};
+  std::vector<std::uint32_t> blocks = {0, 0, 1};
+  auto s = angle_skew(v, v, v, v, v, v, blocks, 2);
+  EXPECT_EQ(s.overall_max_deg, 0.0);
+  EXPECT_EQ(s.block_mean_deg[0], 0.0);
+}
+
+TEST(AngleSkewTest, OrthogonalVectorsNinetyDegrees) {
+  std::vector<float> vx = {1.0f}, vy = {0.0f}, vz = {0.0f};
+  std::vector<float> dx = {0.0f}, dy = {1.0f}, dz = {0.0f};
+  std::vector<std::uint32_t> blocks = {0};
+  auto s = angle_skew(vx, vy, vz, dx, dy, dz, blocks, 1);
+  EXPECT_NEAR(s.overall_max_deg, 90.0, 1e-9);
+}
+
+TEST(AngleSkewTest, OppositeVectors180Degrees) {
+  std::vector<float> vx = {1.0f}, vy = {1.0f}, vz = {0.0f};
+  std::vector<float> dx = {-1.0f}, dy = {-1.0f}, dz = {0.0f};
+  std::vector<std::uint32_t> blocks = {0};
+  auto s = angle_skew(vx, vy, vz, dx, dy, dz, blocks, 1);
+  EXPECT_NEAR(s.overall_max_deg, 180.0, 1e-4);
+}
+
+TEST(AngleSkewTest, VanishedVectorCounts90) {
+  std::vector<float> vx = {1.0f}, vy = {0.0f}, vz = {0.0f};
+  std::vector<float> zero = {0.0f};
+  std::vector<std::uint32_t> blocks = {0};
+  auto s = angle_skew(vx, vy, vz, zero, zero, zero, blocks, 1);
+  EXPECT_EQ(s.overall_max_deg, 90.0);
+}
+
+TEST(AngleSkewTest, BlockAveraging) {
+  std::vector<float> vx = {1.0f, 1.0f}, vy = {0.0f, 0.0f},
+                     vz = {0.0f, 0.0f};
+  std::vector<float> dx = {1.0f, 0.0f}, dy = {0.0f, 1.0f},
+                     dz = {0.0f, 0.0f};
+  std::vector<std::uint32_t> blocks = {0, 0};
+  auto s = angle_skew(vx, vy, vz, dx, dy, dz, blocks, 1);
+  EXPECT_NEAR(s.block_mean_deg[0], 45.0, 1e-9);
+}
+
+TEST(TransformQualityTest, PerfectlyDecorrelatedBlocks) {
+  // Coefficients vary independently => covariance is diagonal => eta = 1.
+  Rng rng(4);
+  std::vector<std::vector<double>> blocks;
+  for (int b = 0; b < 2000; ++b)
+    blocks.push_back({rng.normal(), 2.0 * rng.normal(), 3.0 * rng.normal()});
+  auto q = transform_quality(blocks);
+  EXPECT_GT(q.decorrelation_efficiency, 0.99);
+  EXPECT_GT(q.coding_gain, 1.0);  // unequal variances => gain above 1
+}
+
+TEST(TransformQualityTest, FullyCorrelatedBlocks) {
+  Rng rng(6);
+  std::vector<std::vector<double>> blocks;
+  for (int b = 0; b < 2000; ++b) {
+    double v = rng.normal();
+    blocks.push_back({v, v, v});
+  }
+  auto q = transform_quality(blocks);
+  // All covariance entries equal => eta = n / n^2 = 1/3.
+  EXPECT_NEAR(q.decorrelation_efficiency, 1.0 / 3.0, 0.02);
+  // Equal variances => geometric mean = arithmetic-ish => gain ~ 1.
+  EXPECT_NEAR(q.coding_gain, 1.0, 0.05);
+}
+
+TEST(TransformQualityTest, ScaleInvariance) {
+  // Lemma 4: scaling all blocks by a constant (different log base) must not
+  // change eta or gamma.
+  Rng rng(8);
+  std::vector<std::vector<double>> blocks, scaled;
+  for (int b = 0; b < 1000; ++b) {
+    double shared = rng.normal();
+    std::vector<double> v = {shared, rng.normal() + 0.5 * shared,
+                             rng.normal()};
+    blocks.push_back(v);
+    std::vector<double> w = v;
+    for (auto& x : w) x /= std::log(10.0);
+    scaled.push_back(w);
+  }
+  auto q1 = transform_quality(blocks);
+  auto q2 = transform_quality(scaled);
+  EXPECT_NEAR(q1.decorrelation_efficiency, q2.decorrelation_efficiency,
+              1e-12);
+  EXPECT_NEAR(q1.coding_gain, q2.coding_gain, 1e-9);
+}
+
+TEST(TransformQualityTest, RaggedBlocksThrow) {
+  std::vector<std::vector<double>> blocks = {{1.0, 2.0}, {1.0}};
+  EXPECT_THROW(transform_quality(blocks), ParamError);
+}
+
+}  // namespace
+}  // namespace transpwr

@@ -1,0 +1,239 @@
+#include "parallel/chunked.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "data/generators.h"
+#include "metrics/metrics.h"
+
+namespace transpwr {
+namespace {
+
+TEST(Chunked, BoundPreservedAcrossSlabs) {
+  auto f = gen::nyx_dark_matter_density(Dims(24, 24, 24), 1);
+  chunked::Params p;
+  p.scheme = Scheme::kSzT;
+  p.compressor.bound = 1e-2;
+  p.threads = 4;
+  auto stream = chunked::compress<float>(f.span(), f.dims, p);
+  Dims dims;
+  auto out = chunked::decompress<float>(stream, &dims, 4);
+  EXPECT_EQ(dims, f.dims);
+  auto stats = compute_error_stats(f.span(), std::span<const float>(out));
+  EXPECT_LE(stats.max_rel, 1e-2);
+  EXPECT_EQ(stats.modified_zeros, 0u);
+}
+
+TEST(Chunked, MatchesSingleChunkSemantics) {
+  auto f = gen::cesm_flux(Dims(60, 80), 2);
+  chunked::Params p;
+  p.scheme = Scheme::kFpzip;
+  p.compressor.bound = 1e-3;
+  p.num_chunks = 1;
+  p.threads = 1;
+  auto one = chunked::decompress<float>(
+      chunked::compress<float>(f.span(), f.dims, p));
+  // fpzip output is deterministic truncation, so a direct (unchunked)
+  // compressor must agree exactly with the 1-chunk container.
+  auto direct_comp = make_compressor(Scheme::kFpzip);
+  auto direct = direct_comp->decompress_f32(
+      direct_comp->compress(f.span(), f.dims, p.compressor));
+  EXPECT_EQ(one, direct);
+}
+
+TEST(Chunked, ChunkCountVariants) {
+  auto f = gen::hurricane_wind(Dims(20, 24, 24), 3);
+  for (std::size_t chunks : {1u, 2u, 5u, 20u, 100u}) {
+    SCOPED_TRACE(chunks);
+    chunked::Params p;
+    p.scheme = Scheme::kSzT;
+    p.compressor.bound = 1e-2;
+    p.num_chunks = chunks;  // >rows gets clamped
+    p.threads = 3;
+    auto stream = chunked::compress<float>(f.span(), f.dims, p);
+    auto out = chunked::decompress<float>(stream);
+    auto stats = compute_error_stats(f.span(), std::span<const float>(out));
+    EXPECT_LE(stats.max_rel, 1e-2);
+  }
+}
+
+TEST(Chunked, AllDimensionalities) {
+  chunked::Params p;
+  p.scheme = Scheme::kSzT;
+  p.compressor.bound = 1e-2;
+  p.threads = 2;
+  p.num_chunks = 3;
+  auto f1 = gen::hacc_velocity(5000, 4);
+  auto f2 = gen::cesm_cloud_fraction(Dims(50, 64), 5);
+  auto f3 = gen::nyx_velocity(Dims(12, 16, 16), 6);
+  for (const Field<float>* f : {&f1, &f2, &f3}) {
+    SCOPED_TRACE(f->dims.to_string());
+    auto stream = chunked::compress<float>(f->span(), f->dims, p);
+    auto out = chunked::decompress<float>(stream);
+    auto stats = compute_error_stats(f->span(), std::span<const float>(out));
+    EXPECT_LE(stats.max_rel, 1e-2);
+  }
+}
+
+TEST(Chunked, EverySchemeWorksUnderChunking) {
+  auto f = gen::nyx_dark_matter_density(Dims(16, 16, 16), 7);
+  for (Scheme s : all_schemes()) {
+    SCOPED_TRACE(scheme_name(s));
+    chunked::Params p;
+    p.scheme = s;
+    p.compressor.bound = s == Scheme::kSzAbs ? 1.0 : 1e-2;
+    p.threads = 2;
+    p.num_chunks = 4;
+    auto stream = chunked::compress<float>(f.span(), f.dims, p);
+    auto out = chunked::decompress<float>(stream);
+    EXPECT_EQ(out.size(), f.values.size());
+  }
+}
+
+TEST(Chunked, DoubleType) {
+  std::vector<double> data(4096);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = 1e5 + std::sin(0.01 * static_cast<double>(i));
+  chunked::Params p;
+  p.scheme = Scheme::kSzT;
+  p.compressor.bound = 1e-6;
+  p.num_chunks = 8;
+  auto stream = chunked::compress<double>(data, Dims(4096), p);
+  auto out = chunked::decompress<double>(stream);
+  auto stats = compute_error_stats(std::span<const double>(data),
+                                   std::span<const double>(out));
+  EXPECT_LE(stats.max_rel, 1e-6);
+}
+
+
+
+// --- checksums and region-of-interest decode ---
+
+TEST(Chunked, ChecksumCatchesSilentCorruption) {
+  auto f = gen::nyx_dark_matter_density(Dims(16, 16, 16), 21);
+  chunked::Params p;
+  p.scheme = Scheme::kSzT;
+  p.compressor.bound = 1e-2;
+  p.num_chunks = 4;
+  auto stream = chunked::compress<float>(f.span(), f.dims, p);
+  // Flip one bit deep inside the payload (past header and row table).
+  auto bad = stream;
+  bad[bad.size() / 2] ^= 0x10;
+  EXPECT_THROW(chunked::decompress<float>(bad), StreamError);
+}
+
+TEST(Chunked, RoiMatchesFullDecode) {
+  auto f = gen::hurricane_wind(Dims(24, 20, 20), 22);
+  chunked::Params p;
+  p.scheme = Scheme::kSzT;
+  p.compressor.bound = 1e-2;
+  p.num_chunks = 6;  // 4 rows per slab
+  auto stream = chunked::compress<float>(f.span(), f.dims, p);
+  auto full = chunked::decompress<float>(stream);
+
+  for (auto [b, e] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {0, 24}, {0, 1}, {5, 9}, {3, 21}, {23, 24}}) {
+    SCOPED_TRACE(b);
+    Dims roi;
+    auto rows = chunked::decompress_rows<float>(stream, b, e, &roi);
+    EXPECT_EQ(roi[0], e - b);
+    EXPECT_EQ(roi[1], 20u);
+    ASSERT_EQ(rows.size(), (e - b) * 20 * 20);
+    for (std::size_t i = 0; i < rows.size(); ++i)
+      ASSERT_EQ(rows[i], full[b * 400 + i]) << i;
+  }
+}
+
+TEST(Chunked, RoiRejectsBadRange) {
+  auto f = gen::cesm_flux(Dims(10, 8), 23);
+  chunked::Params p;
+  p.scheme = Scheme::kSzT;
+  p.compressor.bound = 1e-2;
+  auto stream = chunked::compress<float>(f.span(), f.dims, p);
+  EXPECT_THROW(chunked::decompress_rows<float>(stream, 3, 3), ParamError);
+  EXPECT_THROW(chunked::decompress_rows<float>(stream, 0, 11), ParamError);
+  EXPECT_THROW(chunked::decompress_rows<float>(stream, 5, 4), ParamError);
+}
+
+// --- StreamingCompressor (in-situ accumulation) ---
+
+TEST(Streaming, PlaneByPlaneMatchesChunked) {
+  auto f = gen::hurricane_wind(Dims(20, 24, 24), 11);
+  chunked::Params p;
+  p.scheme = Scheme::kSzT;
+  p.compressor.bound = 1e-2;
+
+  chunked::StreamingCompressor<float> sc(f.dims, p, /*rows_per_chunk=*/5);
+  const std::size_t row = 24 * 24;
+  for (std::size_t z = 0; z < 20; ++z)
+    sc.append(std::span<const float>(f.values).subspan(z * row, row));
+  EXPECT_EQ(sc.rows_remaining(), 0u);
+  auto stream = sc.finish();
+
+  Dims dims;
+  auto out = chunked::decompress<float>(stream, &dims);
+  EXPECT_EQ(dims, f.dims);
+  auto stats = compute_error_stats(f.span(), std::span<const float>(out));
+  EXPECT_LE(stats.max_rel, 1e-2);
+}
+
+TEST(Streaming, ArbitraryAppendGranularity) {
+  auto f = gen::cesm_flux(Dims(33, 40), 12);
+  chunked::Params p;
+  p.scheme = Scheme::kSzT;
+  p.compressor.bound = 1e-3;
+  chunked::StreamingCompressor<float> sc(f.dims, p, 8);
+  // Feed rows in irregular batches: 1, 2, 7, 13, 10 rows.
+  std::size_t fed = 0;
+  for (std::size_t batch : {1u, 2u, 7u, 13u, 10u}) {
+    sc.append(std::span<const float>(f.values).subspan(fed * 40, batch * 40));
+    fed += batch;
+  }
+  ASSERT_EQ(fed, 33u);
+  auto out = chunked::decompress<float>(sc.finish());
+  auto stats = compute_error_stats(f.span(), std::span<const float>(out));
+  EXPECT_LE(stats.max_rel, 1e-3);
+}
+
+TEST(Streaming, Validation) {
+  chunked::Params p;
+  p.scheme = Scheme::kSzT;
+  p.compressor.bound = 1e-2;
+  EXPECT_THROW(chunked::StreamingCompressor<float>(Dims(10, 10), p, 0),
+               ParamError);
+  EXPECT_THROW(chunked::StreamingCompressor<float>(Dims(10, 10), p, 11),
+               ParamError);
+
+  chunked::StreamingCompressor<float> sc(Dims(4, 4), p, 2);
+  std::vector<float> partial_row(3, 1.0f);
+  EXPECT_THROW(sc.append(partial_row), ParamError);  // not whole rows
+  EXPECT_THROW(sc.finish(), ParamError);             // incomplete field
+  std::vector<float> rows(16, 1.0f);
+  sc.append(rows);
+  std::vector<float> extra(4, 1.0f);
+  EXPECT_THROW(sc.append(extra), ParamError);  // too many rows
+  auto stream = sc.finish();
+  EXPECT_THROW(sc.finish(), ParamError);  // double finish
+  auto out = chunked::decompress<float>(stream);
+  EXPECT_EQ(out.size(), 16u);
+}
+
+TEST(Chunked, CorruptStreamThrows) {
+  auto f = gen::cesm_cloud_fraction(Dims(32, 32), 8);
+  chunked::Params p;
+  p.scheme = Scheme::kSzT;
+  p.compressor.bound = 1e-2;
+  auto stream = chunked::compress<float>(f.span(), f.dims, p);
+  auto bad = stream;
+  bad[0] ^= 0xff;
+  EXPECT_THROW(chunked::decompress<float>(bad), StreamError);
+  EXPECT_THROW(chunked::decompress<double>(stream), StreamError);
+  auto cut = stream;
+  cut.resize(cut.size() - 10);
+  EXPECT_THROW(chunked::decompress<float>(cut), StreamError);
+}
+
+}  // namespace
+}  // namespace transpwr

@@ -1,0 +1,82 @@
+#include "parallel/harness.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "data/generators.h"
+
+namespace transpwr {
+namespace {
+
+std::vector<Field<float>> small_shards() {
+  std::vector<Field<float>> shards;
+  shards.push_back(gen::nyx_dark_matter_density(Dims(12, 12, 12), 1));
+  shards.push_back(gen::nyx_velocity(Dims(12, 12, 12), 2));
+  return shards;
+}
+
+TEST(ParallelHarness, DumpLoadRoundTrip) {
+  parallel::RunConfig cfg;
+  cfg.scheme = Scheme::kSzT;
+  cfg.params.bound = 1e-2;
+  cfg.ranks = 4;
+  cfg.dir = ::testing::TempDir();
+  cfg.verify_rel_bound = 1e-2;
+  auto res = parallel::run(cfg, small_shards());
+  EXPECT_TRUE(res.verified);
+  EXPECT_EQ(res.ranks, 4u);
+  EXPECT_GT(res.compression_ratio, 1.0);
+  EXPECT_GE(res.compress_s, 0.0);
+  EXPECT_GT(res.dump_s(), 0.0);
+  EXPECT_GT(res.load_s(), 0.0);
+}
+
+TEST(ParallelHarness, SingleRank) {
+  parallel::RunConfig cfg;
+  cfg.scheme = Scheme::kFpzip;
+  cfg.params.bound = 1e-2;
+  cfg.ranks = 1;
+  cfg.dir = ::testing::TempDir();
+  auto res = parallel::run(cfg, small_shards());
+  EXPECT_TRUE(res.verified);
+}
+
+TEST(ParallelHarness, MoreRanksThanShardsReuses) {
+  parallel::RunConfig cfg;
+  cfg.scheme = Scheme::kSzPwr;
+  cfg.params.bound = 1e-2;
+  cfg.ranks = 8;
+  cfg.dir = ::testing::TempDir();
+  auto res = parallel::run(cfg, small_shards());
+  EXPECT_TRUE(res.verified);
+  EXPECT_EQ(res.ranks, 8u);
+}
+
+TEST(ParallelHarness, RawBaseline) {
+  auto res = parallel::run_raw_baseline(4, ::testing::TempDir(),
+                                        small_shards());
+  EXPECT_TRUE(res.verified);
+  EXPECT_DOUBLE_EQ(res.compression_ratio, 1.0);
+  EXPECT_GT(res.write_s, 0.0);
+  EXPECT_GT(res.read_s, 0.0);
+}
+
+TEST(ParallelHarness, InvalidConfigThrows) {
+  parallel::RunConfig cfg;
+  cfg.ranks = 0;
+  EXPECT_THROW(parallel::run(cfg, small_shards()), ParamError);
+  cfg.ranks = 2;
+  EXPECT_THROW(parallel::run(cfg, {}), ParamError);
+}
+
+TEST(ParallelHarness, FailingRankSurfacesError) {
+  parallel::RunConfig cfg;
+  cfg.scheme = Scheme::kSzT;
+  cfg.params.bound = 1e-2;
+  cfg.ranks = 3;
+  cfg.dir = "/nonexistent/path/that/cannot/be/written";
+  EXPECT_THROW(parallel::run(cfg, small_shards()), StreamError);
+}
+
+}  // namespace
+}  // namespace transpwr

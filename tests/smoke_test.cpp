@@ -1,0 +1,38 @@
+// End-to-end smoke test: every registered scheme round-trips a small field
+// and (where the scheme guarantees it) respects the pointwise relative
+// error bound.
+#include <gtest/gtest.h>
+
+#include "core/compressor.h"
+#include "data/generators.h"
+#include "metrics/metrics.h"
+
+namespace transpwr {
+namespace {
+
+TEST(Smoke, AllSchemesRoundTrip) {
+  auto field = gen::nyx_dark_matter_density(Dims(16, 16, 16), 42);
+  const double br = 1e-2;
+  for (Scheme s : all_schemes()) {
+    SCOPED_TRACE(scheme_name(s));
+    auto comp = make_compressor(s);
+    CompressorParams p;
+    p.bound = s == Scheme::kSzAbs ? 1.0 : br;
+    auto stream = comp->compress(field.span(), field.dims, p);
+    ASSERT_FALSE(stream.empty());
+    Dims dims;
+    auto out = comp->decompress_f32(stream, &dims);
+    ASSERT_EQ(out.size(), field.values.size());
+    EXPECT_EQ(dims.to_string(), field.dims.to_string());
+
+    auto stats = compute_error_stats(field.span(), out);
+    if (s == Scheme::kSzT || s == Scheme::kZfpT || s == Scheme::kFpzip ||
+        s == Scheme::kIsabela || s == Scheme::kSziT) {
+      EXPECT_LE(stats.max_rel, br) << "strict bound violated";
+      EXPECT_EQ(stats.modified_zeros, 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace transpwr

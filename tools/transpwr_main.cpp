@@ -1,0 +1,8 @@
+// `transpwr` command-line tool: compress/decompress raw binary fields with
+// any scheme in the library, inspect containers, generate synthetic
+// datasets, and evaluate distortion. See cli::usage() or run with no args.
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  return transpwr::cli::main_entry(argc, argv);
+}
