@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_roundoff.dir/bench_ablation_roundoff.cpp.o"
+  "CMakeFiles/bench_ablation_roundoff.dir/bench_ablation_roundoff.cpp.o.d"
+  "bench_ablation_roundoff"
+  "bench_ablation_roundoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_roundoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

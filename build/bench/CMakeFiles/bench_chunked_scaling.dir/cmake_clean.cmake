@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chunked_scaling.dir/bench_chunked_scaling.cpp.o"
+  "CMakeFiles/bench_chunked_scaling.dir/bench_chunked_scaling.cpp.o.d"
+  "bench_chunked_scaling"
+  "bench_chunked_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chunked_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

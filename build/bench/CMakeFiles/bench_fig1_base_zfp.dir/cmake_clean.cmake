@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_base_zfp.dir/bench_fig1_base_zfp.cpp.o"
+  "CMakeFiles/bench_fig1_base_zfp.dir/bench_fig1_base_zfp.cpp.o.d"
+  "bench_fig1_base_zfp"
+  "bench_fig1_base_zfp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_base_zfp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig1_base_zfp.
+# This may be replaced when dependencies are built.

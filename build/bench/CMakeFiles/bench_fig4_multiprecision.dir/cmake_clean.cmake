@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_multiprecision.dir/bench_fig4_multiprecision.cpp.o"
+  "CMakeFiles/bench_fig4_multiprecision.dir/bench_fig4_multiprecision.cpp.o.d"
+  "bench_fig4_multiprecision"
+  "bench_fig4_multiprecision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_multiprecision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_base_sz.dir/bench_table2_base_sz.cpp.o"
+  "CMakeFiles/bench_table2_base_sz.dir/bench_table2_base_sz.cpp.o.d"
+  "bench_table2_base_sz"
+  "bench_table2_base_sz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_base_sz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

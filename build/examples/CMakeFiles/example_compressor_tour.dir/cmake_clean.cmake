@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_compressor_tour.dir/compressor_tour.cpp.o"
+  "CMakeFiles/example_compressor_tour.dir/compressor_tour.cpp.o.d"
+  "example_compressor_tour"
+  "example_compressor_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_compressor_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

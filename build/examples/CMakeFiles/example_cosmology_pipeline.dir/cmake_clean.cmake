@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cosmology_pipeline.dir/cosmology_pipeline.cpp.o"
+  "CMakeFiles/example_cosmology_pipeline.dir/cosmology_pipeline.cpp.o.d"
+  "example_cosmology_pipeline"
+  "example_cosmology_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cosmology_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

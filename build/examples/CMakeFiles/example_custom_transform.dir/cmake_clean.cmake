@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_transform.dir/custom_transform.cpp.o"
+  "CMakeFiles/example_custom_transform.dir/custom_transform.cpp.o.d"
+  "example_custom_transform"
+  "example_custom_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

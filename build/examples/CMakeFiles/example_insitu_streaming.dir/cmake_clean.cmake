@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_insitu_streaming.dir/insitu_streaming.cpp.o"
+  "CMakeFiles/example_insitu_streaming.dir/insitu_streaming.cpp.o.d"
+  "example_insitu_streaming"
+  "example_insitu_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_insitu_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

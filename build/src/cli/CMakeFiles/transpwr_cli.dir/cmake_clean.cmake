@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transpwr_cli.dir/cli.cpp.o"
+  "CMakeFiles/transpwr_cli.dir/cli.cpp.o.d"
+  "libtranspwr_cli.a"
+  "libtranspwr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transpwr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

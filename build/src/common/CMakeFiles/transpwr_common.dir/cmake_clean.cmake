@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transpwr_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/transpwr_common.dir/thread_pool.cpp.o.d"
+  "libtranspwr_common.a"
+  "libtranspwr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transpwr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transpwr_core.dir/log_transform.cpp.o"
+  "CMakeFiles/transpwr_core.dir/log_transform.cpp.o.d"
+  "CMakeFiles/transpwr_core.dir/registry.cpp.o"
+  "CMakeFiles/transpwr_core.dir/registry.cpp.o.d"
+  "CMakeFiles/transpwr_core.dir/temporal.cpp.o"
+  "CMakeFiles/transpwr_core.dir/temporal.cpp.o.d"
+  "CMakeFiles/transpwr_core.dir/transformed.cpp.o"
+  "CMakeFiles/transpwr_core.dir/transformed.cpp.o.d"
+  "libtranspwr_core.a"
+  "libtranspwr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transpwr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transpwr_data.dir/generators.cpp.o"
+  "CMakeFiles/transpwr_data.dir/generators.cpp.o.d"
+  "CMakeFiles/transpwr_data.dir/io.cpp.o"
+  "CMakeFiles/transpwr_data.dir/io.cpp.o.d"
+  "libtranspwr_data.a"
+  "libtranspwr_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transpwr_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transpwr_fpzip.dir/fpzip.cpp.o"
+  "CMakeFiles/transpwr_fpzip.dir/fpzip.cpp.o.d"
+  "libtranspwr_fpzip.a"
+  "libtranspwr_fpzip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transpwr_fpzip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

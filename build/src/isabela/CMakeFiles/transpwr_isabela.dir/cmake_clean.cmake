@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transpwr_isabela.dir/isabela.cpp.o"
+  "CMakeFiles/transpwr_isabela.dir/isabela.cpp.o.d"
+  "libtranspwr_isabela.a"
+  "libtranspwr_isabela.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transpwr_isabela.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for transpwr_isabela.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lossless/huffman.cpp" "src/lossless/CMakeFiles/transpwr_lossless.dir/huffman.cpp.o" "gcc" "src/lossless/CMakeFiles/transpwr_lossless.dir/huffman.cpp.o.d"
+  "/root/repo/src/lossless/lossless.cpp" "src/lossless/CMakeFiles/transpwr_lossless.dir/lossless.cpp.o" "gcc" "src/lossless/CMakeFiles/transpwr_lossless.dir/lossless.cpp.o.d"
+  "/root/repo/src/lossless/lz77.cpp" "src/lossless/CMakeFiles/transpwr_lossless.dir/lz77.cpp.o" "gcc" "src/lossless/CMakeFiles/transpwr_lossless.dir/lz77.cpp.o.d"
+  "/root/repo/src/lossless/range_coder.cpp" "src/lossless/CMakeFiles/transpwr_lossless.dir/range_coder.cpp.o" "gcc" "src/lossless/CMakeFiles/transpwr_lossless.dir/range_coder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/transpwr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

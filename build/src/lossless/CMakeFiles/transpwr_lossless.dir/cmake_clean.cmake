@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transpwr_lossless.dir/huffman.cpp.o"
+  "CMakeFiles/transpwr_lossless.dir/huffman.cpp.o.d"
+  "CMakeFiles/transpwr_lossless.dir/lossless.cpp.o"
+  "CMakeFiles/transpwr_lossless.dir/lossless.cpp.o.d"
+  "CMakeFiles/transpwr_lossless.dir/lz77.cpp.o"
+  "CMakeFiles/transpwr_lossless.dir/lz77.cpp.o.d"
+  "CMakeFiles/transpwr_lossless.dir/range_coder.cpp.o"
+  "CMakeFiles/transpwr_lossless.dir/range_coder.cpp.o.d"
+  "libtranspwr_lossless.a"
+  "libtranspwr_lossless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transpwr_lossless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transpwr_metrics.dir/error_distribution.cpp.o"
+  "CMakeFiles/transpwr_metrics.dir/error_distribution.cpp.o.d"
+  "CMakeFiles/transpwr_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/transpwr_metrics.dir/metrics.cpp.o.d"
+  "libtranspwr_metrics.a"
+  "libtranspwr_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transpwr_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

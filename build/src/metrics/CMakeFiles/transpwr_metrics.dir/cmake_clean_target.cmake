@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtranspwr_metrics.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transpwr_parallel.dir/chunked.cpp.o"
+  "CMakeFiles/transpwr_parallel.dir/chunked.cpp.o.d"
+  "CMakeFiles/transpwr_parallel.dir/harness.cpp.o"
+  "CMakeFiles/transpwr_parallel.dir/harness.cpp.o.d"
+  "libtranspwr_parallel.a"
+  "libtranspwr_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transpwr_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transpwr_sz.dir/interp.cpp.o"
+  "CMakeFiles/transpwr_sz.dir/interp.cpp.o.d"
+  "CMakeFiles/transpwr_sz.dir/sz.cpp.o"
+  "CMakeFiles/transpwr_sz.dir/sz.cpp.o.d"
+  "libtranspwr_sz.a"
+  "libtranspwr_sz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transpwr_sz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

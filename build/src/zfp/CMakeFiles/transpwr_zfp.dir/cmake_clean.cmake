@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transpwr_zfp.dir/zfp.cpp.o"
+  "CMakeFiles/transpwr_zfp.dir/zfp.cpp.o.d"
+  "libtranspwr_zfp.a"
+  "libtranspwr_zfp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transpwr_zfp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

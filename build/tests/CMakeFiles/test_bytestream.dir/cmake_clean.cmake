@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bytestream.dir/common/bytestream_test.cpp.o"
+  "CMakeFiles/test_bytestream.dir/common/bytestream_test.cpp.o.d"
+  "test_bytestream"
+  "test_bytestream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bytestream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

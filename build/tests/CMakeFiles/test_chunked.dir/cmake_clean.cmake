@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chunked.dir/parallel/chunked_test.cpp.o"
+  "CMakeFiles/test_chunked.dir/parallel/chunked_test.cpp.o.d"
+  "test_chunked"
+  "test_chunked.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chunked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_error_distribution.dir/metrics/error_distribution_test.cpp.o"
+  "CMakeFiles/test_error_distribution.dir/metrics/error_distribution_test.cpp.o.d"
+  "test_error_distribution"
+  "test_error_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_error_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpzip.dir/fpzip/fpzip_test.cpp.o"
+  "CMakeFiles/test_fpzip.dir/fpzip/fpzip_test.cpp.o.d"
+  "test_fpzip"
+  "test_fpzip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpzip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

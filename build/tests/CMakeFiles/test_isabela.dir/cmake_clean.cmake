@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isabela.dir/isabela/isabela_test.cpp.o"
+  "CMakeFiles/test_isabela.dir/isabela/isabela_test.cpp.o.d"
+  "test_isabela"
+  "test_isabela.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isabela.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

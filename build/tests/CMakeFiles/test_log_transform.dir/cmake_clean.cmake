@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_log_transform.dir/core/log_transform_test.cpp.o"
+  "CMakeFiles/test_log_transform.dir/core/log_transform_test.cpp.o.d"
+  "test_log_transform"
+  "test_log_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_log_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

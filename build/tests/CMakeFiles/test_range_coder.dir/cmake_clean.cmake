@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_range_coder.dir/lossless/range_coder_test.cpp.o"
+  "CMakeFiles/test_range_coder.dir/lossless/range_coder_test.cpp.o.d"
+  "test_range_coder"
+  "test_range_coder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_range_coder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

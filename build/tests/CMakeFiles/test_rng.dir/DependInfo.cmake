@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/test_rng.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_rng.dir/common/rng_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/transpwr_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/transpwr_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/transpwr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sz/CMakeFiles/transpwr_sz.dir/DependInfo.cmake"
+  "/root/repo/build/src/zfp/CMakeFiles/transpwr_zfp.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpzip/CMakeFiles/transpwr_fpzip.dir/DependInfo.cmake"
+  "/root/repo/build/src/isabela/CMakeFiles/transpwr_isabela.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/transpwr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/transpwr_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/lossless/CMakeFiles/transpwr_lossless.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/transpwr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sz.dir/sz/sz_test.cpp.o"
+  "CMakeFiles/test_sz.dir/sz/sz_test.cpp.o.d"
+  "test_sz"
+  "test_sz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sz_interp.dir/sz/interp_test.cpp.o"
+  "CMakeFiles/test_sz_interp.dir/sz/interp_test.cpp.o.d"
+  "test_sz_interp"
+  "test_sz_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sz_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transformed.dir/core/transformed_test.cpp.o"
+  "CMakeFiles/test_transformed.dir/core/transformed_test.cpp.o.d"
+  "test_transformed"
+  "test_transformed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transformed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

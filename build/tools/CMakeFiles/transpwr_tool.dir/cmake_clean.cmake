@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transpwr_tool.dir/transpwr_main.cpp.o"
+  "CMakeFiles/transpwr_tool.dir/transpwr_main.cpp.o.d"
+  "transpwr"
+  "transpwr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transpwr_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
