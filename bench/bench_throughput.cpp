@@ -1,0 +1,162 @@
+// Throughput trajectory bench: transform-only, SZ_T end-to-end, and chunked
+// end-to-end at 1/2/4/8 threads on a >= 64 MB field, plus the per-call
+// thread-pool spawn cost the shared global pool eliminates. Emits
+// machine-readable BENCH_PR1.json so future PRs can diff against this PR's
+// numbers.
+//
+// Usage: bench_throughput [out.json] [edge]
+//   out.json  output path (default BENCH_PR1.json)
+//   edge      cubic field edge length (default 256 => 64 MB of float32)
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/parallel.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/log_transform.h"
+#include "core/transformed.h"
+#include "data/generators.h"
+#include "parallel/chunked.h"
+
+using namespace transpwr;
+
+namespace {
+
+constexpr int kReps = 3;
+
+double gbs(double bytes, double seconds) {
+  return seconds > 0 ? bytes / 1e9 / seconds : 0;
+}
+
+/// Best-of-kReps wall time of fn() — minimum, not mean, to shed scheduler
+/// noise on shared machines.
+template <typename Fn>
+double best_seconds(Fn&& fn) {
+  double best = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Timer t;
+    fn();
+    double s = t.seconds();
+    if (rep == 0 || s < best) best = s;
+  }
+  return best;
+}
+
+struct Run {
+  std::size_t threads = 0;
+  double transform_fwd_s = 0;
+  double transform_inv_s = 0;
+  double szt_compress_s = 0;
+  double szt_decompress_s = 0;
+  double chunked_compress_s = 0;
+  double chunked_decompress_s = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_PR1.json";
+  const std::size_t edge =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 256;
+
+  bench::print_header("Throughput: transform / SZ_T / chunked vs threads");
+  auto f = gen::nyx_dark_matter_density(Dims(edge, edge, edge), 42);
+  const double bytes = static_cast<double>(f.bytes());
+  std::printf("field: %s = %.1f MB\n", f.dims.to_string().c_str(),
+              bytes / (1 << 20));
+
+  std::vector<Run> runs;
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    Run r;
+    r.threads = threads;
+
+    auto fwd = log_forward<float>(f.values, 1e-3, 2.0, threads);
+    r.transform_fwd_s = best_seconds(
+        [&] { log_forward<float>(f.values, 1e-3, 2.0, threads); });
+    r.transform_inv_s = best_seconds([&] {
+      log_inverse<float>(fwd.mapped, fwd.negative, 2.0, fwd.zero_threshold,
+                         threads);
+    });
+
+    TransformedParams tp;
+    tp.rel_bound = 1e-3;
+    tp.threads = threads;
+    std::vector<std::uint8_t> szt_stream;
+    r.szt_compress_s = best_seconds([&] {
+      szt_stream =
+          transformed_compress<float>(f.values, f.dims, InnerCodec::kSz, tp);
+    });
+    r.szt_decompress_s = best_seconds([&] {
+      transformed_decompress<float>(szt_stream, nullptr, nullptr, threads);
+    });
+
+    chunked::Params cp;
+    cp.scheme = Scheme::kSzT;
+    cp.compressor.bound = 1e-3;
+    cp.threads = threads;
+    std::vector<std::uint8_t> chunked_stream;
+    r.chunked_compress_s = best_seconds(
+        [&] { chunked_stream = chunked::compress<float>(f.span(), f.dims, cp); });
+    r.chunked_decompress_s = best_seconds(
+        [&] { chunked::decompress<float>(chunked_stream, nullptr, threads); });
+
+    std::printf(
+        "t=%zu: fwd %.2f GB/s  inv %.2f GB/s | szt %.3f/%.3f s | "
+        "chunked %.3f/%.3f s\n",
+        threads, gbs(bytes, r.transform_fwd_s), gbs(bytes, r.transform_inv_s),
+        r.szt_compress_s, r.szt_decompress_s, r.chunked_compress_s,
+        r.chunked_decompress_s);
+    runs.push_back(r);
+  }
+
+  // What every chunked call paid before the shared pool: spawn + join of a
+  // fresh per-call ThreadPool.
+  std::vector<std::pair<std::size_t, double>> spawn_us;
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    const int calls = 200;
+    Timer t;
+    for (int i = 0; i < calls; ++i) {
+      ThreadPool pool(threads);
+      pool.parallel_for(threads, [](std::size_t, std::size_t) {});
+    }
+    spawn_us.emplace_back(threads, 1e6 * t.seconds() / calls);
+    std::printf("per-call pool spawn+join t=%zu: %.1f us\n", threads,
+                spawn_us.back().second);
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"field\": {\"dims\": \"%s\", \"bytes\": %.0f},\n",
+               f.dims.to_string().c_str(), bytes);
+  std::fprintf(out, "  \"reps\": %d,\n  \"pool_spawn_us\": {", kReps);
+  for (std::size_t i = 0; i < spawn_us.size(); ++i)
+    std::fprintf(out, "%s\"%zu\": %.2f", i ? ", " : "", spawn_us[i].first,
+                 spawn_us[i].second);
+  std::fprintf(out, "},\n  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run& r = runs[i];
+    std::fprintf(
+        out,
+        "    {\"threads\": %zu, \"transform_fwd_s\": %.6f, "
+        "\"transform_inv_s\": %.6f, \"transform_fwd_gbs\": %.4f, "
+        "\"transform_inv_gbs\": %.4f, \"szt_compress_s\": %.6f, "
+        "\"szt_decompress_s\": %.6f, \"chunked_compress_s\": %.6f, "
+        "\"chunked_decompress_s\": %.6f, \"chunked_total_s\": %.6f}%s\n",
+        r.threads, r.transform_fwd_s, r.transform_inv_s,
+        gbs(bytes, r.transform_fwd_s), gbs(bytes, r.transform_inv_s),
+        r.szt_compress_s, r.szt_decompress_s, r.chunked_compress_s,
+        r.chunked_decompress_s, r.chunked_compress_s + r.chunked_decompress_s,
+        i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

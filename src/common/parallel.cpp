@@ -1,0 +1,168 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace transpwr {
+namespace {
+
+std::size_t pool_capacity() {
+  if (const char* env = std::getenv("TRANSPWR_THREADS")) {
+    char* end = nullptr;
+    unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && v > 0 && v < 4096) return static_cast<std::size_t>(v);
+  }
+  unsigned hc = std::thread::hardware_concurrency();
+  return std::max<std::size_t>(hc ? hc : 2, 8);
+}
+
+/// Collects the first exception thrown across a task group.
+struct ErrorSlot {
+  std::mutex mu;
+  std::exception_ptr error;
+  std::atomic<bool> set{false};
+
+  void capture() {
+    std::lock_guard lk(mu);
+    if (!error) error = std::current_exception();
+    set.store(true, std::memory_order_release);
+  }
+  void rethrow_if_set() {
+    if (error) std::rethrow_exception(error);
+  }
+};
+
+/// Countdown latch for helper tasks submitted to the pool (the caller
+/// participates in the work itself, then waits here).
+struct Completion {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t pending;
+
+  explicit Completion(std::size_t n) : pending(n) {}
+  void finish_one() {
+    std::lock_guard lk(mu);
+    if (--pending == 0) cv.notify_all();
+  }
+  void wait() {
+    std::unique_lock lk(mu);
+    cv.wait(lk, [this] { return pending == 0; });
+  }
+};
+
+}  // namespace
+
+ThreadPool& global_pool() {
+  static ThreadPool pool(pool_capacity());
+  return pool;
+}
+
+std::size_t default_threads() {
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc ? hc : 2;
+}
+
+std::size_t parallel_task_count(std::size_t n, const ParallelOptions& opts) {
+  if (n == 0) return 1;
+  if (ThreadPool::in_worker()) return 1;  // nested region: run inline
+  const std::size_t grain = std::max<std::size_t>(1, opts.grain);
+  const std::size_t blocks = (n + grain - 1) / grain;
+  std::size_t cap = opts.max_threads ? opts.max_threads : default_threads();
+  cap = std::min(cap, global_pool().size() + 1);  // caller is a worker too
+  return std::max<std::size_t>(1, std::min(cap, blocks));
+}
+
+void parallel_for_slots(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
+    const ParallelOptions& opts) {
+  if (n == 0) return;
+  const std::size_t tasks = parallel_task_count(n, opts);
+  if (tasks <= 1) {
+    fn(0, 0, n);
+    return;
+  }
+
+  const std::size_t grain = std::max<std::size_t>(1, opts.grain);
+  std::atomic<std::size_t> next{0};
+  ErrorSlot err;
+  auto drain = [&](std::size_t slot) {
+    try {
+      for (;;) {
+        if (err.set.load(std::memory_order_acquire)) return;
+        std::size_t b = next.fetch_add(grain, std::memory_order_relaxed);
+        if (b >= n) return;
+        fn(slot, b, std::min(n, b + grain));
+      }
+    } catch (...) {
+      err.capture();
+    }
+  };
+
+  Completion done(tasks - 1);
+  for (std::size_t slot = 1; slot < tasks; ++slot) {
+    global_pool().submit([&, slot] {
+      drain(slot);
+      done.finish_one();
+    });
+  }
+  drain(0);
+  done.wait();
+  err.rethrow_if_set();
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& fn,
+                  const ParallelOptions& opts) {
+  parallel_for_slots(
+      n, [&fn](std::size_t, std::size_t b, std::size_t e) { fn(b, e); }, opts);
+}
+
+void run_concurrent(std::size_t n,
+                    const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  ErrorSlot err;
+  auto wrapped = [&](std::size_t rank) {
+    try {
+      body(rank);
+    } catch (...) {
+      err.capture();
+    }
+  };
+  if (n == 1) {
+    wrapped(0);
+    err.rethrow_if_set();
+    return;
+  }
+
+  ThreadPool& pool = global_pool();
+  const bool pooled = !ThreadPool::in_worker() && n - 1 <= pool.size() &&
+                      pool.try_acquire_exclusive();
+  if (pooled) {
+    Completion done(n - 1);
+    for (std::size_t r = 1; r < n; ++r) {
+      pool.submit([&, r] {
+        wrapped(r);
+        done.finish_one();
+      });
+    }
+    wrapped(0);
+    done.wait();
+    pool.release_exclusive();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(n - 1);
+    for (std::size_t r = 1; r < n; ++r) threads.emplace_back(wrapped, r);
+    wrapped(0);
+    for (auto& t : threads) t.join();
+  }
+  err.rethrow_if_set();
+}
+
+}  // namespace transpwr

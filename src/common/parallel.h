@@ -1,0 +1,69 @@
+#ifndef TRANSPWR_COMMON_PARALLEL_H
+#define TRANSPWR_COMMON_PARALLEL_H
+
+#include <cstddef>
+#include <functional>
+
+#include "common/thread_pool.h"
+
+namespace transpwr {
+
+/// Process-wide shared worker pool, created lazily on first use. Capacity is
+/// `TRANSPWR_THREADS` (env var) when set, else
+/// max(hardware_concurrency, 8) — the floor keeps explicitly requested
+/// thread counts (e.g. `Params::threads = 8`) genuinely concurrent even on
+/// small machines, at the cost of a few parked threads. See
+/// docs/threading.md.
+ThreadPool& global_pool();
+
+/// Effective worker count when a caller passes `threads == 0`:
+/// hardware concurrency (not pool capacity — oversubscribing by default
+/// would only add context-switch overhead).
+std::size_t default_threads();
+
+struct ParallelOptions {
+  /// Upper bound on concurrently executing tasks; 0 => default_threads().
+  /// The calling thread always participates, so `max_threads == 1` runs the
+  /// whole range inline without touching the pool.
+  std::size_t max_threads = 0;
+  /// Block size handed to the body per atomic-counter fetch. Blocks are
+  /// always [k*grain, (k+1)*grain) ∩ [0, n) — aligned, so a grain that is a
+  /// multiple of 64 lets bodies write packed bitmaps without word sharing.
+  std::size_t grain = 4096;
+};
+
+/// Number of task slots parallel_for_slots() will use for a range of `n`
+/// under `opts`, decided on the calling thread (nested calls from pool
+/// workers always get 1). Call it to size per-slot partial accumulators
+/// before launching the loop.
+std::size_t parallel_task_count(std::size_t n, const ParallelOptions& opts = {});
+
+/// Run fn(slot, begin, end) over [0, n) split into `grain`-sized blocks
+/// handed out by an atomic counter; blocks until done. `slot` identifies
+/// the executing task (0 <= slot < parallel_task_count(n, opts)) so bodies
+/// can accumulate into per-slot partials without sharing. The first
+/// exception thrown by any block is rethrown on the calling thread once all
+/// tasks have stopped. Scheduling is work-stealing-free and dynamic: which
+/// slot runs which block varies run to run, so reductions must be
+/// order-insensitive (max, |, +commutative-exact) for deterministic output.
+void parallel_for_slots(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
+    const ParallelOptions& opts = {});
+
+/// parallel_for_slots without the slot index.
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& fn,
+                  const ParallelOptions& opts = {});
+
+/// Run body(0) .. body(n-1) with all n invocations live at the same time —
+/// the contract barrier-synchronised rank bodies need (parallel_for only
+/// promises eventual execution). Uses the shared pool when it can host all
+/// of them exclusively; otherwise falls back to dedicated threads. The
+/// first exception thrown by a body is rethrown after every body finished.
+void run_concurrent(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+}  // namespace transpwr
+
+#endif  // TRANSPWR_COMMON_PARALLEL_H

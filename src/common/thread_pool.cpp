@@ -3,6 +3,20 @@
 #include <algorithm>
 
 namespace transpwr {
+namespace {
+
+thread_local bool t_in_worker = false;
+
+}  // namespace
+
+bool ThreadPool::in_worker() { return t_in_worker; }
+
+bool ThreadPool::try_acquire_exclusive() {
+  bool expected = false;
+  return exclusive_.compare_exchange_strong(expected, true);
+}
+
+void ThreadPool::release_exclusive() { exclusive_.store(false); }
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   num_threads = std::max<std::size_t>(1, num_threads);
@@ -52,6 +66,7 @@ void ThreadPool::parallel_for(
 }
 
 void ThreadPool::worker_loop() {
+  t_in_worker = true;
   for (;;) {
     std::function<void()> task;
     {

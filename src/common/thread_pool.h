@@ -1,6 +1,7 @@
 #ifndef TRANSPWR_COMMON_THREAD_POOL_H
 #define TRANSPWR_COMMON_THREAD_POOL_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -24,6 +25,20 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// True when the calling thread is a worker of any ThreadPool. The shared
+  /// execution layer uses this to run nested parallel regions inline instead
+  /// of re-entering the pool (which could otherwise deadlock: every worker
+  /// waiting on tasks only parked workers could run).
+  static bool in_worker();
+
+  /// Cooperative exclusivity for workloads that need N *concurrently live*
+  /// tasks (e.g. barrier-synchronised rank bodies): two such workloads
+  /// interleaved in the queue could each hold half the workers and block
+  /// forever. try_acquire_exclusive() lets at most one of them use the pool;
+  /// the rest fall back to dedicated threads.
+  bool try_acquire_exclusive();
+  void release_exclusive();
+
   /// Enqueue a task; returns immediately.
   void submit(std::function<void()> task);
 
@@ -45,6 +60,7 @@ class ThreadPool {
   std::condition_variable idle_;
   std::size_t active_ = 0;
   bool stop_ = false;
+  std::atomic<bool> exclusive_{false};
 };
 
 }  // namespace transpwr

@@ -1,0 +1,123 @@
+#ifndef TRANSPWR_CORE_LOG_KERNEL_H
+#define TRANSPWR_CORE_LOG_KERNEL_H
+
+#include <cmath>
+#include <cstddef>
+
+namespace transpwr {
+
+/// Euler's number to double precision — the shared constant for the
+/// natural-base fast paths (previously duplicated as a magic literal).
+inline constexpr double kBaseE = 2.718281828459045;
+
+/// Per-base log/exp kernel. The base is classified once at construction and
+/// the base-dependent constants (log2 of the base and its reciprocal) are
+/// precomputed, so per-element work never re-derives log(base):
+///
+///  - bases 2 / 10 / e forward through the dedicated libm routines (the
+///    asymmetry the paper's Table III measures);
+///  - arbitrary bases use the frexp decomposition
+///    log2(x) = e + log2(m), x = m * 2^e, m in [0.5, 1), with the libm
+///    log2 tail, then one multiply by 1/log2(base) — one libm call per
+///    element instead of the two (log(x), log(base)) the naive quotient
+///    costs;
+///  - exponentiation for any base other than 2 / e is exp2(v * log2(base)),
+///    which covers the exp10-style fast path for base 10 (ISO C++ has no
+///    exp10); the extra rounding stays within the Lemma 2 guard, verified
+///    by the base-10 worst-case-perturbation test.
+///
+/// The *_batch loops call the same scalar routines, so batched output is
+/// bit-identical to scalar output (verified by test); their value is
+/// keeping the base classification and constants out of callers' loops.
+class LogKernel {
+ public:
+  explicit LogKernel(double base)
+      : base_(base),
+        kind_(base == 2.0    ? Kind::kLog2
+              : base == 10.0 ? Kind::kLog10
+              : base == kBaseE ? Kind::kLn
+                               : Kind::kArbitrary),
+        log2_base_(std::log2(base)),
+        inv_log2_base_(1.0 / std::log2(base)) {}
+
+  double base() const { return base_; }
+
+  /// log_base(v); v > 0.
+  double log(double v) const {
+    switch (kind_) {
+      case Kind::kLog2:
+        return std::log2(v);
+      case Kind::kLog10:
+        return std::log10(v);
+      case Kind::kLn:
+        return std::log(v);
+      default: {
+        int e = 0;
+        double m = std::frexp(v, &e);
+        return (static_cast<double>(e) + std::log2(m)) * inv_log2_base_;
+      }
+    }
+  }
+
+  /// base^v.
+  double exp(double v) const {
+    switch (kind_) {
+      case Kind::kLog2:
+        return std::exp2(v);
+      case Kind::kLn:
+        return std::exp(v);
+      default:
+        return std::exp2(v * log2_base_);  // exp10 fast path included
+    }
+  }
+
+  /// out[i] = log(in[i]), bit-identical to the scalar path.
+  void log_batch(const double* in, double* out, std::size_t n) const {
+    switch (kind_) {
+      case Kind::kLog2:
+        for (std::size_t i = 0; i < n; ++i) out[i] = std::log2(in[i]);
+        break;
+      case Kind::kLog10:
+        for (std::size_t i = 0; i < n; ++i) out[i] = std::log10(in[i]);
+        break;
+      case Kind::kLn:
+        for (std::size_t i = 0; i < n; ++i) out[i] = std::log(in[i]);
+        break;
+      default:
+        for (std::size_t i = 0; i < n; ++i) {
+          int e = 0;
+          double m = std::frexp(in[i], &e);
+          out[i] = (static_cast<double>(e) + std::log2(m)) * inv_log2_base_;
+        }
+        break;
+    }
+  }
+
+  /// out[i] = base^in[i], bit-identical to the scalar path.
+  void exp_batch(const double* in, double* out, std::size_t n) const {
+    switch (kind_) {
+      case Kind::kLog2:
+        for (std::size_t i = 0; i < n; ++i) out[i] = std::exp2(in[i]);
+        break;
+      case Kind::kLn:
+        for (std::size_t i = 0; i < n; ++i) out[i] = std::exp(in[i]);
+        break;
+      default:
+        for (std::size_t i = 0; i < n; ++i)
+          out[i] = std::exp2(in[i] * log2_base_);
+        break;
+    }
+  }
+
+ private:
+  enum class Kind { kLog2, kLog10, kLn, kArbitrary };
+
+  double base_;
+  Kind kind_;
+  double log2_base_;
+  double inv_log2_base_;
+};
+
+}  // namespace transpwr
+
+#endif  // TRANSPWR_CORE_LOG_KERNEL_H

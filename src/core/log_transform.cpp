@@ -1,40 +1,43 @@
 #include "core/log_transform.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
 #include "common/error.h"
+#include "common/parallel.h"
+#include "core/log_kernel.h"
 
 namespace transpwr {
 namespace {
 
-// Forward log in the requested base, using the fast dedicated libm routine
-// where one exists (this asymmetry across bases is exactly what the paper's
-// Table III measures).
-double log_in_base(double v, double base) {
-  if (base == 2.0) return std::log2(v);
-  if (base == 10.0) return std::log10(v);
-  if (base == 2.718281828459045) return std::log(v);
-  return std::log(v) / std::log(base);
-}
+/// Parallel block size. A multiple of Bitmap::kWordBits so concurrent sign
+/// writes in the fix-up pass never share a bitmap word.
+constexpr std::size_t kGrain = 4096;
 
-double exp_in_base(double v, double base) {
-  if (base == 2.0) return std::exp2(v);
-  if (base == 2.718281828459045) return std::exp(v);
-  return std::pow(base, v);  // includes base 10: no fast exp10 in ISO C++
-}
+/// Batch-kernel tile; lives on the worker's stack.
+constexpr std::size_t kTile = 256;
+
+/// Per-task partials of the fused forward pass, cache-line separated so
+/// neighbouring slots do not false-share.
+struct alignas(64) ForwardPartial {
+  double max_abs_log = 0;
+  bool any_negative = false;
+  bool has_zeros = false;
+  bool non_finite = false;
+};
 
 }  // namespace
 
 double bound_forward(double rel_bound, double base) {
   if (!(rel_bound > 0)) throw ParamError("log transform: bound must be > 0");
   if (!(base > 1)) throw ParamError("log transform: base must be > 1");
-  return log_in_base(1.0 + rel_bound, base);
+  return LogKernel(base).log(1.0 + rel_bound);
 }
 
 template <typename T>
 TransformResult<T> log_forward(std::span<const T> data, double rel_bound,
-                               double base) {
+                               double base, std::size_t threads) {
   if (!(rel_bound > 0) || !(rel_bound < 1))
     throw ParamError("log transform: rel bound must be in (0, 1)");
   if (!(base > 1)) throw ParamError("log transform: base must be > 1");
@@ -42,22 +45,57 @@ TransformResult<T> log_forward(std::span<const T> data, double rel_bound,
   TransformResult<T> r;
   r.log_base = base;
   r.mapped.resize(data.size());
+  const LogKernel kernel(base);
 
-  // Pass 1: signs, zero detection, max |log x| for the round-off guard.
+  ParallelOptions opts;
+  opts.max_threads = threads;
+  opts.grain = kGrain;
+
+  // Fused single pass: mapped[i] = log_base|x_i| lands directly in the
+  // output while the same loop collects signs, zeros, finiteness and the
+  // per-task max |log x| partial for the Lemma 2 round-off guard. (The
+  // serial seed walked the data twice and paid the log twice.)
+  const std::size_t slots = parallel_task_count(data.size(), opts);
+  std::vector<ForwardPartial> partials(slots);
+  parallel_for_slots(
+      data.size(),
+      [&](std::size_t slot, std::size_t b, std::size_t e) {
+        ForwardPartial& p = partials[slot];
+        double tile_in[kTile];
+        double tile_log[kTile];
+        for (std::size_t t = b; t < e; t += kTile) {
+          const std::size_t end = std::min(e, t + kTile);
+          for (std::size_t i = t; i < end; ++i) {
+            double v = static_cast<double>(data[i]);
+            if (!std::isfinite(v)) p.non_finite = true;
+            if (v < 0) p.any_negative = true;
+            if (v == 0) p.has_zeros = true;
+            // Zeros feed a dummy 1.0 (log = 0, inert for the max) and get
+            // their sentinel in the fix-up pass.
+            tile_in[i - t] = v == 0 ? 1.0 : std::abs(v);
+          }
+          kernel.log_batch(tile_in, tile_log, end - t);
+          for (std::size_t i = t; i < end; ++i) {
+            double lv = tile_log[i - t];
+            r.mapped[i] = static_cast<T>(lv);
+            double m = std::abs(lv);
+            if (m > p.max_abs_log) p.max_abs_log = m;
+          }
+        }
+      },
+      opts);
+
   bool any_negative = false;
   double max_abs_log = 0;
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    double v = static_cast<double>(data[i]);
-    if (!std::isfinite(v))
-      throw ParamError("log transform: non-finite value in input");
-    if (v < 0) any_negative = true;
-    if (v != 0) {
-      double m = std::abs(log_in_base(std::abs(v), base));
-      if (m > max_abs_log) max_abs_log = m;
-    } else {
-      r.has_zeros = true;
-    }
+  bool non_finite = false;
+  for (const ForwardPartial& p : partials) {
+    any_negative |= p.any_negative;
+    r.has_zeros |= p.has_zeros;
+    non_finite |= p.non_finite;
+    max_abs_log = std::max(max_abs_log, p.max_abs_log);
   }
+  if (non_finite)
+    throw ParamError("log transform: non-finite value in input");
   r.max_abs_log = max_abs_log;
 
   // Lemma 2: shrink the absolute bound by the worst-case round-off the
@@ -66,7 +104,7 @@ TransformResult<T> log_forward(std::span<const T> data, double rel_bound,
   // The final cast back to T after exponentiation can add one more ulp of
   // relative error on top of br, so target a slightly shrunk bound.
   const double br_eff = rel_bound * (1.0 - 8.0 * eps0);
-  const double ba = log_in_base(1.0 + br_eff, base);
+  const double ba = kernel.log(1.0 + br_eff);
   const double guard = max_abs_log * eps0;
   r.adjusted_abs_bound = ba - guard;
   if (!(r.adjusted_abs_bound > 0))
@@ -78,9 +116,8 @@ TransformResult<T> log_forward(std::span<const T> data, double rel_bound,
   // threshold 1.5 bounds under, so inner-codec error (<= b'_a) plus storage
   // round-off cannot move a zero across the threshold, nor a real value
   // under it.
-  const double log_min =
-      log_in_base(static_cast<double>(std::numeric_limits<T>::denorm_min()),
-                  base);
+  const double log_min = kernel.log(
+      static_cast<double>(std::numeric_limits<T>::denorm_min()));
   const double sentinel = log_min - 3.0 * r.adjusted_abs_bound;
   r.zero_threshold = log_min - 1.5 * r.adjusted_abs_bound;
   if (r.has_zeros) {
@@ -90,50 +127,78 @@ TransformResult<T> log_forward(std::span<const T> data, double rel_bound,
           "log transform: bound too tight to keep exact zeros exact");
   }
 
-  if (any_negative) r.negative.assign(data.size(), false);
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    double v = static_cast<double>(data[i]);
-    if (v == 0) {
-      r.mapped[i] = static_cast<T>(sentinel);
-    } else {
-      if (v < 0) r.negative[i] = true;
-      r.mapped[i] = static_cast<T>(log_in_base(std::abs(v), base));
-    }
+  // Fix-up pass, only when signs or zeros exist: plant sentinels and set
+  // sign bits over the already-resident data. Blocks are 64-bit aligned
+  // (kGrain % 64 == 0) so bitmap word writes never race.
+  if (any_negative || r.has_zeros) {
+    if (any_negative) r.negative.assign(data.size(), false);
+    parallel_for(
+        data.size(),
+        [&](std::size_t b, std::size_t e) {
+          for (std::size_t i = b; i < e; ++i) {
+            double v = static_cast<double>(data[i]);
+            if (v == 0)
+              r.mapped[i] = static_cast<T>(sentinel);
+            else if (v < 0)
+              r.negative.set(i);
+          }
+        },
+        opts);
   }
   return r;
 }
 
 template <typename T>
-std::vector<T> log_inverse(std::span<const T> mapped,
-                           const std::vector<bool>& negative, double base,
-                           double zero_threshold) {
+std::vector<T> log_inverse(std::span<const T> mapped, const Bitmap& negative,
+                           double base, double zero_threshold,
+                           std::size_t threads) {
   if (!negative.empty() && negative.size() != mapped.size())
     throw ParamError("log inverse: sign bitmap size mismatch");
   std::vector<T> out(mapped.size());
-  for (std::size_t i = 0; i < mapped.size(); ++i) {
-    double m = static_cast<double>(mapped[i]);
-    if (m <= zero_threshold) {
-      out[i] = T{0};
-      continue;
-    }
-    double v = exp_in_base(m, base);
-    if (!negative.empty() && negative[i]) v = -v;
-    out[i] = static_cast<T>(v);
-  }
+  const LogKernel kernel(base);
+  const bool has_signs = !negative.empty();
+
+  ParallelOptions opts;
+  opts.max_threads = threads;
+  opts.grain = kGrain;
+  parallel_for(
+      mapped.size(),
+      [&](std::size_t b, std::size_t e) {
+        double tile_in[kTile];
+        double tile_exp[kTile];
+        for (std::size_t t = b; t < e; t += kTile) {
+          const std::size_t end = std::min(e, t + kTile);
+          for (std::size_t i = t; i < end; ++i)
+            tile_in[i - t] = static_cast<double>(mapped[i]);
+          kernel.exp_batch(tile_in, tile_exp, end - t);
+          for (std::size_t i = t; i < end; ++i) {
+            if (tile_in[i - t] <= zero_threshold) {
+              out[i] = T{0};
+              continue;
+            }
+            double v = tile_exp[i - t];
+            if (has_signs && negative[i]) v = -v;
+            out[i] = static_cast<T>(v);
+          }
+        }
+      },
+      opts);
   return out;
 }
 
 template struct TransformResult<float>;
 template struct TransformResult<double>;
 template TransformResult<float> log_forward<float>(std::span<const float>,
-                                                   double, double);
+                                                   double, double,
+                                                   std::size_t);
 template TransformResult<double> log_forward<double>(std::span<const double>,
-                                                     double, double);
+                                                     double, double,
+                                                     std::size_t);
 template std::vector<float> log_inverse<float>(std::span<const float>,
-                                               const std::vector<bool>&,
-                                               double, double);
+                                               const Bitmap&, double, double,
+                                               std::size_t);
 template std::vector<double> log_inverse<double>(std::span<const double>,
-                                                 const std::vector<bool>&,
-                                                 double, double);
+                                                 const Bitmap&, double,
+                                                 double, std::size_t);
 
 }  // namespace transpwr

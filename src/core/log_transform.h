@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "common/bitmap.h"
 #include "common/types.h"
 
 namespace transpwr {
@@ -16,12 +17,13 @@ namespace transpwr {
 /// TransformResult::adjusted_abs_bound — Lemma 2's round-off-safe
 /// b'_a = log_base(1 + br) - max|log_base x| * eps0 — guarantees the
 /// pointwise *relative* bound br after inverse(). Signs are carried in a
-/// separate bitmap; exact zeros are mapped to a sentinel below the smallest
-/// representable magnitude (Algorithm 1 lines 4-5) and restored exactly.
+/// separate packed bitmap; exact zeros are mapped to a sentinel below the
+/// smallest representable magnitude (Algorithm 1 lines 4-5) and restored
+/// exactly.
 template <typename T>
 struct TransformResult {
   std::vector<T> mapped;          ///< log-domain data handed to the inner codec
-  std::vector<bool> negative;     ///< per-point sign; empty if none negative
+  Bitmap negative;                ///< per-point sign; empty if none negative
   double adjusted_abs_bound = 0;  ///< b'_a for the inner absolute-error codec
   double zero_threshold = 0;      ///< inverse(): mapped <= this restores 0
   double log_base = 2;
@@ -29,16 +31,22 @@ struct TransformResult {
   bool has_zeros = false;
 };
 
+/// Forward map. Runs as a fused single parallel pass (log + sign/zero scan
+/// + per-thread max|log x| partials) over the shared pool, plus a second
+/// parallel fix-up pass only when signs or zeros exist. `threads == 0`
+/// resolves to hardware concurrency; output is byte-identical for every
+/// thread count (see docs/threading.md).
 template <typename T>
 TransformResult<T> log_forward(std::span<const T> data, double rel_bound,
-                               double base);
+                               double base, std::size_t threads = 0);
 
 /// Inverse mapping: exponentiates, restores signs and exact zeros.
-/// `negative` may be empty (all values non-negative).
+/// `negative` may be empty (all values non-negative). Parallel with the
+/// same determinism guarantee as log_forward.
 template <typename T>
-std::vector<T> log_inverse(std::span<const T> mapped,
-                           const std::vector<bool>& negative, double base,
-                           double zero_threshold);
+std::vector<T> log_inverse(std::span<const T> mapped, const Bitmap& negative,
+                           double base, double zero_threshold,
+                           std::size_t threads = 0);
 
 /// The error-bound mapping g of Theorem 2 (without the round-off guard):
 /// b_a = log_base(1 + b_r).

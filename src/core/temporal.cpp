@@ -163,7 +163,7 @@ std::vector<float> TemporalDecompressor::decompress_snapshot(
   ++snapshots_;
   if (dims_out) *dims_out = dims;
 
-  std::vector<bool> negative;
+  Bitmap negative;
   if (has_signs) {
     auto raw = lossless::decompress(sign_bytes);
     BitReader br(raw);

@@ -30,7 +30,8 @@ std::vector<std::uint8_t> transformed_compress(std::span<const T> data,
 
   // --- preprocessing: log map + sign compression (Algorithm 1 lines 1-17).
   Timer pre;
-  TransformResult<T> tr = log_forward<T>(data, p.rel_bound, p.log_base);
+  TransformResult<T> tr =
+      log_forward<T>(data, p.rel_bound, p.log_base, p.threads);
   std::vector<std::uint8_t> sign_bytes;
   if (!tr.negative.empty()) {
     BitWriter bw;
@@ -77,7 +78,8 @@ std::vector<std::uint8_t> transformed_compress(std::span<const T> data,
 
 template <typename T>
 std::vector<T> transformed_decompress(std::span<const std::uint8_t> stream,
-                                      Dims* dims_out, StageTimes* times) {
+                                      Dims* dims_out, StageTimes* times,
+                                      std::size_t threads) {
   ByteReader in(stream);
   if (in.get<std::uint32_t>() != kMagic)
     throw StreamError("transformed: bad magic");
@@ -104,13 +106,13 @@ std::vector<T> transformed_decompress(std::span<const std::uint8_t> stream,
 
   // --- postprocessing: sign decompression + inverse map.
   Timer post;
-  std::vector<bool> negative;
+  Bitmap negative;
   if (has_signs) {
     auto raw = lossless::decompress(sign_bytes);
     BitReader br(raw);
     negative = rle::decode_bits(br);
   }
-  auto out = log_inverse<T>(mapped, negative, base, zero_threshold);
+  auto out = log_inverse<T>(mapped, negative, base, zero_threshold, threads);
   if (times) times->post_seconds = post.seconds();
   return out;
 }
@@ -122,8 +124,8 @@ template std::vector<std::uint8_t> transformed_compress<double>(
     std::span<const double>, Dims, InnerCodec, const TransformedParams&,
     StageTimes*);
 template std::vector<float> transformed_decompress<float>(
-    std::span<const std::uint8_t>, Dims*, StageTimes*);
+    std::span<const std::uint8_t>, Dims*, StageTimes*, std::size_t);
 template std::vector<double> transformed_decompress<double>(
-    std::span<const std::uint8_t>, Dims*, StageTimes*);
+    std::span<const std::uint8_t>, Dims*, StageTimes*, std::size_t);
 
 }  // namespace transpwr

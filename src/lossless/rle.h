@@ -2,25 +2,44 @@
 #define TRANSPWR_LOSSLESS_RLE_H
 
 #include <cstdint>
-#include <vector>
 
+#include "common/bitmap.h"
 #include "common/bitstream.h"
 
 namespace transpwr {
 namespace rle {
 
+/// Length of the run of bits equal to bits[i] starting at i, found by
+/// word-level scanning: a whole word equal to the run's fill pattern is
+/// skipped in one comparison, so dense same-sign fields scan at 64
+/// bits/step instead of 1.
+inline std::size_t run_length(const Bitmap& bits, std::size_t i) {
+  const std::size_t n = bits.size();
+  const bool cur = bits[i];
+  std::size_t j = i + 1;
+  while (j < n && (j % Bitmap::kWordBits) != 0) {
+    if (bits[j] != cur) return j - i;
+    ++j;
+  }
+  const std::uint64_t fill = cur ? ~std::uint64_t{0} : std::uint64_t{0};
+  auto words = bits.words();
+  while (j + Bitmap::kWordBits <= n && words[j / Bitmap::kWordBits] == fill)
+    j += Bitmap::kWordBits;
+  while (j < n && bits[j] == cur) ++j;
+  return j - i;
+}
+
 /// Run-length code a bit vector (e.g. a sign bitmap) as alternating-run
 /// Elias-gamma lengths. Dense same-sign regions — the common case in
-/// scientific fields — collapse to a few bits.
-inline void encode_bits(const std::vector<bool>& bits, BitWriter& bw) {
+/// scientific fields — collapse to a few bits. The stream format is
+/// unchanged from the std::vector<bool> era.
+inline void encode_bits(const Bitmap& bits, BitWriter& bw) {
   bw.write_bits(bits.size(), 64);
   if (bits.empty()) return;
-  bool cur = bits[0];
-  bw.write_bit(cur);
+  bw.write_bit(bits[0]);
   std::size_t i = 0;
   while (i < bits.size()) {
-    std::size_t run = 1;
-    while (i + run < bits.size() && bits[i + run] == cur) ++run;
+    std::size_t run = run_length(bits, i);
     // Elias gamma of `run` (run >= 1).
     unsigned nbits = 0;
     for (std::size_t v = run; v > 1; v >>= 1) ++nbits;
@@ -28,22 +47,25 @@ inline void encode_bits(const std::vector<bool>& bits, BitWriter& bw) {
     bw.write_bit(true);           // stop bit = MSB of run
     bw.write_bits(run, nbits);    // low bits of run (LSB-first)
     i += run;
-    cur = !cur;
   }
 }
 
-inline std::vector<bool> decode_bits(BitReader& br) {
+inline Bitmap decode_bits(BitReader& br) {
   auto n = static_cast<std::size_t>(br.read_bits(64));
-  std::vector<bool> bits;
-  bits.reserve(n);
+  Bitmap bits;
   if (n == 0) return bits;
+  bits.resize(n);
   bool cur = br.read_bit();
-  while (bits.size() < n) {
+  std::size_t at = 0;
+  while (at < n) {
     unsigned nbits = 0;
     while (!br.read_bit()) ++nbits;
     std::size_t run = (std::size_t{1} << nbits) | br.read_bits(nbits);
-    for (std::size_t j = 0; j < run && bits.size() < n; ++j)
-      bits.push_back(cur);
+    if (cur) {
+      std::size_t end = std::min(n, at + run);
+      for (std::size_t j = at; j < end; ++j) bits.set(j);
+    }
+    at += run;
     cur = !cur;
   }
   return bits;

@@ -1,14 +1,13 @@
 #include "parallel/chunked.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cstring>
-#include <thread>
+#include <string>
 
 #include "common/bytestream.h"
 #include "common/checksum.h"
 #include "common/error.h"
-#include "common/thread_pool.h"
+#include "common/parallel.h"
 
 namespace transpwr {
 namespace chunked {
@@ -17,9 +16,23 @@ namespace {
 constexpr std::uint32_t kMagic = 0x314B4843;  // "CHK1"
 
 std::size_t resolve_threads(std::size_t threads) {
-  if (threads) return threads;
-  unsigned hc = std::thread::hardware_concurrency();
-  return hc ? hc : 2;
+  return threads ? threads : default_threads();
+}
+
+/// Options for the slab fan-out over the shared pool: one slab per block.
+ParallelOptions slab_options(std::size_t threads) {
+  ParallelOptions opts;
+  opts.max_threads = threads;
+  opts.grain = 1;
+  return opts;
+}
+
+/// Wrap a slab failure so the user sees which slab and why (the seed
+/// swallowed the message into a generic "a slab failed").
+[[noreturn]] void rethrow_slab_failure(const char* phase, std::size_t slab,
+                                       const std::exception& ex) {
+  throw StreamError("chunked: slab " + std::to_string(slab) + " failed to " +
+                    phase + ": " + ex.what());
 }
 
 struct Slab {
@@ -106,22 +119,22 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims dims,
   auto slabs = plan_slabs(dims, chunks);
 
   std::vector<std::vector<std::uint8_t>> streams(slabs.size());
-  std::atomic<bool> failed{false};
-  ThreadPool pool(threads);
-  pool.parallel_for(slabs.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      try {
-        auto comp = make_compressor(params.scheme);
-        const Slab& s = slabs[i];
-        streams[i] = comp->compress(
-            data.subspan(s.offset, s.dims.count()), s.dims,
-            params.compressor);
-      } catch (...) {
-        failed = true;
-      }
-    }
-  });
-  if (failed) throw StreamError("chunked: a slab failed to compress");
+  parallel_for(
+      slabs.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          try {
+            auto comp = make_compressor(params.scheme);
+            const Slab& s = slabs[i];
+            streams[i] = comp->compress(
+                data.subspan(s.offset, s.dims.count()), s.dims,
+                params.compressor);
+          } catch (const std::exception& ex) {
+            rethrow_slab_failure("compress", i, ex);
+          }
+        }
+      },
+      slab_options(threads));
 
   std::vector<std::uint64_t> slab_rows;
   slab_rows.reserve(slabs.size());
@@ -164,37 +177,31 @@ std::vector<T> decompress(std::span<const std::uint8_t> stream,
   auto slabs = slabs_from_rows(dims, slab_rows);
 
   std::vector<T> out(dims.count());
-  std::atomic<bool> failed{false};
-  ThreadPool pool(resolve_threads(threads));
-  pool.parallel_for(slabs.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      try {
-        if (fnv1a64(slab_streams[i]) != slab_sums[i]) {
-          failed = true;
-          continue;
+  parallel_for(
+      slabs.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          try {
+            if (fnv1a64(slab_streams[i]) != slab_sums[i])
+              throw StreamError("checksum mismatch (corrupt stream)");
+            auto comp = make_compressor(scheme);
+            Dims got;
+            std::vector<T> slab_data;
+            if constexpr (std::is_same_v<T, float>)
+              slab_data = comp->decompress_f32(slab_streams[i], &got);
+            else
+              slab_data = comp->decompress_f64(slab_streams[i], &got);
+            if (!(got == slabs[i].dims) ||
+                slab_data.size() != slabs[i].dims.count())
+              throw StreamError("slab shape does not match the row table");
+            std::memcpy(out.data() + slabs[i].offset, slab_data.data(),
+                        slab_data.size() * sizeof(T));
+          } catch (const std::exception& ex) {
+            rethrow_slab_failure("decompress", i, ex);
+          }
         }
-        auto comp = make_compressor(scheme);
-        Dims got;
-        std::vector<T> slab_data;
-        if constexpr (std::is_same_v<T, float>)
-          slab_data = comp->decompress_f32(slab_streams[i], &got);
-        else
-          slab_data = comp->decompress_f64(slab_streams[i], &got);
-        if (!(got == slabs[i].dims) ||
-            slab_data.size() != slabs[i].dims.count()) {
-          failed = true;
-          continue;
-        }
-        std::memcpy(out.data() + slabs[i].offset, slab_data.data(),
-                    slab_data.size() * sizeof(T));
-      } catch (...) {
-        failed = true;
-      }
-    }
-  });
-  if (failed)
-    throw StreamError(
-        "chunked: a slab failed to decompress (corrupt or checksum mismatch)");
+      },
+      slab_options(resolve_threads(threads)));
   return out;
 }
 
@@ -247,42 +254,36 @@ std::vector<T> decompress_rows(std::span<const std::uint8_t> stream,
   }
 
   std::vector<T> out(roi.count());
-  std::atomic<bool> failed{false};
-  ThreadPool pool(resolve_threads(threads));
-  pool.parallel_for(wanted.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t w = begin; w < end; ++w) {
-      const std::size_t i = wanted[w];
-      try {
-        if (fnv1a64(slab_streams[i]) != slab_sums[i]) {
-          failed = true;
-          continue;
+  parallel_for(
+      wanted.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t w = begin; w < end; ++w) {
+          const std::size_t i = wanted[w];
+          try {
+            if (fnv1a64(slab_streams[i]) != slab_sums[i])
+              throw StreamError("checksum mismatch (corrupt stream)");
+            auto comp = make_compressor(scheme);
+            Dims got;
+            std::vector<T> slab_data;
+            if constexpr (std::is_same_v<T, float>)
+              slab_data = comp->decompress_f32(slab_streams[i], &got);
+            else
+              slab_data = comp->decompress_f64(slab_streams[i], &got);
+            const Slab& s = slabs[i];
+            if (!(got == s.dims) || slab_data.size() != s.dims.count())
+              throw StreamError("slab shape does not match the row table");
+            // Copy the overlapping rows into the ROI buffer.
+            std::size_t from = std::max(s.row_begin, row_begin);
+            std::size_t to = std::min(s.row_begin + s.row_count, row_end);
+            std::memcpy(out.data() + (from - row_begin) * row_elems,
+                        slab_data.data() + (from - s.row_begin) * row_elems,
+                        (to - from) * row_elems * sizeof(T));
+          } catch (const std::exception& ex) {
+            rethrow_slab_failure("decompress", i, ex);
+          }
         }
-        auto comp = make_compressor(scheme);
-        Dims got;
-        std::vector<T> slab_data;
-        if constexpr (std::is_same_v<T, float>)
-          slab_data = comp->decompress_f32(slab_streams[i], &got);
-        else
-          slab_data = comp->decompress_f64(slab_streams[i], &got);
-        const Slab& s = slabs[i];
-        if (!(got == s.dims) || slab_data.size() != s.dims.count()) {
-          failed = true;
-          continue;
-        }
-        // Copy the overlapping rows into the ROI buffer.
-        std::size_t from = std::max(s.row_begin, row_begin);
-        std::size_t to = std::min(s.row_begin + s.row_count, row_end);
-        std::memcpy(out.data() + (from - row_begin) * row_elems,
-                    slab_data.data() + (from - s.row_begin) * row_elems,
-                    (to - from) * row_elems * sizeof(T));
-      } catch (...) {
-        failed = true;
-      }
-    }
-  });
-  if (failed)
-    throw StreamError(
-        "chunked: a slab failed to decompress (corrupt or checksum mismatch)");
+      },
+      slab_options(resolve_threads(threads)));
   return out;
 }
 

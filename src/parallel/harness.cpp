@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "data/io.h"
 
@@ -100,10 +101,10 @@ RunResult run(const RunConfig& cfg, const std::vector<Field<float>>& shards) {
     }
   };
 
-  std::vector<std::thread> threads;
-  threads.reserve(cfg.ranks);
-  for (std::size_t r = 0; r < cfg.ranks; ++r) threads.emplace_back(body, r);
-  for (auto& th : threads) th.join();
+  // Rank bodies synchronise through `sync`, so all of them must be live at
+  // once — run_concurrent hosts them on the shared pool when it fits and
+  // falls back to dedicated threads otherwise.
+  run_concurrent(cfg.ranks, body);
   if (failed) throw StreamError("parallel::run: a rank failed");
 
   RunResult res;
@@ -161,10 +162,7 @@ RunResult run_raw_baseline(std::size_t ranks, const std::string& dir,
     }
   };
 
-  std::vector<std::thread> threads;
-  threads.reserve(ranks);
-  for (std::size_t r = 0; r < ranks; ++r) threads.emplace_back(body, r);
-  for (auto& th : threads) th.join();
+  run_concurrent(ranks, body);
   if (failed) throw StreamError("run_raw_baseline: a rank failed");
 
   RunResult res;

@@ -1,0 +1,83 @@
+#include "common/bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace transpwr {
+namespace {
+
+TEST(Bitmap, StartsEmpty) {
+  Bitmap b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.word_count(), 0u);
+  EXPECT_FALSE(b.any());
+}
+
+TEST(Bitmap, SetAndGet) {
+  Bitmap b(130);  // spans three words
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.word_count(), 3u);
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_FALSE(b[i]);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b[0]);
+  EXPECT_TRUE(b[63]);
+  EXPECT_TRUE(b[64]);
+  EXPECT_TRUE(b[129]);
+  EXPECT_FALSE(b[1]);
+  EXPECT_FALSE(b[65]);
+  EXPECT_TRUE(b.any());
+  b.set(63, false);
+  EXPECT_FALSE(b[63]);
+}
+
+TEST(Bitmap, AssignFill) {
+  Bitmap b;
+  b.assign(70, true);
+  for (std::size_t i = 0; i < 70; ++i) ASSERT_TRUE(b[i]);
+  // Tail bits past size() must stay zero so word compares are exact.
+  EXPECT_EQ(b.words()[1], (std::uint64_t{1} << 6) - 1);
+  b.assign(70, false);
+  EXPECT_FALSE(b.any());
+}
+
+TEST(Bitmap, PushBackAndEquality) {
+  Bitmap a, b;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back(i % 3 == 0);
+    b.push_back(i % 3 == 0);
+  }
+  EXPECT_EQ(a, b);
+  b.set(77, !b[77]);
+  EXPECT_FALSE(a == b);
+  // Same bits, different length: not equal.
+  Bitmap c = a;
+  c.push_back(false);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Bitmap, ResizeKeepsTailInvariant) {
+  Bitmap b;
+  b.assign(128, true);
+  b.resize(65);
+  EXPECT_EQ(b.word_count(), 2u);
+  EXPECT_EQ(b.words()[1], 1u);  // only bit 64 survives
+  b.resize(128);
+  for (std::size_t i = 65; i < 128; ++i) ASSERT_FALSE(b[i]);
+  for (std::size_t i = 0; i < 65; ++i) ASSERT_TRUE(b[i]);
+}
+
+TEST(Bitmap, WordAccessMatchesBitAccess) {
+  Bitmap b(64);
+  b.set(5);
+  b.set(63);
+  EXPECT_EQ(b.words()[0],
+            (std::uint64_t{1} << 5) | (std::uint64_t{1} << 63));
+}
+
+}  // namespace
+}  // namespace transpwr

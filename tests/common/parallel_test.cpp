@@ -1,0 +1,194 @@
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/error.h"
+#include "common/thread_pool.h"
+
+namespace transpwr {
+namespace {
+
+TEST(GlobalPool, IsASingleton) {
+  ThreadPool& a = global_pool();
+  ThreadPool& b = global_pool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1u);
+}
+
+TEST(GlobalPool, DefaultThreadsIsPositive) {
+  EXPECT_GE(default_threads(), 1u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  const std::size_t n = 100000;
+  std::vector<std::atomic<int>> hits(n);
+  ParallelOptions opts;
+  opts.grain = 512;
+  parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i)
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+      },
+      opts);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelFor, BlocksAreGrainAligned) {
+  // Every block must be [k*grain, (k+1)*grain) ∩ [0, n) — the alignment the
+  // packed sign bitmap relies on to avoid word sharing across tasks.
+  const std::size_t n = 10000, grain = 256;
+  std::atomic<bool> aligned{true};
+  ParallelOptions opts;
+  opts.grain = grain;
+  opts.max_threads = 4;  // force the multi-task path even on 1-core hosts
+  parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        if (begin % grain != 0) aligned = false;
+        if (end != n && end != begin + grain) aligned = false;
+        if (end > n) aligned = false;
+      },
+      opts);
+  EXPECT_TRUE(aligned.load());
+}
+
+TEST(ParallelFor, EmptyRangeAndSingleThread) {
+  bool called = false;
+  parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+
+  ParallelOptions one;
+  one.max_threads = 1;
+  std::size_t total = 0;  // inline => no synchronisation needed
+  parallel_for(
+      1000, [&](std::size_t b, std::size_t e) { total += e - b; }, one);
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(ParallelForSlots, SlotsFitTaskCountAndPartialsReduce) {
+  const std::size_t n = 1 << 18;
+  ParallelOptions opts;
+  opts.max_threads = 4;
+  const std::size_t tasks = parallel_task_count(n, opts);
+  ASSERT_GE(tasks, 1u);
+  std::vector<std::uint64_t> partial(tasks, 0);
+  parallel_for_slots(
+      n,
+      [&](std::size_t slot, std::size_t begin, std::size_t end) {
+        ASSERT_LT(slot, tasks);
+        for (std::size_t i = begin; i < end; ++i) partial[slot] += i;
+      },
+      opts);
+  std::uint64_t sum = std::accumulate(partial.begin(), partial.end(),
+                                      std::uint64_t{0});
+  EXPECT_EQ(sum, std::uint64_t{n} * (n - 1) / 2);
+}
+
+TEST(ParallelFor, FirstExceptionPropagatesWithMessage) {
+  ParallelOptions opts;
+  opts.max_threads = 4;  // force the multi-task path even on 1-core hosts
+  try {
+    parallel_for(
+        100000,
+        [](std::size_t begin, std::size_t) {
+          if (begin >= 50000) throw std::runtime_error("block failed loudly");
+        },
+        opts);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& ex) {
+    EXPECT_STREQ(ex.what(), "block failed loudly");
+  }
+  // The pool must still be usable afterwards.
+  std::atomic<std::size_t> count{0};
+  parallel_for(1000, [&](std::size_t b, std::size_t e) { count += e - b; });
+  EXPECT_EQ(count.load(), 1000u);
+}
+
+TEST(ParallelFor, NestedCallRunsInlineWithoutDeadlock) {
+  // A body that itself calls parallel_for must not deadlock the shared pool:
+  // nested regions collapse to inline execution on the worker thread.
+  std::atomic<std::size_t> total{0};
+  parallel_for(
+      64,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          parallel_for(100, [&](std::size_t b, std::size_t e) {
+            total.fetch_add(e - b, std::memory_order_relaxed);
+          });
+        }
+      },
+      ParallelOptions{.max_threads = 8, .grain = 1});
+  EXPECT_EQ(total.load(), 64u * 100u);
+}
+
+TEST(ParallelFor, StressManySmallRegions) {
+  // Thousands of short regions through the shared pool: shakes out races in
+  // the latch / error-slot reuse path.
+  for (int round = 0; round < 2000; ++round) {
+    std::atomic<std::size_t> count{0};
+    parallel_for(
+        128, [&](std::size_t b, std::size_t e) { count += e - b; },
+        ParallelOptions{.max_threads = 4, .grain = 8});
+    ASSERT_EQ(count.load(), 128u);
+  }
+}
+
+TEST(RunConcurrent, AllBodiesLiveSimultaneously) {
+  // Barrier-synchronised bodies only finish if all n run at the same time.
+  for (std::size_t n : {1u, 2u, 4u, 8u}) {
+    std::barrier sync(static_cast<std::ptrdiff_t>(n));
+    std::vector<int> order(n, -1);
+    run_concurrent(n, [&](std::size_t rank) {
+      sync.arrive_and_wait();
+      order[rank] = static_cast<int>(rank);
+      sync.arrive_and_wait();
+    });
+    for (std::size_t r = 0; r < n; ++r) EXPECT_EQ(order[r], static_cast<int>(r));
+  }
+}
+
+TEST(RunConcurrent, FallsBackWhenLargerThanPool) {
+  // More bodies than the pool can host exclusively: dedicated-thread
+  // fallback must still satisfy the all-live contract.
+  const std::size_t n = global_pool().size() + 4;
+  std::barrier sync(static_cast<std::ptrdiff_t>(n));
+  std::atomic<std::size_t> done{0};
+  run_concurrent(n, [&](std::size_t) {
+    sync.arrive_and_wait();
+    done.fetch_add(1);
+  });
+  EXPECT_EQ(done.load(), n);
+}
+
+TEST(RunConcurrent, PropagatesFirstException) {
+  EXPECT_THROW(
+      run_concurrent(4,
+                     [&](std::size_t rank) {
+                       if (rank == 2) throw ParamError("rank 2 exploded");
+                     }),
+      ParamError);
+  // Exclusivity must have been released — the pool still works.
+  std::atomic<std::size_t> count{0};
+  parallel_for(100, [&](std::size_t b, std::size_t e) { count += e - b; });
+  EXPECT_EQ(count.load(), 100u);
+}
+
+TEST(ThreadPool, ExclusiveAcquisitionIsMutual) {
+  ThreadPool& pool = global_pool();
+  ASSERT_TRUE(pool.try_acquire_exclusive());
+  EXPECT_FALSE(pool.try_acquire_exclusive());
+  pool.release_exclusive();
+  ASSERT_TRUE(pool.try_acquire_exclusive());
+  pool.release_exclusive();
+}
+
+}  // namespace
+}  // namespace transpwr

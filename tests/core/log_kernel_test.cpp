@@ -1,0 +1,140 @@
+#include "core/log_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace transpwr {
+namespace {
+
+std::vector<double> positive_samples(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Wide dynamic range: uniform mantissa scaled by a random power of two
+    // from denormal-adjacent up to huge.
+    double m = 0.5 + 0.5 * rng.uniform();
+    int e = static_cast<int>(rng.below(600)) - 300;
+    v[i] = std::ldexp(m, e);
+  }
+  // Exact powers and boundary-ish values.
+  v.push_back(1.0);
+  v.push_back(2.0);
+  v.push_back(0.5);
+  v.push_back(1024.0);
+  v.push_back(5e-324);  // denormal min
+  return v;
+}
+
+bool bit_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+TEST(LogKernel, BaseEConstantMatchesExp1) {
+  EXPECT_NEAR(kBaseE, std::exp(1.0), 1e-15);
+}
+
+TEST(LogKernel, DedicatedBasesMatchLibm) {
+  auto xs = positive_samples(3, 2000);
+  LogKernel k2(2.0), k10(10.0), ke(kBaseE);
+  for (double x : xs) {
+    EXPECT_TRUE(bit_equal(k2.log(x), std::log2(x)));
+    EXPECT_TRUE(bit_equal(k10.log(x), std::log10(x)));
+    EXPECT_TRUE(bit_equal(ke.log(x), std::log(x)));
+  }
+}
+
+TEST(LogKernel, BatchIsBitIdenticalToScalar) {
+  auto xs = positive_samples(7, 5000);
+  for (double base : {2.0, 10.0, kBaseE, 3.5, 1.0001, 7.0}) {
+    LogKernel k(base);
+    std::vector<double> batch(xs.size());
+    k.log_batch(xs.data(), batch.data(), xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      ASSERT_TRUE(bit_equal(batch[i], k.log(xs[i])))
+          << "base " << base << " log of " << xs[i];
+
+    std::vector<double> vs(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      vs[i] = k.log(xs[i]);  // stay in a range exp can represent
+    std::vector<double> eb(vs.size());
+    k.exp_batch(vs.data(), eb.data(), vs.size());
+    for (std::size_t i = 0; i < vs.size(); ++i)
+      ASSERT_TRUE(bit_equal(eb[i], k.exp(vs[i])))
+          << "base " << base << " exp of " << vs[i];
+  }
+}
+
+TEST(LogKernel, ArbitraryBaseFrexpPathIsAccurate) {
+  // The frexp decomposition must agree with the naive log(x)/log(base)
+  // quotient to a few ulps across the full dynamic range.
+  auto xs = positive_samples(11, 5000);
+  for (double base : {3.5, 7.0, 1.5, 255.0}) {
+    LogKernel k(base);
+    const double inv = 1.0 / std::log(base);
+    for (double x : xs) {
+      double ref = std::log(x) * inv;
+      double got = k.log(x);
+      double tol = 4.0 * std::abs(ref) * 2.220446049250313e-16 + 1e-300;
+      ASSERT_NEAR(got, ref, tol) << "base " << base << " x " << x;
+    }
+  }
+}
+
+TEST(LogKernel, RoundTripStaysWithinRelativeBound) {
+  // exp(log(x)) must reproduce x to within ~|log2 x| ulps for every base:
+  // the exponent product's rounding amplifies as eps * |v * log2(base)|,
+  // which is exactly the storage round-off the Lemma 2 guard absorbs.
+  constexpr double kEps = 2.220446049250313e-16;
+  auto xs = positive_samples(13, 3000);
+  for (double base : {2.0, 10.0, kBaseE, 3.5}) {
+    LogKernel k(base);
+    for (double x : xs) {
+      if (x < 1e-300 || x > 1e300) continue;  // skip exp overflow fringe
+      double rt = k.exp(k.log(x));
+      double tol = (8.0 + 2.0 * std::abs(std::log2(x))) * x * kEps;
+      ASSERT_NEAR(rt, x, tol) << "base " << base << " x " << x;
+    }
+  }
+}
+
+TEST(LogKernel, Exp10FastPathIsAccurate) {
+  // Base-10 exp goes through exp2(v * log2(10)); the product's rounding
+  // gives a relative error of at most ~eps * |v| * log2(10) * ln 2, far
+  // inside the adjusted-bound guard for any realistic rel_bound.
+  constexpr double kEps = 2.220446049250313e-16;
+  LogKernel k(10.0);
+  Rng rng(17);
+  for (int i = 0; i < 5000; ++i) {
+    double v = (rng.uniform() - 0.5) * 600.0;  // 10^±300
+    double ref = std::pow(10.0, v);
+    double got = k.exp(v);
+    double tol = (8.0 + 4.0 * std::abs(v)) * ref * kEps;
+    ASSERT_NEAR(got, ref, tol) << "v " << v;
+  }
+  // Small integer exponents should be spot-on or adjacent.
+  for (int e = -30; e <= 30; ++e) {
+    double ref = std::pow(10.0, e);
+    ASSERT_NEAR(k.exp(e), ref, (8.0 + 4.0 * std::abs(e)) * ref * kEps);
+  }
+}
+
+TEST(LogKernel, LogOfOneIsExactlyZero) {
+  // Zeros in the forward transform feed a dummy 1.0 into the batch; its log
+  // must be exactly 0.0 in every kernel path so it cannot perturb max|log|.
+  for (double base : {2.0, 10.0, kBaseE, 3.5, 42.0}) {
+    LogKernel k(base);
+    double out = -1;
+    double in = 1.0;
+    EXPECT_EQ(k.log(1.0), 0.0) << "base " << base;
+    k.log_batch(&in, &out, 1);
+    EXPECT_EQ(out, 0.0) << "base " << base;
+  }
+}
+
+}  // namespace
+}  // namespace transpwr

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <vector>
 
@@ -168,6 +170,117 @@ TEST(LogForward, DoubleRoundTripTightBound) {
                                   r.zero_threshold);
   for (std::size_t i = 0; i < data.size(); ++i)
     ASSERT_LE(std::abs(back[i] - data[i]), br * std::abs(data[i]));
+}
+
+std::vector<float> mixed_field(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<float> data(n);
+  for (auto& v : data) {
+    double r = rng.uniform();
+    if (r < 0.01) {
+      v = 0.0f;  // sprinkle zeros
+    } else {
+      v = static_cast<float>(std::pow(10.0, rng.uniform(-20, 20)) *
+                             (rng.uniform() < 0.5 ? -1 : 1));
+    }
+  }
+  return data;
+}
+
+template <typename T>
+bool byte_equal(const std::vector<T>& a, const std::vector<T>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0;
+}
+
+TEST(LogTransform, ParallelForwardIsByteIdenticalToSingleThread) {
+  // Determinism across thread counts: every output of the fused parallel
+  // pass must be byte-for-byte the serial result, zeros/negatives included.
+  // 100003 is prime, so blocks straddle grain and word boundaries unevenly.
+  auto data = mixed_field(21, 100003);
+  for (double base : {2.0, kE, 10.0}) {
+    SCOPED_TRACE(base);
+    auto serial = log_forward<float>(data, 1e-3, base, 1);
+    for (std::size_t threads : {2u, 4u, 8u}) {
+      auto par = log_forward<float>(data, 1e-3, base, threads);
+      ASSERT_TRUE(byte_equal(par.mapped, serial.mapped)) << threads;
+      ASSERT_EQ(par.negative, serial.negative) << threads;
+      ASSERT_EQ(par.max_abs_log, serial.max_abs_log) << threads;
+      ASSERT_EQ(par.adjusted_abs_bound, serial.adjusted_abs_bound);
+      ASSERT_EQ(par.zero_threshold, serial.zero_threshold);
+      ASSERT_EQ(par.has_zeros, serial.has_zeros);
+    }
+  }
+}
+
+TEST(LogTransform, ParallelInverseIsByteIdenticalToSingleThread) {
+  auto data = mixed_field(22, 65537);
+  auto r = log_forward<float>(data, 1e-3, 2.0, 4);
+  auto serial = log_inverse<float>(r.mapped, r.negative, 2.0,
+                                   r.zero_threshold, 1);
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    auto par = log_inverse<float>(r.mapped, r.negative, 2.0,
+                                  r.zero_threshold, threads);
+    ASSERT_TRUE(byte_equal(par, serial)) << threads;
+  }
+}
+
+TEST(LogTransform, FusedPassMatchesTwoPassReference) {
+  // The fused single-pass forward must reproduce the seed's two-pass
+  // algorithm bit-for-bit: pass 1 max|log|, pass 2 map, identical libm
+  // calls in both.
+  auto data = mixed_field(23, 20011);
+  for (double base : {2.0, kE, 10.0}) {
+    SCOPED_TRACE(base);
+    auto log_b = [base](double v) {
+      if (base == 2.0) return std::log2(v);
+      if (base == 10.0) return std::log10(v);
+      return std::log(v);
+    };
+    double max_abs_log = 0.0;
+    for (float v : data) {
+      if (v == 0.0f) continue;
+      double lv = log_b(std::abs(static_cast<double>(v)));
+      max_abs_log = std::max(max_abs_log, std::abs(lv));
+    }
+    std::vector<float> mapped(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      float v = data[i];
+      mapped[i] = v == 0.0f ? 0.0f
+                            : static_cast<float>(
+                                  log_b(std::abs(static_cast<double>(v))));
+    }
+    auto r = log_forward<float>(data, 1e-3, base, 4);
+    ASSERT_EQ(r.max_abs_log, max_abs_log);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (data[i] == 0.0f) continue;  // fused pass plants sentinels there
+      ASSERT_EQ(r.mapped[i], mapped[i]) << i;
+    }
+  }
+}
+
+TEST(LogTransform, ArbitraryBaseParallelRoundTrip) {
+  // Arbitrary bases use the frexp kernel; the relative bound must still
+  // hold end-to-end under worst-case perturbation, at any thread count.
+  auto data = mixed_field(24, 30011);
+  const double br = 1e-3, base = 3.5;
+  for (std::size_t threads : {1u, 4u}) {
+    SCOPED_TRACE(threads);
+    auto r = log_forward<float>(data, br, base, threads);
+    std::vector<float> perturbed(r.mapped);
+    for (std::size_t i = 0; i < perturbed.size(); ++i)
+      perturbed[i] = static_cast<float>(
+          perturbed[i] + (i % 2 ? 1.0 : -1.0) * r.adjusted_abs_bound);
+    auto back = log_inverse<float>(perturbed, r.negative, base,
+                                   r.zero_threshold, threads);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (data[i] == 0.0f) {
+        ASSERT_EQ(back[i], 0.0f) << i;
+      } else {
+        ASSERT_LE(std::abs(back[i] - data[i]), br * std::abs(data[i])) << i;
+      }
+    }
+  }
 }
 
 TEST(LogTransform, BasesGiveEquivalentQuantizationIndices) {

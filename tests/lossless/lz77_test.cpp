@@ -121,7 +121,7 @@ TEST(Lossless, UnknownMethodThrows) {
 }
 
 TEST(Rle, BitVectorRoundTrip) {
-  std::vector<bool> bits;
+  Bitmap bits;
   for (int i = 0; i < 1000; ++i) bits.push_back(i % 97 < 50);
   BitWriter bw;
   rle::encode_bits(bits, bw);
@@ -131,7 +131,8 @@ TEST(Rle, BitVectorRoundTrip) {
 }
 
 TEST(Rle, AllSameBitIsTiny) {
-  std::vector<bool> bits(1 << 20, true);
+  Bitmap bits;
+  bits.assign(1 << 20, true);
   BitWriter bw;
   rle::encode_bits(bits, bw);
   auto bytes = bw.take();
@@ -141,18 +142,22 @@ TEST(Rle, AllSameBitIsTiny) {
 }
 
 TEST(Rle, EmptyAndSingle) {
-  for (auto bits : {std::vector<bool>{}, std::vector<bool>{true},
-                    std::vector<bool>{false}}) {
+  Bitmap empty;
+  Bitmap one_true;
+  one_true.push_back(true);
+  Bitmap one_false;
+  one_false.push_back(false);
+  for (const Bitmap* bits : {&empty, &one_true, &one_false}) {
     BitWriter bw;
-    rle::encode_bits(bits, bw);
+    rle::encode_bits(*bits, bw);
     auto bytes = bw.take();
     BitReader br(bytes);
-    EXPECT_EQ(rle::decode_bits(br), bits);
+    EXPECT_EQ(rle::decode_bits(br), *bits);
   }
 }
 
 TEST(Rle, AlternatingBits) {
-  std::vector<bool> bits;
+  Bitmap bits;
   for (int i = 0; i < 4096; ++i) bits.push_back(i % 2 == 0);
   BitWriter bw;
   rle::encode_bits(bits, bw);
