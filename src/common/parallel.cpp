@@ -141,27 +141,19 @@ void run_concurrent(std::size_t n,
     return;
   }
 
-  ThreadPool& pool = global_pool();
-  const bool pooled = !ThreadPool::in_worker() && n - 1 <= pool.size() &&
-                      pool.try_acquire_exclusive();
-  if (pooled) {
-    Completion done(n - 1);
-    for (std::size_t r = 1; r < n; ++r) {
-      pool.submit([&, r] {
-        wrapped(r);
-        done.finish_one();
-      });
-    }
-    wrapped(0);
-    done.wait();
-    pool.release_exclusive();
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(n - 1);
-    for (std::size_t r = 1; r < n; ++r) threads.emplace_back(wrapped, r);
-    wrapped(0);
-    for (auto& t : threads) t.join();
-  }
+  // Always dedicated threads, never the shared pool. Bodies may block for
+  // arbitrarily long (std::barrier ranks) and fan out nested parallel_for
+  // work; hosting them on pool workers would (a) deadlock once the parked
+  // bodies hold every worker a caller-thread body's nested region needs,
+  // and (b) demote pool-hosted bodies to inline-serial nested execution
+  // while the caller-thread body still fans out — asymmetric intra-body
+  // parallelism. Dedicated threads keep every body a non-worker, so each
+  // one's nested regions use the pool identically.
+  std::vector<std::thread> threads;
+  threads.reserve(n - 1);
+  for (std::size_t r = 1; r < n; ++r) threads.emplace_back(wrapped, r);
+  wrapped(0);
+  for (auto& t : threads) t.join();
   err.rethrow_if_set();
 }
 

@@ -58,9 +58,12 @@ void parallel_for(std::size_t n,
 
 /// Run body(0) .. body(n-1) with all n invocations live at the same time —
 /// the contract barrier-synchronised rank bodies need (parallel_for only
-/// promises eventual execution). Uses the shared pool when it can host all
-/// of them exclusively; otherwise falls back to dedicated threads. The
-/// first exception thrown by a body is rethrown after every body finished.
+/// promises eventual execution). Always runs on dedicated threads, never
+/// the shared pool: bodies may block indefinitely (barriers) and fan out
+/// nested parallel_for work, and pool-hosted bodies would both risk
+/// deadlocking the pool and lose intra-body parallelism (nested regions
+/// run inline on workers). The first exception thrown by a body is
+/// rethrown after every body finished.
 void run_concurrent(std::size_t n,
                     const std::function<void(std::size_t)>& body);
 

@@ -11,13 +11,6 @@ thread_local bool t_in_worker = false;
 
 bool ThreadPool::in_worker() { return t_in_worker; }
 
-bool ThreadPool::try_acquire_exclusive() {
-  bool expected = false;
-  return exclusive_.compare_exchange_strong(expected, true);
-}
-
-void ThreadPool::release_exclusive() { exclusive_.store(false); }
-
 ThreadPool::ThreadPool(std::size_t num_threads) {
   num_threads = std::max<std::size_t>(1, num_threads);
   workers_.reserve(num_threads);

@@ -31,14 +31,6 @@ class ThreadPool {
   /// waiting on tasks only parked workers could run).
   static bool in_worker();
 
-  /// Cooperative exclusivity for workloads that need N *concurrently live*
-  /// tasks (e.g. barrier-synchronised rank bodies): two such workloads
-  /// interleaved in the queue could each hold half the workers and block
-  /// forever. try_acquire_exclusive() lets at most one of them use the pool;
-  /// the rest fall back to dedicated threads.
-  bool try_acquire_exclusive();
-  void release_exclusive();
-
   /// Enqueue a task; returns immediately.
   void submit(std::function<void()> task);
 
@@ -60,7 +52,6 @@ class ThreadPool {
   std::condition_variable idle_;
   std::size_t active_ = 0;
   bool stop_ = false;
-  std::atomic<bool> exclusive_{false};
 };
 
 }  // namespace transpwr

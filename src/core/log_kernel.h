@@ -16,11 +16,12 @@ inline constexpr double kBaseE = 2.718281828459045;
 ///
 ///  - bases 2 / 10 / e forward through the dedicated libm routines (the
 ///    asymmetry the paper's Table III measures);
-///  - arbitrary bases use the frexp decomposition
-///    log2(x) = e + log2(m), x = m * 2^e, m in [0.5, 1), with the libm
-///    log2 tail, then one multiply by 1/log2(base) — one libm call per
-///    element instead of the two (log(x), log(base)) the naive quotient
-///    costs;
+///  - arbitrary bases compute log(x) / ln(base) with ln(base) precomputed —
+///    one libm call per element instead of the two (log(x), log(base)) the
+///    naive quotient costs, bit-identical to that quotient, and with
+///    *relative* error bounded even as |log x| -> 0 (libm log is relatively
+///    accurate near 1), which is what the Lemma 2 round-off guard
+///    max|log x| * eps0 assumes;
 ///  - exponentiation for any base other than 2 / e is exp2(v * log2(base)),
 ///    which covers the exp10-style fast path for base 10 (ISO C++ has no
 ///    exp10); the extra rounding stays within the Lemma 2 guard, verified
@@ -38,7 +39,7 @@ class LogKernel {
               : base == kBaseE ? Kind::kLn
                                : Kind::kArbitrary),
         log2_base_(std::log2(base)),
-        inv_log2_base_(1.0 / std::log2(base)) {}
+        ln_base_(std::log(base)) {}
 
   double base() const { return base_; }
 
@@ -51,11 +52,8 @@ class LogKernel {
         return std::log10(v);
       case Kind::kLn:
         return std::log(v);
-      default: {
-        int e = 0;
-        double m = std::frexp(v, &e);
-        return (static_cast<double>(e) + std::log2(m)) * inv_log2_base_;
-      }
+      default:
+        return std::log(v) / ln_base_;
     }
   }
 
@@ -84,11 +82,7 @@ class LogKernel {
         for (std::size_t i = 0; i < n; ++i) out[i] = std::log(in[i]);
         break;
       default:
-        for (std::size_t i = 0; i < n; ++i) {
-          int e = 0;
-          double m = std::frexp(in[i], &e);
-          out[i] = (static_cast<double>(e) + std::log2(m)) * inv_log2_base_;
-        }
+        for (std::size_t i = 0; i < n; ++i) out[i] = std::log(in[i]) / ln_base_;
         break;
     }
   }
@@ -115,7 +109,7 @@ class LogKernel {
   double base_;
   Kind kind_;
   double log2_base_;
-  double inv_log2_base_;
+  double ln_base_;
 };
 
 }  // namespace transpwr

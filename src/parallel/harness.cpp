@@ -102,8 +102,9 @@ RunResult run(const RunConfig& cfg, const std::vector<Field<float>>& shards) {
   };
 
   // Rank bodies synchronise through `sync`, so all of them must be live at
-  // once — run_concurrent hosts them on the shared pool when it fits and
-  // falls back to dedicated threads otherwise.
+  // once — run_concurrent gives each a dedicated thread, so every rank's
+  // nested parallelism (chunked slabs, log transform) fans out over the
+  // shared pool identically and per-rank timings stay comparable.
   run_concurrent(cfg.ranks, body);
   if (failed) throw StreamError("parallel::run: a rank failed");
 

@@ -155,9 +155,9 @@ TEST(RunConcurrent, AllBodiesLiveSimultaneously) {
   }
 }
 
-TEST(RunConcurrent, FallsBackWhenLargerThanPool) {
-  // More bodies than the pool can host exclusively: dedicated-thread
-  // fallback must still satisfy the all-live contract.
+TEST(RunConcurrent, MoreBodiesThanPoolAreStillAllLive) {
+  // More bodies than the pool has workers: the dedicated-thread model must
+  // still satisfy the all-live contract.
   const std::size_t n = global_pool().size() + 4;
   std::barrier sync(static_cast<std::ptrdiff_t>(n));
   std::atomic<std::size_t> done{0};
@@ -168,6 +168,28 @@ TEST(RunConcurrent, FallsBackWhenLargerThanPool) {
   EXPECT_EQ(done.load(), n);
 }
 
+TEST(RunConcurrent, BarrierBodiesMayNestParallelFor) {
+  // Regression: with rank bodies hosted on the pool, n == pool.size() + 1
+  // parked every worker in a barrier-waiting body, so a nested parallel_for
+  // issued by the caller-thread body could never drain its helper tasks and
+  // the process hung. Dedicated rank threads keep all workers free for
+  // nested regions — and every rank fans out identically (none of them are
+  // pool workers running nested regions inline).
+  const std::size_t n = global_pool().size() + 1;
+  std::barrier sync(static_cast<std::ptrdiff_t>(n));
+  std::atomic<std::size_t> total{0};
+  run_concurrent(n, [&](std::size_t) {
+    sync.arrive_and_wait();
+    parallel_for(
+        10000, [&](std::size_t b, std::size_t e) {
+          total.fetch_add(e - b, std::memory_order_relaxed);
+        },
+        ParallelOptions{.max_threads = 4, .grain = 256});
+    sync.arrive_and_wait();
+  });
+  EXPECT_EQ(total.load(), n * 10000u);
+}
+
 TEST(RunConcurrent, PropagatesFirstException) {
   EXPECT_THROW(
       run_concurrent(4,
@@ -175,19 +197,10 @@ TEST(RunConcurrent, PropagatesFirstException) {
                        if (rank == 2) throw ParamError("rank 2 exploded");
                      }),
       ParamError);
-  // Exclusivity must have been released — the pool still works.
+  // Every body must have been joined and the pool must still work.
   std::atomic<std::size_t> count{0};
   parallel_for(100, [&](std::size_t b, std::size_t e) { count += e - b; });
   EXPECT_EQ(count.load(), 100u);
-}
-
-TEST(ThreadPool, ExclusiveAcquisitionIsMutual) {
-  ThreadPool& pool = global_pool();
-  ASSERT_TRUE(pool.try_acquire_exclusive());
-  EXPECT_FALSE(pool.try_acquire_exclusive());
-  pool.release_exclusive();
-  ASSERT_TRUE(pool.try_acquire_exclusive());
-  pool.release_exclusive();
 }
 
 }  // namespace

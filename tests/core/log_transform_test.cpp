@@ -260,8 +260,9 @@ TEST(LogTransform, FusedPassMatchesTwoPassReference) {
 }
 
 TEST(LogTransform, ArbitraryBaseParallelRoundTrip) {
-  // Arbitrary bases use the frexp kernel; the relative bound must still
-  // hold end-to-end under worst-case perturbation, at any thread count.
+  // Arbitrary bases use the precomputed-ln(base) quotient kernel; the
+  // relative bound must still hold end-to-end under worst-case
+  // perturbation, at any thread count.
   auto data = mixed_field(24, 30011);
   const double br = 1e-3, base = 3.5;
   for (std::size_t threads : {1u, 4u}) {
