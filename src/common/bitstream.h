@@ -69,7 +69,12 @@ class BitReader {
 
   std::uint64_t read_bits(unsigned nbits) {
     if (nbits == 0) return 0;
-    if (bit_pos_ + nbits > bytes_.size() * 8)
+    // Width check first: corrupt streams can ask for symbol widths far past
+    // the 64-bit accumulator, where `chunk << got` would be UB.
+    if (nbits > 64)
+      throw StreamError("BitReader: read of " + std::to_string(nbits) +
+                        " bits exceeds 64-bit accumulator");
+    if (nbits > bytes_.size() * 8 - bit_pos_)
       throw StreamError("BitReader: read past end of stream");
     std::uint64_t out = 0;
     unsigned got = 0;
@@ -110,7 +115,9 @@ class BitReader {
   /// Advance by `nbits` without reading (also used to seek in fixed-rate
   /// streams).
   void skip_bits(std::size_t nbits) {
-    if (bit_pos_ + nbits > bytes_.size() * 8)
+    // Subtraction form: fixed-rate seeks compute `block_index * rate_bits`
+    // from header fields, so `bit_pos_ + nbits` can wrap for corrupt input.
+    if (nbits > bytes_.size() * 8 - bit_pos_)
       throw StreamError("BitReader: skip past end of stream");
     bit_pos_ += nbits;
   }

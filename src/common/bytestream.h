@@ -74,7 +74,10 @@ class ByteReader {
 
  private:
   void require(std::size_t n) const {
-    if (pos_ + n > bytes_.size())
+    // Subtraction form: `pos_ + n` wraps for attacker-controlled n near
+    // SIZE_MAX (e.g. a corrupt u64 length prefix), which would pass the
+    // check and hand subspan() an out-of-range window.
+    if (n > bytes_.size() - pos_)
       throw StreamError("ByteReader: truncated stream (need " +
                         std::to_string(n) + " bytes, have " +
                         std::to_string(bytes_.size() - pos_) + ")");

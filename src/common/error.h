@@ -6,18 +6,29 @@
 
 namespace transpwr {
 
-/// Thrown when a compressed stream is malformed (bad magic, truncated
-/// payload, inconsistent header fields).
-class StreamError : public std::runtime_error {
+/// Root of the library's error hierarchy. Every failure the library raises
+/// on purpose — malformed streams, bad parameters, exceeded decode limits —
+/// derives from this type, so robustness harnesses (and embedding
+/// applications) can write `catch (const transpwr::Error&)` and treat
+/// anything else escaping a decoder as a bug.
+class Error : public std::runtime_error {
  public:
-  explicit StreamError(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a compressed stream is malformed (bad magic, truncated
+/// payload, inconsistent header fields, or header values that would require
+/// absurd allocations to honour).
+class StreamError : public Error {
+ public:
+  explicit StreamError(const std::string& what) : Error(what) {}
 };
 
 /// Thrown when caller-supplied parameters are invalid (zero dimensions,
 /// negative error bound, unknown scheme id).
-class ParamError : public std::invalid_argument {
+class ParamError : public Error {
  public:
-  explicit ParamError(const std::string& what) : std::invalid_argument(what) {}
+  explicit ParamError(const std::string& what) : Error(what) {}
 };
 
 }  // namespace transpwr

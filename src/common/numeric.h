@@ -1,0 +1,29 @@
+#ifndef TRANSPWR_COMMON_NUMERIC_H
+#define TRANSPWR_COMMON_NUMERIC_H
+
+#include <limits>
+
+namespace transpwr {
+
+/// Saturating double -> T conversion. `static_cast<float>(x)` is undefined
+/// when the (rounded) value falls outside float's finite range
+/// ([conv.double]), and both corrupt streams and legitimate edge cases can
+/// produce such doubles: a reconstruction `x * (1 + eb)` with |x| near
+/// FLT_MAX, or garbage quantization codes from a mutated bitstream. Clamping
+/// to ±max keeps the cast defined and — for the log-transform inverse —
+/// keeps the relative bound intact at the top of the exponent range, since
+/// x >= max/(1+eb) implies |max - x| <= eb * |x|.
+///
+/// NaN and values already inside T's range pass through unchanged, so
+/// in-range behaviour (and byte determinism) is identical to a plain cast.
+template <typename T>
+inline T narrow_to(double v) {
+  constexpr double kMax = static_cast<double>(std::numeric_limits<T>::max());
+  if (v > kMax) return std::numeric_limits<T>::max();
+  if (v < -kMax) return -std::numeric_limits<T>::max();
+  return static_cast<T>(v);  // NaN falls through; double->double is identity
+}
+
+}  // namespace transpwr
+
+#endif  // TRANSPWR_COMMON_NUMERIC_H

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/error.h"
+#include "common/numeric.h"
 #include "common/parallel.h"
 #include "core/log_kernel.h"
 
@@ -178,7 +179,11 @@ std::vector<T> log_inverse(std::span<const T> mapped, const Bitmap& negative,
             }
             double v = tile_exp[i - t];
             if (has_signs && negative[i]) v = -v;
-            out[i] = static_cast<T>(v);
+            // Saturating cast: the exponential of a mapped value near the
+            // top of T's range can land one rounding step above max<T>,
+            // where a plain double->T cast is undefined. Clamping to max<T>
+            // keeps the relative bound (x >= max/(1+br) there).
+            out[i] = narrow_to<T>(v);
           }
         }
       },

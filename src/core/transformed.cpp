@@ -86,11 +86,18 @@ std::vector<T> transformed_decompress(std::span<const std::uint8_t> stream,
   auto dtype = static_cast<DataType>(in.get<std::uint8_t>());
   if (dtype != data_type_of<T>())
     throw StreamError("transformed: stream data type does not match");
-  auto codec = static_cast<InnerCodec>(in.get<std::uint8_t>());
+  std::uint8_t codec_byte = in.get<std::uint8_t>();
+  if (codec_byte > static_cast<std::uint8_t>(InnerCodec::kSzInterp))
+    throw StreamError("transformed: unknown inner codec byte");
+  auto codec = static_cast<InnerCodec>(codec_byte);
   bool has_signs = in.get<std::uint8_t>() != 0;
   in.get<std::uint8_t>();
   double base = in.get<double>();
   double zero_threshold = in.get<double>();
+  // The base feeds the inverse exponential; the encoder only ever writes
+  // finite bases > 1 (log_forward validates them).
+  if (!(base > 1.0) || !std::isfinite(base))
+    throw StreamError("transformed: bad log base in stream header");
   auto sign_bytes = in.get_sized();
   auto inner = in.get_sized();
 

@@ -8,7 +8,9 @@
 
 #include "common/bitstream.h"
 #include "common/bytestream.h"
+#include "common/decode_guard.h"
 #include "common/error.h"
+#include "common/numeric.h"
 #include "lossless/huffman.h"
 #include "lossless/range_coder.h"
 
@@ -148,7 +150,9 @@ T lorenzo_predict(const T* r, const Geometry& g, std::size_t z, std::size_t y,
     }
   }
   if (!std::isfinite(pred)) pred = 0.0;
-  return static_cast<T>(pred);
+  // The neighbor sum can overflow T's range even when finite in double
+  // (e.g. two values near max); saturate instead of an undefined cast.
+  return narrow_to<T>(pred);
 }
 
 template <typename T>
@@ -253,19 +257,22 @@ std::vector<T> decompress(std::span<const std::uint8_t> stream,
   if (dtype != data_type_of<T>())
     throw StreamError("fpzip: stream data type does not match");
   int nd = in.get<std::uint8_t>();
-  auto entropy = static_cast<Entropy>(in.get<std::uint8_t>());
+  std::uint8_t entropy_byte = in.get<std::uint8_t>();
+  if (entropy_byte > static_cast<std::uint8_t>(Entropy::kRange))
+    throw StreamError("fpzip: unknown entropy byte");
+  auto entropy = static_cast<Entropy>(entropy_byte);
   std::uint32_t precision = in.get<std::uint32_t>();
   Dims dims;
   dims.nd = nd;
   for (int i = 0; i < 3; ++i)
     dims.d[static_cast<std::size_t>(i)] =
         static_cast<std::size_t>(in.get<std::uint64_t>());
-  dims.validate();
+  const std::size_t n = checked_count(dims, "fpzip");
+  check_decode_alloc(n, sizeof(T), "fpzip");
   if (dims_out) *dims_out = dims;
 
   using Bits = typename Traits<T>::Bits;
   Geometry g(dims);
-  const std::size_t n = dims.count();
   auto class_payload = in.get_sized();
   auto payload = in.get_sized();
   BitReader br(payload);
@@ -273,6 +280,10 @@ std::vector<T> decompress(std::span<const std::uint8_t> stream,
   std::unique_ptr<RangeDecoder> range_dec;
   std::unique_ptr<AdaptiveModel> range_model;
   if (entropy == Entropy::kHuffman) {
+    // One Huffman-coded class per element, at least a bit each; the range
+    // coder has no such floor, so only the decode limit bounds that path.
+    if (n > payload.size() * 8)
+      throw StreamError("fpzip: dims exceed payload capacity");
     huff.read_table(br);
   } else {
     range_dec = std::make_unique<RangeDecoder>(class_payload);
@@ -290,6 +301,10 @@ std::vector<T> decompress(std::span<const std::uint8_t> stream,
         std::uint32_t c = entropy == Entropy::kHuffman
                               ? huff.decode(br)
                               : range_model->decode(*range_dec);
+        // A corrupt Huffman table can hand back symbols past the class
+        // alphabet, whose shifts below would exceed the word width.
+        if (c > static_cast<std::uint32_t>(Traits<T>::total_bits))
+          throw StreamError("fpzip: residual class out of range");
         Bits zz = 0;
         if (c == 1) {
           zz = 1;

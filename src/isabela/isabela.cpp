@@ -8,7 +8,9 @@
 
 #include "common/bitstream.h"
 #include "common/bytestream.h"
+#include "common/decode_guard.h"
 #include "common/error.h"
+#include "common/numeric.h"
 #include "lossless/huffman.h"
 #include "lossless/lossless.h"
 
@@ -81,6 +83,12 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims dims,
   const double br = params.rel_bound;
   const double tiny = std::numeric_limits<double>::min();
 
+  // NaNs break the window sort's strict weak ordering (std::sort may walk
+  // out of bounds on an inconsistent comparator); reject non-finite input.
+  for (T v : data)
+    if (!std::isfinite(static_cast<double>(v)))
+      throw ParamError("isabela: non-finite value in input");
+
   BitWriter perm_bits;
   std::vector<T> controls_all;
   std::vector<std::uint32_t> codes;
@@ -121,7 +129,7 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims dims,
       bool ok = false;
       if (std::abs(qd) < static_cast<double>(kRadius) - 1) {
         auto q = static_cast<std::int64_t>(std::llround(qd));
-        T r = static_cast<T>(fit + bin * static_cast<double>(q));
+        T r = narrow_to<T>(fit + bin * static_cast<double>(q));
         double err = std::abs(static_cast<double>(r) - s);
         if (err <= br * std::abs(s)) {
           codes.push_back(static_cast<std::uint32_t>(
@@ -176,17 +184,26 @@ std::vector<T> decompress(std::span<const std::uint8_t> stream,
   if (dtype != data_type_of<T>())
     throw StreamError("isabela: stream data type does not match");
   int nd = in.get<std::uint8_t>();
-  auto fit = static_cast<Fit>(in.get<std::uint8_t>());
+  std::uint8_t fit_byte = in.get<std::uint8_t>();
+  if (fit_byte > static_cast<std::uint8_t>(Fit::kCubic))
+    throw StreamError("isabela: unknown fit byte");
+  auto fit = static_cast<Fit>(fit_byte);
   in.get<std::uint8_t>();
   Dims dims;
   dims.nd = nd;
   for (int i = 0; i < 3; ++i)
     dims.d[static_cast<std::size_t>(i)] =
         static_cast<std::size_t>(in.get<std::uint64_t>());
-  dims.validate();
+  const std::size_t n = checked_count(dims, "isabela");
+  check_decode_alloc(n, sizeof(T), "isabela");
   double br = in.get<double>();
   std::uint32_t W = in.get<std::uint32_t>();
   std::uint32_t control_every = in.get<std::uint32_t>();
+  // The window loop strides by W and the fit divides by control_every; the
+  // encoder enforces these same constraints on its parameters.
+  if (W < 16) throw StreamError("isabela: bad window in stream header");
+  if (control_every < 2 || control_every >= W)
+    throw StreamError("isabela: bad control stride in stream header");
   if (dims_out) *dims_out = dims;
 
   auto perm_span = in.get_sized();
@@ -194,14 +211,24 @@ std::vector<T> decompress(std::span<const std::uint8_t> stream,
   auto codes_span = in.get_sized();
   auto outlier_bytes = lossless::decompress(in.get_sized());
 
+  // Truncated sections round the element count down; copying the raw byte
+  // count into the shorter vector would write past (or before) it.
+  if (controls_bytes.size() % sizeof(T) != 0)
+    throw StreamError("isabela: control section size mismatch");
+  if (outlier_bytes.size() % sizeof(T) != 0)
+    throw StreamError("isabela: outlier section size mismatch");
   std::vector<T> controls_all(controls_bytes.size() / sizeof(T));
-  std::memcpy(controls_all.data(), controls_bytes.data(),
-              controls_bytes.size());
+  if (!controls_bytes.empty())
+    std::memcpy(controls_all.data(), controls_bytes.data(),
+                controls_bytes.size());
   std::vector<T> outliers(outlier_bytes.size() / sizeof(T));
-  std::memcpy(outliers.data(), outlier_bytes.data(), outlier_bytes.size());
+  if (!outlier_bytes.empty())
+    std::memcpy(outliers.data(), outlier_bytes.data(), outlier_bytes.size());
 
-  const std::size_t n = dims.count();
   const double tiny = std::numeric_limits<double>::min();
+  // One correction code per element, at least one Huffman bit each.
+  if (n > codes_span.size() * 8)
+    throw StreamError("isabela: dims exceed coded stream capacity");
   BitReader pr(perm_span);
   BitReader cr(codes_span);
   HuffmanCoder huff;
@@ -238,7 +265,7 @@ std::vector<T> decompress(std::span<const std::uint8_t> stream,
         double bin = br * std::max(std::abs(f), tiny);
         auto q = static_cast<std::int64_t>(code) -
                  static_cast<std::int64_t>(kRadius);
-        value = static_cast<T>(f + bin * static_cast<double>(q));
+        value = narrow_to<T>(f + bin * static_cast<double>(q));
       }
       if (order[j] >= len) throw StreamError("isabela: bad permutation");
       recon[w0 + order[j]] = value;

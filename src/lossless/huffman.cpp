@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "common/decode_guard.h"
 #include "common/error.h"
 
 namespace transpwr {
@@ -185,6 +186,9 @@ void HuffmanCoder::read_table(BitReader& br) {
   auto alphabet = static_cast<std::size_t>(br.read_bits(32));
   if (alphabet > (std::size_t{1} << 28))
     throw StreamError("HuffmanCoder: implausible alphabet size");
+  // lengths_ (1B) + codes_ (4B) + sorted_symbols_ (4B) per symbol; reject
+  // tables whose declared alphabet alone would dwarf the decode budget.
+  check_decode_alloc(alphabet, 9, "HuffmanCoder");
   lengths_.assign(alphabet, 0);
   for (std::size_t i = 0; i < alphabet;) {
     unsigned len = static_cast<unsigned>(br.read_bits(6));
@@ -197,6 +201,14 @@ void HuffmanCoder::read_table(BitReader& br) {
       lengths_[i++] = static_cast<std::uint8_t>(len);
     }
   }
+  // Kraft inequality: an oversubscribed table (sum of 2^-len > 1) cannot
+  // come from a real prefix code; decoding with one silently aliases
+  // distinct symbols onto the same bit patterns.
+  std::uint64_t kraft = 0;
+  for (auto l : lengths_)
+    if (l) kraft += std::uint64_t{1} << (kMaxCodeLen - l);
+  if (kraft > (std::uint64_t{1} << kMaxCodeLen))
+    throw StreamError("HuffmanCoder: oversubscribed code-length table");
   assign_canonical_codes();
 }
 

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/bitstream.h"
+#include "common/decode_guard.h"
 #include "common/error.h"
 #include "lossless/huffman.h"
 
@@ -187,6 +188,9 @@ std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> stream) {
   const ClassTables& ct = tables();
   BitReader br(stream);
   auto n = static_cast<std::size_t>(br.read_bits(64));
+  // The declared size both drives reserve() and bounds the match expansion
+  // below, so a corrupt header must not be allowed to claim exabytes.
+  check_decode_alloc(n, 1, "lz77");
   HuffmanCoder litlen, dist;
   litlen.read_table(br);
   dist.read_table(br);
@@ -197,6 +201,7 @@ std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> stream) {
     std::uint32_t sym = litlen.decode(br);
     if (sym == kEos) break;
     if (sym < 256) {
+      if (out.size() >= n) throw StreamError("lz77: output exceeds header size");
       out.push_back(static_cast<std::uint8_t>(sym));
       continue;
     }
@@ -205,6 +210,8 @@ std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> stream) {
     std::size_t len = kMinMatch + ct.len_base[lk] +
                       static_cast<std::size_t>(
                           br.read_bits(len_class_extra(lk)));
+    if (len > n - out.size())
+      throw StreamError("lz77: output exceeds header size");
     unsigned dk = dist.decode(br);
     if (dk >= kNumDistClasses) throw StreamError("lz77: bad distance class");
     std::size_t d = ct.dist_base[dk] +

@@ -66,8 +66,14 @@ void RangeDecoder::consume(std::uint32_t cum_low, std::uint32_t freq,
   std::uint32_t range = range_;
   low += cum_low * range;
   range *= freq;
+  // A consistent encoder renormalizes at most 4 times (32 bits / 8) per
+  // symbol; corrupt state can reach `range == 0` with the underflow clause
+  // no longer able to raise it, which would spin here forever.
+  int renorms = 0;
   while ((low ^ (low + range)) < kTop ||
          (range < kBot && ((range = (0u - low) & (kBot - 1)), true))) {
+    if (++renorms > 8)
+      throw StreamError("RangeDecoder: corrupt renormalization state");
     code_ = (code_ << 8) | next_byte();
     low <<= 8;
     range <<= 8;

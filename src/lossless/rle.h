@@ -5,6 +5,8 @@
 
 #include "common/bitmap.h"
 #include "common/bitstream.h"
+#include "common/decode_guard.h"
+#include "common/error.h"
 
 namespace transpwr {
 namespace rle {
@@ -52,6 +54,7 @@ inline void encode_bits(const Bitmap& bits, BitWriter& bw) {
 
 inline Bitmap decode_bits(BitReader& br) {
   auto n = static_cast<std::size_t>(br.read_bits(64));
+  check_decode_alloc(n / 8 + 1, 1, "rle");
   Bitmap bits;
   if (n == 0) return bits;
   bits.resize(n);
@@ -60,6 +63,9 @@ inline Bitmap decode_bits(BitReader& br) {
   while (at < n) {
     unsigned nbits = 0;
     while (!br.read_bit()) ++nbits;
+    // A gamma prefix of >= 64 zeros cannot come from the encoder (runs fit
+    // in size_t) and would shift past the 64-bit accumulator below.
+    if (nbits >= 64) throw StreamError("rle: gamma run length overflow");
     std::size_t run = (std::size_t{1} << nbits) | br.read_bits(nbits);
     if (cur) {
       std::size_t end = std::min(n, at + run);

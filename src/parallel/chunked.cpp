@@ -6,6 +6,7 @@
 
 #include "common/bytestream.h"
 #include "common/checksum.h"
+#include "common/decode_guard.h"
 #include "common/error.h"
 #include "common/parallel.h"
 
@@ -68,6 +69,9 @@ std::vector<Slab> slabs_from_rows(Dims dims,
   std::size_t at = 0;
   for (auto rc : rows) {
     if (rc == 0) throw StreamError("chunked: empty slab");
+    // Subtraction form: a huge 64-bit row count must not wrap `at`.
+    if (rc > dims[0] - at)
+      throw StreamError("chunked: slab rows do not sum to field rows");
     Slab s;
     s.row_begin = at;
     s.row_count = static_cast<std::size_t>(rc);
@@ -151,7 +155,10 @@ std::vector<T> decompress(std::span<const std::uint8_t> stream,
   auto dtype = static_cast<DataType>(in.get<std::uint8_t>());
   if (dtype != data_type_of<T>())
     throw StreamError("chunked: stream data type does not match");
-  auto scheme = static_cast<Scheme>(in.get<std::uint8_t>());
+  std::uint8_t scheme_byte = in.get<std::uint8_t>();
+  if (scheme_byte > static_cast<std::uint8_t>(Scheme::kSziT))
+    throw StreamError("chunked: unknown scheme byte");
+  auto scheme = static_cast<Scheme>(scheme_byte);
   int nd = in.get<std::uint8_t>();
   in.get<std::uint8_t>();
   Dims dims;
@@ -159,9 +166,12 @@ std::vector<T> decompress(std::span<const std::uint8_t> stream,
   for (int i = 0; i < 3; ++i)
     dims.d[static_cast<std::size_t>(i)] =
         static_cast<std::size_t>(in.get<std::uint64_t>());
-  dims.validate();
+  const std::size_t n = checked_count(dims, "chunked");
+  check_decode_alloc(n, sizeof(T), "chunked");
   auto num_slabs = in.get<std::uint32_t>();
-  if (num_slabs == 0 || num_slabs > dims[0])
+  // Each slab needs at least its 8-byte row count in the stream.
+  if (num_slabs == 0 || num_slabs > dims[0] ||
+      num_slabs > stream.size() / 8)
     throw StreamError("chunked: implausible slab count");
   if (dims_out) *dims_out = dims;
 
@@ -176,7 +186,7 @@ std::vector<T> decompress(std::span<const std::uint8_t> stream,
 
   auto slabs = slabs_from_rows(dims, slab_rows);
 
-  std::vector<T> out(dims.count());
+  std::vector<T> out(n);
   parallel_for(
       slabs.size(),
       [&](std::size_t begin, std::size_t end) {
@@ -215,7 +225,10 @@ std::vector<T> decompress_rows(std::span<const std::uint8_t> stream,
   auto dtype = static_cast<DataType>(in.get<std::uint8_t>());
   if (dtype != data_type_of<T>())
     throw StreamError("chunked: stream data type does not match");
-  auto scheme = static_cast<Scheme>(in.get<std::uint8_t>());
+  std::uint8_t scheme_byte = in.get<std::uint8_t>();
+  if (scheme_byte > static_cast<std::uint8_t>(Scheme::kSziT))
+    throw StreamError("chunked: unknown scheme byte");
+  auto scheme = static_cast<Scheme>(scheme_byte);
   int nd = in.get<std::uint8_t>();
   in.get<std::uint8_t>();
   Dims dims;
@@ -223,11 +236,13 @@ std::vector<T> decompress_rows(std::span<const std::uint8_t> stream,
   for (int i = 0; i < 3; ++i)
     dims.d[static_cast<std::size_t>(i)] =
         static_cast<std::size_t>(in.get<std::uint64_t>());
-  dims.validate();
+  const std::size_t n = checked_count(dims, "chunked");
+  check_decode_alloc(n, sizeof(T), "chunked");
   if (row_begin >= row_end || row_end > dims[0])
     throw ParamError("chunked: row range out of bounds");
   auto num_slabs = in.get<std::uint32_t>();
-  if (num_slabs == 0 || num_slabs > dims[0])
+  if (num_slabs == 0 || num_slabs > dims[0] ||
+      num_slabs > stream.size() / 8)
     throw StreamError("chunked: implausible slab count");
 
   std::vector<std::uint64_t> slab_rows(num_slabs);

@@ -6,7 +6,9 @@
 
 #include "common/bitstream.h"
 #include "common/bytestream.h"
+#include "common/decode_guard.h"
 #include "common/error.h"
+#include "common/numeric.h"
 #include "lossless/huffman.h"
 #include "lossless/lossless.h"
 #include "sz/outlier_coding.h"
@@ -125,7 +127,7 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims dims,
     const double diff = v - pred;
     if (std::abs(diff) < threshold) {  // false for NaN too
       auto q = static_cast<std::int64_t>(std::llround(diff / (2.0 * eb)));
-      T r = static_cast<T>(pred + 2.0 * eb * static_cast<double>(q));
+      T r = narrow_to<T>(pred + 2.0 * eb * static_cast<double>(q));
       if (std::abs(static_cast<double>(r) - v) <= eb) {
         codes.push_back(static_cast<std::uint32_t>(
             static_cast<std::int64_t>(radius) + q));
@@ -180,7 +182,8 @@ std::vector<T> decompress(std::span<const std::uint8_t> stream,
   for (int i = 0; i < 3; ++i)
     dims.d[static_cast<std::size_t>(i)] =
         static_cast<std::size_t>(in.get<std::uint64_t>());
-  dims.validate();
+  const std::size_t n = checked_count(dims, "sz_interp");
+  check_decode_alloc(n, sizeof(T), "sz_interp");
   double eb = in.get<double>();
   std::uint32_t intervals = in.get<std::uint32_t>();
   if (dims_out) *dims_out = dims;
@@ -194,13 +197,16 @@ std::vector<T> decompress(std::span<const std::uint8_t> stream,
   auto outlier_bytes = lossless::decompress(in.get_sized());
   std::vector<T> outliers = sz_detail::decode_outliers<T>(outlier_bytes);
 
+  // One Huffman bit minimum per point bounds the plausible element count.
+  if (n > coded_span.size() * 8)
+    throw StreamError("sz_interp: dims exceed coded stream capacity");
   BitReader br(coded_span);
   HuffmanCoder huff;
   huff.read_table(br);
   const std::uint32_t radius = intervals / 2;
 
   Grid g(dims);
-  std::vector<T> recon(dims.count());
+  std::vector<T> recon(n);
   std::size_t outlier_next = 0;
   traverse<T>(g, recon, cubic, [&](std::size_t idx, double pred) {
     std::uint32_t code = huff.decode(br);
@@ -212,7 +218,7 @@ std::vector<T> decompress(std::span<const std::uint8_t> stream,
     }
     auto q = static_cast<std::int64_t>(code) -
              static_cast<std::int64_t>(radius);
-    recon[idx] = static_cast<T>(pred + 2.0 * eb * static_cast<double>(q));
+    recon[idx] = narrow_to<T>(pred + 2.0 * eb * static_cast<double>(q));
   });
   if (outlier_next != outliers.size())
     throw StreamError("sz_interp: trailing outliers in stream");

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "common/bitstream.h"
+#include "common/decode_guard.h"
+#include "common/error.h"
 
 namespace transpwr {
 namespace sz_detail {
@@ -56,6 +58,11 @@ std::vector<T> decode_outliers(std::span<const std::uint8_t> bytes) {
   constexpr unsigned total_bytes = sizeof(T);
   BitReader br(bytes);
   auto count = static_cast<std::size_t>(br.read_bits(64));
+  // Each outlier costs at least lz_bits + 8 bits > one byte, so any honest
+  // count is below the section length; reject before allocating.
+  if (count > bytes.size())
+    throw StreamError("sz: outlier count exceeds section size");
+  check_decode_alloc(count, sizeof(T), "sz outliers");
   std::vector<T> out(count);
   Bits prev = 0;
   for (auto& v : out) {

@@ -7,7 +7,9 @@
 
 #include "common/bitstream.h"
 #include "common/bytestream.h"
+#include "common/decode_guard.h"
 #include "common/error.h"
+#include "common/numeric.h"
 #include "lossless/huffman.h"
 #include "lossless/lossless.h"
 #include "sz/outlier_coding.h"
@@ -356,7 +358,7 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims dims,
         bool predictable = std::abs(diff) < threshold;  // false for NaN too
         if (predictable) {
           auto q = static_cast<std::int64_t>(std::llround(diff / (2.0 * eb)));
-          T r = static_cast<T>(pred + 2.0 * eb * static_cast<double>(q));
+          T r = narrow_to<T>(pred + 2.0 * eb * static_cast<double>(q));
           if (std::abs(static_cast<double>(r) - v) <= eb) {
             codes[idx] = static_cast<std::uint32_t>(
                 static_cast<std::int64_t>(radius) + q);
@@ -421,18 +423,27 @@ std::vector<T> decompress(std::span<const std::uint8_t> stream,
   if (dtype != data_type_of<T>())
     throw StreamError("sz: stream data type does not match requested type");
   int nd = in.get<std::uint8_t>();
-  auto mode = static_cast<Mode>(in.get<std::uint8_t>());
+  std::uint8_t mode_byte = in.get<std::uint8_t>();
+  if (mode_byte > static_cast<std::uint8_t>(Mode::kPwrBlock))
+    throw StreamError("sz: unknown mode byte");
+  auto mode = static_cast<Mode>(mode_byte);
   std::uint8_t lz_applied = in.get<std::uint8_t>();
-  auto predictor = static_cast<Predictor>(in.get<std::uint8_t>());
+  std::uint8_t pred_byte = in.get<std::uint8_t>();
+  if (pred_byte > static_cast<std::uint8_t>(Predictor::kAuto))
+    throw StreamError("sz: unknown predictor byte");
+  auto predictor = static_cast<Predictor>(pred_byte);
   Dims dims;
   dims.nd = nd;
   for (int i = 0; i < 3; ++i)
     dims.d[static_cast<std::size_t>(i)] =
         static_cast<std::size_t>(in.get<std::uint64_t>());
-  dims.validate();
+  const std::size_t n = checked_count(dims, "sz");
+  check_decode_alloc(n, sizeof(T), "sz");
   double bound = in.get<double>();
   std::uint32_t intervals = in.get<std::uint32_t>();
   std::uint32_t block_edge = in.get<std::uint32_t>();
+  if (mode == Mode::kPwrBlock && block_edge == 0)
+    throw StreamError("sz: zero block edge in PWR mode");
   if (dims_out) *dims_out = dims;
 
   Geometry g(dims, mode == Mode::kPwrBlock ? block_edge : 1);
@@ -450,6 +461,13 @@ std::vector<T> decompress(std::span<const std::uint8_t> stream,
     reg.coeffs.resize(coeff_bytes.size() / sizeof(T));
     std::memcpy(reg.coeffs.data(), coeff_bytes.data(), coeff_bytes.size());
     reg.index(nd);
+    // The choice bitmap decides how many coefficient tuples predict() will
+    // dereference; a corrupt bitmap must not point past the stored table.
+    std::size_t reg_blocks = 0;
+    for (auto u : reg.use_reg)
+      if (u) ++reg_blocks;
+    if (reg_blocks * (static_cast<std::size_t>(nd) + 1) > reg.coeffs.size())
+      throw StreamError("sz: regression plan references missing coefficients");
   }
   Geometry rg(dims, hybrid ? reg_edge : 1);
   if (hybrid && reg.use_reg.size() != rg.num_blocks())
@@ -472,7 +490,11 @@ std::vector<T> decompress(std::span<const std::uint8_t> stream,
   auto outlier_bytes = lossless::decompress(in.get_sized());
   std::vector<T> outliers = sz_detail::decode_outliers<T>(outlier_bytes);
 
-  const std::size_t n = dims.count();
+  // Every point costs at least one Huffman bit, so the element count is
+  // bounded by the coded section; reject inflated dims before the big
+  // reconstruction allocation.
+  if (n > coded_span.size() * 8)
+    throw StreamError("sz: dims exceed coded stream capacity");
   BitReader br(coded_span);
   HuffmanCoder huff;
   huff.read_table(br);
@@ -507,7 +529,7 @@ std::vector<T> decompress(std::span<const std::uint8_t> stream,
         auto q = static_cast<std::int64_t>(code) -
                  static_cast<std::int64_t>(radius);
         recon[idx] =
-            static_cast<T>(pred + 2.0 * eb * static_cast<double>(q));
+            narrow_to<T>(pred + 2.0 * eb * static_cast<double>(q));
       }
   if (outlier_next != outliers.size())
     throw StreamError("sz: trailing outliers in stream");

@@ -1,0 +1,262 @@
+#include "testing/fuzz.h"
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+#include <sstream>
+#include <typeinfo>
+
+#include "common/bitstream.h"
+#include "common/checksum.h"
+#include "common/decode_guard.h"
+#include "common/error.h"
+#include "core/compressor.h"
+#include "lossless/lossless.h"
+#include "lossless/lz77.h"
+#include "lossless/rle.h"
+#include "parallel/chunked.h"
+#include "testing/generators.h"
+
+namespace transpwr {
+namespace testing {
+namespace {
+
+/// Small deterministic fields the scheme corpora are built from.
+template <typename T>
+std::vector<std::vector<std::uint8_t>> scheme_corpus(Scheme scheme,
+                                                     std::uint64_t seed) {
+  std::vector<std::vector<std::uint8_t>> corpus;
+  auto comp = make_compressor(scheme);
+  CompressorParams params;
+  params.bound = 1e-2;
+
+  struct Spec {
+    Family family;
+    int nd;
+    std::size_t d0, d1;
+  };
+  static constexpr Spec kSpecs[] = {
+      {Family::kRandomSmooth, 1, 96, 0},
+      {Family::kSparseZeros, 2, 12, 8},
+      {Family::kSignAlternating, 1, 33, 0},
+  };
+  for (const auto& s : kSpecs) {
+    Dims dims;
+    dims.nd = s.nd;
+    dims.d[0] = s.d0;
+    if (s.nd == 2) dims.d[1] = s.d1;
+    auto data = make_field<T>(s.family, dims.count(), seed);
+    corpus.push_back(comp->compress(data, dims, params));
+  }
+  return corpus;
+}
+
+std::vector<std::uint8_t> bytes_corpus(std::uint64_t seed, std::size_t n,
+                                       bool compressible) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> raw(n);
+  for (auto& b : raw)
+    b = compressible ? static_cast<std::uint8_t>(rng.below(4))
+                     : static_cast<std::uint8_t>(rng.next());
+  return raw;
+}
+
+}  // namespace
+
+std::string FuzzReport::summary() const {
+  std::ostringstream os;
+  os << "fuzz: " << targets_run << " targets, " << decodes << " decodes ("
+     << clean_errors << " clean errors, " << clean_decodes
+     << " clean decodes), " << findings.size() << " findings\n";
+  for (std::size_t i = 0; i < std::min<std::size_t>(findings.size(), 10);
+       ++i)
+    os << "  [" << findings[i].target << " iter " << findings[i].iter
+       << "] " << findings[i].what << "\n";
+  return os.str();
+}
+
+std::vector<FuzzTarget> default_fuzz_targets(std::uint64_t seed) {
+  std::vector<FuzzTarget> targets;
+
+  for (Scheme scheme : all_schemes()) {
+    {
+      FuzzTarget t;
+      t.name = std::string(scheme_name(scheme)) + "_f32";
+      t.corpus = scheme_corpus<float>(scheme, seed);
+      t.decode = [scheme](std::span<const std::uint8_t> s) {
+        make_compressor(scheme)->decompress_f32(s);
+      };
+      targets.push_back(std::move(t));
+    }
+    {
+      FuzzTarget t;
+      t.name = std::string(scheme_name(scheme)) + "_f64";
+      t.corpus = scheme_corpus<double>(scheme, seed + 1);
+      t.decode = [scheme](std::span<const std::uint8_t> s) {
+        make_compressor(scheme)->decompress_f64(s);
+      };
+      targets.push_back(std::move(t));
+    }
+  }
+
+  {
+    FuzzTarget t;
+    t.name = "lossless";
+    t.corpus = {lossless::compress(bytes_corpus(seed, 512, true)),
+                lossless::compress(bytes_corpus(seed + 1, 300, false))};
+    t.decode = [](std::span<const std::uint8_t> s) {
+      lossless::decompress(s);
+    };
+    targets.push_back(std::move(t));
+  }
+  {
+    FuzzTarget t;
+    t.name = "lz77";
+    t.corpus = {lz77::compress(bytes_corpus(seed + 2, 512, true)),
+                lz77::compress(bytes_corpus(seed + 3, 100, false))};
+    t.decode = [](std::span<const std::uint8_t> s) { lz77::decompress(s); };
+    targets.push_back(std::move(t));
+  }
+  {
+    FuzzTarget t;
+    t.name = "rle";
+    Bitmap bits;
+    bits.assign(777, false);
+    Rng rng(seed + 4);
+    for (std::size_t i = 0; i < bits.size(); ++i)
+      if (rng.below(5) == 0) bits.set(i);
+    BitWriter bw;
+    rle::encode_bits(bits, bw);
+    t.corpus = {bw.take()};
+    t.decode = [](std::span<const std::uint8_t> s) {
+      BitReader br(s);
+      rle::decode_bits(br);
+    };
+    targets.push_back(std::move(t));
+  }
+  {
+    FuzzTarget t;
+    t.name = "chunked";
+    chunked::Params p;
+    p.scheme = Scheme::kSzAbs;
+    p.num_chunks = 3;
+    p.threads = 1;
+    Dims dims;
+    dims.nd = 2;
+    dims.d[0] = 24;
+    dims.d[1] = 8;
+    auto data = make_field<float>(Family::kRandomSmooth, dims.count(), seed);
+    t.corpus = {chunked::compress<float>(data, dims, p)};
+    t.decode = [](std::span<const std::uint8_t> s) {
+      chunked::decompress<float>(s, nullptr, 1);
+    };
+    targets.push_back(std::move(t));
+  }
+  return targets;
+}
+
+std::vector<std::uint8_t> mutate_stream(std::span<const std::uint8_t> base,
+                                        Rng& rng) {
+  std::vector<std::uint8_t> s(base.begin(), base.end());
+  if (s.empty()) s.push_back(0);
+
+  switch (rng.below(8)) {
+    case 0:  // truncate
+      s.resize(rng.below(s.size() + 1));
+      break;
+    case 1: {  // flip 1..8 random bits
+      std::size_t flips = 1 + rng.below(8);
+      for (std::size_t i = 0; i < flips; ++i)
+        s[rng.below(s.size())] ^= static_cast<std::uint8_t>(
+            1u << rng.below(8));
+      break;
+    }
+    case 2: {  // overwrite 1..16 random bytes
+      std::size_t writes = 1 + rng.below(16);
+      for (std::size_t i = 0; i < writes; ++i)
+        s[rng.below(s.size())] = static_cast<std::uint8_t>(rng.next());
+      break;
+    }
+    case 3: {  // header-biased: corrupt the first ~64 bytes
+      std::size_t span = std::min<std::size_t>(s.size(), 64);
+      std::size_t writes = 1 + rng.below(8);
+      for (std::size_t i = 0; i < writes; ++i)
+        s[rng.below(span)] = static_cast<std::uint8_t>(rng.next());
+      break;
+    }
+    case 4: {  // length-field attack: plant a huge u64 at a random offset
+      if (s.size() >= 8) {
+        std::uint64_t huge = ~std::uint64_t{0} >> rng.below(16);
+        std::size_t off = rng.below(s.size() - 7);
+        std::memcpy(s.data() + off, &huge, 8);
+      }
+      break;
+    }
+    case 5: {  // splice: append a copy of the head (duplicated sections)
+      std::size_t cut = rng.below(s.size());
+      std::vector<std::uint8_t> head(s.begin(),
+                                     s.begin() + static_cast<std::ptrdiff_t>(cut));
+      s.insert(s.end(), head.begin(), head.end());
+      break;
+    }
+    case 6: {  // append random tail
+      std::size_t extra = 1 + rng.below(64);
+      for (std::size_t i = 0; i < extra; ++i)
+        s.push_back(static_cast<std::uint8_t>(rng.next()));
+      break;
+    }
+    default: {  // fully random short stream
+      s.resize(1 + rng.below(96));
+      for (auto& b : s) b = static_cast<std::uint8_t>(rng.next());
+      break;
+    }
+  }
+  return s;
+}
+
+FuzzReport run_fuzz(const FuzzConfig& config) {
+  FuzzReport report;
+  // Cap decoder allocations so plausible-looking huge headers fail fast
+  // instead of timing the run out; restored on exit.
+  ScopedDecodeLimit limit(config.max_decode_bytes);
+
+  auto targets = default_fuzz_targets(config.seed);
+  for (auto& target : targets) {
+    if (!config.targets.empty() &&
+        std::find(config.targets.begin(), config.targets.end(),
+                  target.name) == config.targets.end())
+      continue;
+    report.targets_run++;
+    Rng rng(config.seed ^ fnv1a64({reinterpret_cast<const std::uint8_t*>(
+                                       target.name.data()),
+                                   target.name.size()}));
+    for (std::size_t iter = 0; iter < config.iters_per_target; ++iter) {
+      const auto& base = target.corpus[rng.below(target.corpus.size())];
+      auto mutated = mutate_stream(base, rng);
+      report.decodes++;
+      try {
+        target.decode(mutated);
+        report.clean_decodes++;
+      } catch (const Error&) {
+        report.clean_errors++;
+      } catch (const std::bad_alloc&) {
+        report.findings.push_back(
+            {target.name, "std::bad_alloc escaped the decode guard", iter,
+             std::move(mutated)});
+      } catch (const std::exception& e) {
+        report.findings.push_back(
+            {target.name,
+             std::string(typeid(e).name()) + ": " + e.what(), iter,
+             std::move(mutated)});
+      } catch (...) {
+        report.findings.push_back(
+            {target.name, "non-standard exception", iter,
+             std::move(mutated)});
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace testing
+}  // namespace transpwr

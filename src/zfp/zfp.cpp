@@ -8,7 +8,9 @@
 
 #include "common/bitstream.h"
 #include "common/bytestream.h"
+#include "common/decode_guard.h"
 #include "common/error.h"
+#include "common/numeric.h"
 
 namespace transpwr {
 namespace zfp {
@@ -53,12 +55,27 @@ void fwd_lift(Int* p, std::size_t s) {
 
 template <typename Int>
 void inv_lift(Int* p, std::size_t s) {
+  // A corrupt stream can hand the inverse transform arbitrary
+  // coefficients, so the additive steps run in the unsigned domain where
+  // overflow wraps instead of being undefined. Valid streams keep
+  // coefficients within intprec-2 bits (see fwd_cast), where wrapping and
+  // signed arithmetic agree bit-for-bit.
+  using U = std::make_unsigned_t<Int>;
+  auto add = [](Int a, Int b) {
+    return static_cast<Int>(static_cast<U>(a) + static_cast<U>(b));
+  };
+  auto sub = [](Int a, Int b) {
+    return static_cast<Int>(static_cast<U>(a) - static_cast<U>(b));
+  };
+  auto shl1 = [](Int a) {
+    return static_cast<Int>(static_cast<U>(a) << 1);
+  };
   Int x = p[0 * s], y = p[1 * s], z = p[2 * s], w = p[3 * s];
-  y += w >> 1; w -= y >> 1;
-  y += w; w <<= 1; w -= y;
-  z += x; x <<= 1; x -= z;
-  y += z; z <<= 1; z -= y;
-  w += x; x <<= 1; x -= w;
+  y = add(y, w >> 1); w = sub(w, y >> 1);
+  y = add(y, w); w = shl1(w); w = sub(w, y);
+  z = add(z, x); x = shl1(x); x = sub(x, z);
+  y = add(y, z); z = shl1(z); z = sub(z, y);
+  w = add(w, x); x = shl1(x); x = sub(x, w);
   p[0 * s] = x; p[1 * s] = y; p[2 * s] = z; p[3 * s] = w;
 }
 
@@ -244,8 +261,14 @@ void scatter(const T* block, const BlockGrid& g, std::size_t bz,
 template <typename T>
 int block_emax(const T* block, unsigned size) {
   double m = 0;
-  for (unsigned i = 0; i < size; ++i)
-    m = std::max(m, std::abs(static_cast<double>(block[i])));
+  for (unsigned i = 0; i < size; ++i) {
+    double a = std::abs(static_cast<double>(block[i]));
+    // NaN/Inf cannot be block-floating-point scaled (the double->Int cast
+    // below would be undefined); reject instead of encoding garbage.
+    if (!std::isfinite(a))
+      throw ParamError("zfp: non-finite value in input");
+    m = std::max(m, a);
+  }
   if (m == 0) return std::numeric_limits<int>::min();
   int e = 0;
   std::frexp(m, &e);  // m = f * 2^e, f in [0.5, 1) => |x| <= m < 2^e
@@ -292,7 +315,10 @@ void decode_one_block(BitReader& br, const DecodeCtx& ctx, T* vals) {
       ctx.mode == Mode::kAccuracy
           ? std::min(intprec, std::max(1, emax - ctx.minexp + ctx.slack))
       : ctx.mode == Mode::kPrecision
-          ? std::min<int>(intprec, static_cast<int>(ctx.precision))
+          // Clamp before the signed cast: a corrupt header can carry a
+          // precision whose int conversion is negative.
+          ? static_cast<int>(std::min<std::uint32_t>(
+                ctx.precision, static_cast<std::uint32_t>(intprec)))
           : intprec;
   const unsigned kmin = static_cast<unsigned>(intprec - maxprec);
 
@@ -309,8 +335,10 @@ void decode_one_block(BitReader& br, const DecodeCtx& ctx, T* vals) {
   const std::uint8_t* pm = perm(ctx.nd);
   for (unsigned i = 0; i < ctx.bsize; ++i) ints[pm[i]] = uint2int<T>(uints[i]);
   inv_xform(ints.data(), ctx.nd);
+  // Saturating cast: a corrupt exponent field can put the rescaled
+  // coefficient far outside T's finite range.
   for (unsigned i = 0; i < ctx.bsize; ++i)
-    vals[i] = static_cast<T>(
+    vals[i] = narrow_to<T>(
         std::ldexp(static_cast<double>(ints[i]), emax - (intprec - 2)));
 }
 
@@ -390,8 +418,10 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims dims,
               params.mode == Mode::kAccuracy
                   ? std::min(intprec, std::max(1, emax - minexp + slack))
               : params.mode == Mode::kPrecision
-                  ? std::min<int>(intprec,
-                                  static_cast<int>(params.precision))
+                  // Clamp before the signed cast so a huge requested
+                  // precision cannot convert to a negative int.
+                  ? static_cast<int>(std::min<std::uint32_t>(
+                        params.precision, static_cast<std::uint32_t>(intprec)))
                   : intprec;  // kRate: the budget is the only limit
           const unsigned kmin = static_cast<unsigned>(intprec - maxprec);
 
@@ -452,17 +482,28 @@ std::vector<T> decompress(std::span<const std::uint8_t> stream,
   if (dtype != data_type_of<T>())
     throw StreamError("zfp: stream data type does not match requested type");
   int nd = in.get<std::uint8_t>();
-  auto mode = static_cast<Mode>(in.get<std::uint8_t>());
+  std::uint8_t mode_byte = in.get<std::uint8_t>();
+  if (mode_byte > static_cast<std::uint8_t>(Mode::kRate))
+    throw StreamError("zfp: unknown mode byte");
+  auto mode = static_cast<Mode>(mode_byte);
   in.get<std::uint8_t>();
   Dims dims;
   dims.nd = nd;
   for (int i = 0; i < 3; ++i)
     dims.d[static_cast<std::size_t>(i)] =
         static_cast<std::size_t>(in.get<std::uint64_t>());
-  dims.validate();
+  const std::size_t n = checked_count(dims, "zfp");
+  check_decode_alloc(n, sizeof(T), "zfp");
   double tolerance = in.get<double>();
   std::uint32_t precision = in.get<std::uint32_t>();
   double rate = in.get<double>();
+  // Header floats feed log2/llround below; NaN or non-positive values would
+  // make the int conversions undefined.
+  if (mode == Mode::kAccuracy && !(tolerance > 0 && std::isfinite(tolerance)))
+    throw StreamError("zfp: bad tolerance in stream header");
+  if (mode == Mode::kRate &&
+      (!(rate >= 1.0) || rate > 8.0 * sizeof(T)))
+    throw StreamError("zfp: bad rate in stream header");
   if (dims_out) *dims_out = dims;
 
   const unsigned bsize = 1u << (2 * nd);
@@ -480,9 +521,13 @@ std::vector<T> decompress(std::span<const std::uint8_t> stream,
 
   BlockGrid g(dims);
   auto payload = in.get_sized();
+  // Every block costs at least its skip flag, one bit, so inflated dims
+  // cannot be honest against a short payload.
+  if (g.num_blocks() > payload.size() * 8 + 1)
+    throw StreamError("zfp: dims exceed payload capacity");
   BitReader br(payload);
 
-  std::vector<T> out(dims.count(), T{0});
+  std::vector<T> out(n, T{0});
   std::array<T, 64> vals{};
   for (std::size_t bz = 0; bz < g.nbz; ++bz)
     for (std::size_t by = 0; by < g.nby; ++by)
@@ -510,12 +555,14 @@ std::vector<T> decode_block_at(std::span<const std::uint8_t> stream,
   for (int i = 0; i < 3; ++i)
     dims.d[static_cast<std::size_t>(i)] =
         static_cast<std::size_t>(in.get<std::uint64_t>());
-  dims.validate();
+  checked_count(dims, "zfp");
   in.get<double>();  // tolerance
   std::uint32_t precision = in.get<std::uint32_t>();
   double rate = in.get<double>();
   if (mode != Mode::kRate)
     throw ParamError("zfp: random access requires a fixed-rate stream");
+  if (!(rate >= 1.0) || rate > 8.0 * sizeof(T))
+    throw StreamError("zfp: bad rate in stream header");
 
   BlockGrid g(dims);
   if (bz >= g.nbz || by >= g.nby || bx >= g.nbx)

@@ -284,6 +284,93 @@ TEST(LogTransform, ArbitraryBaseParallelRoundTrip) {
   }
 }
 
+template <typename T>
+double ulp_at(T x) {
+  T ax = std::abs(x);
+  return static_cast<double>(
+             std::nextafter(ax, std::numeric_limits<T>::infinity())) -
+         static_cast<double>(ax);
+}
+
+TEST(LogTransform, DenormalRoundTripHoldsWithUlpSlack) {
+  // Subnormals survive the transform: the zero threshold sits 1.5 bounds
+  // below log(denorm_min), so no subnormal collapses to zero. The bound
+  // check allows 2 ulps of slack because near the bottom of the subnormal
+  // range the value grid itself is coarser than br * |x|.
+  std::vector<float> data;
+  for (int e = -149; e <= -120; ++e) {
+    data.push_back(std::ldexp(1.0f, e));
+    data.push_back(-std::ldexp(1.5f, e));
+  }
+  data.push_back(std::numeric_limits<float>::denorm_min());
+  data.push_back(std::numeric_limits<float>::min());  // smallest normal
+  data.push_back(0.0f);
+  const double br = 1e-3;
+  auto r = log_forward<float>(data, br, 2.0);
+  auto back = log_inverse<float>(r.mapped, r.negative, 2.0,
+                                 r.zero_threshold);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data[i] == 0.0f) {
+      ASSERT_EQ(back[i], 0.0f) << i;
+    } else {
+      ASSERT_NE(back[i], 0.0f) << "subnormal collapsed to zero at " << i;
+      ASSERT_EQ(std::signbit(back[i]), std::signbit(data[i])) << i;
+      ASSERT_LE(std::abs(static_cast<double>(back[i]) - data[i]),
+                br * std::abs(static_cast<double>(data[i])) +
+                    2.0 * ulp_at(data[i]))
+          << "i=" << i << " x=" << data[i];
+    }
+  }
+}
+
+TEST(LogTransform, FullExponentRangeRoundTrip) {
+  // One value per binade across double's whole exponent range, deepest
+  // subnormal to just under the overflow threshold.
+  std::vector<double> data;
+  for (int e = -1074; e <= 1022; e += 3)
+    data.push_back(std::ldexp(1.0 + 0.37 * ((e % 7) + 1) / 8.0, e));
+  const double br = 1e-3;
+  auto r = log_forward<double>(data, br, 2.0);
+  auto back = log_inverse<double>(r.mapped, r.negative, 2.0,
+                                  r.zero_threshold);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    ASSERT_LE(std::abs(back[i] - data[i]),
+              br * std::abs(data[i]) + 2.0 * ulp_at(data[i]))
+        << "i=" << i << " x=" << data[i];
+}
+
+TEST(LogTransform, MaxMagnitudeRoundTripStaysFinite) {
+  // log2(FLT_MAX) rounds up to exactly 128.0f in the mapped domain, so the
+  // inverse exponential overflows float; the saturating cast must clamp to
+  // FLT_MAX (still within the relative bound) instead of hitting the
+  // undefined out-of-range double->float conversion.
+  const float big = std::numeric_limits<float>::max();
+  std::vector<float> data = {big, -big, big / 2, 1.0f};
+  const double br = 1e-3;
+  auto r = log_forward<float>(data, br, 2.0);
+  auto back = log_inverse<float>(r.mapped, r.negative, 2.0,
+                                 r.zero_threshold);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(back[i])) << i;
+    ASSERT_LE(std::abs(static_cast<double>(back[i]) -
+                       static_cast<double>(data[i])),
+              br * std::abs(static_cast<double>(data[i])))
+        << i;
+  }
+}
+
+TEST(LogInverse, OverflowingMappedValueClampsToMax) {
+  // Direct inverse of a mapped value whose exponential exceeds FLT_MAX:
+  // 2^129 is double-representable but outside float's range.
+  std::vector<float> mapped = {129.0f, 129.0f};
+  Bitmap negative;
+  negative.assign(2, false);
+  negative.set(1);
+  auto out = log_inverse<float>(mapped, negative, 2.0, -1e30);
+  EXPECT_EQ(out[0], std::numeric_limits<float>::max());
+  EXPECT_EQ(out[1], -std::numeric_limits<float>::max());
+}
+
 TEST(LogTransform, BasesGiveEquivalentQuantizationIndices) {
   // Lemma 3: q = log_{1+br} (x1/x0) regardless of base. Check the mapped
   // differences divided by the mapped bound are base-independent.

@@ -1,0 +1,116 @@
+#include "testing/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <set>
+#include <vector>
+
+namespace transpwr {
+namespace testing {
+namespace {
+
+TEST(AdversarialGenerators, DeterministicPerSeed) {
+  for (Family f : all_families()) {
+    SCOPED_TRACE(family_name(f));
+    auto a = make_field<float>(f, 257, 42);
+    auto b = make_field<float>(f, 257, 42);
+    ASSERT_EQ(a.size(), 257u);
+    // Byte compare: NaN payloads must match too, == would reject them.
+    ASSERT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0);
+    auto c = make_field<float>(f, 257, 43);
+    EXPECT_NE(std::memcmp(a.data(), c.data(), a.size() * sizeof(float)), 0)
+        << "seed is ignored";
+  }
+}
+
+TEST(AdversarialGenerators, NamesRoundTrip) {
+  std::set<std::string> seen;
+  for (Family f : all_families()) {
+    std::string name = family_name(f);
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name " << name;
+    EXPECT_EQ(family_from_name(name), f);
+  }
+  EXPECT_THROW(family_from_name("no_such_family"), std::exception);
+}
+
+TEST(AdversarialGenerators, FiniteFamiliesAreFinite) {
+  for (Family f : finite_families()) {
+    SCOPED_TRACE(family_name(f));
+    EXPECT_TRUE(family_is_finite(f));
+    for (double v : make_field<double>(f, 512, 7))
+      ASSERT_TRUE(std::isfinite(v)) << v;
+    for (float v : make_field<float>(f, 512, 7))
+      ASSERT_TRUE(std::isfinite(v)) << v;
+  }
+}
+
+TEST(AdversarialGenerators, DenormalsFamilyCoversSubnormals) {
+  auto field = make_field<float>(Family::kDenormals, 1024, 11);
+  std::size_t subnormal = 0;
+  for (float v : field) {
+    ASSERT_TRUE(std::isfinite(v));
+    if (v != 0.0f && std::abs(v) < std::numeric_limits<float>::min())
+      ++subnormal;
+  }
+  EXPECT_GT(subnormal, 100u) << "family should be rich in subnormals";
+}
+
+TEST(AdversarialGenerators, SignedZerosFamilyHasBothZeroSigns) {
+  auto field = make_field<double>(Family::kSignedZeros, 1024, 5);
+  bool pos = false, neg = false;
+  for (double v : field) {
+    if (v == 0.0) (std::signbit(v) ? neg : pos) = true;
+  }
+  EXPECT_TRUE(pos);
+  EXPECT_TRUE(neg);
+}
+
+TEST(AdversarialGenerators, SignAlternatingFlipsEveryElement) {
+  auto field = make_field<float>(Family::kSignAlternating, 64, 3);
+  for (std::size_t i = 1; i < field.size(); ++i)
+    ASSERT_NE(std::signbit(field[i]), std::signbit(field[i - 1])) << i;
+}
+
+TEST(AdversarialGenerators, ExponentRampSpansWideRange) {
+  auto field = make_field<double>(Family::kExponentRamp, 2048, 9);
+  double lo = std::numeric_limits<double>::infinity(), hi = 0.0;
+  for (double v : field) {
+    if (v == 0.0) continue;
+    lo = std::min(lo, std::abs(v));
+    hi = std::max(hi, std::abs(v));
+  }
+  // The ramp must sweep far more of the exponent range than any smooth
+  // field would: hundreds of binades, subnormals included.
+  EXPECT_LT(lo, 1e-290);
+  EXPECT_GT(hi, 1e290);
+}
+
+TEST(AdversarialGenerators, NonFiniteFamiliesContainNonFinite) {
+  auto nan_field = make_field<float>(Family::kNanLaced, 256, 1);
+  bool has_nan = false;
+  for (float v : nan_field) has_nan |= std::isnan(v);
+  EXPECT_TRUE(has_nan);
+  EXPECT_FALSE(family_is_finite(Family::kNanLaced));
+
+  auto inf_field = make_field<float>(Family::kInfLaced, 256, 1);
+  bool has_inf = false;
+  for (float v : inf_field) has_inf |= std::isinf(v);
+  EXPECT_TRUE(has_inf);
+  EXPECT_FALSE(family_is_finite(Family::kInfLaced));
+}
+
+TEST(AdversarialGenerators, TinyAndDegenerateSizes) {
+  for (Family f : all_families()) {
+    SCOPED_TRACE(family_name(f));
+    EXPECT_TRUE(make_field<float>(f, 0, 1).empty());
+    EXPECT_EQ(make_field<float>(f, 1, 1).size(), 1u);
+    EXPECT_EQ(make_field<double>(f, 2, 1).size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace transpwr

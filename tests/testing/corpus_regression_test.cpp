@@ -1,0 +1,51 @@
+#include "testing/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+
+#include "common/error.h"
+#include "data/io.h"
+
+namespace transpwr {
+namespace testing {
+namespace {
+
+// regression_corpus() self-checks on construction: it throws
+// std::logic_error if any case decodes cleanly or escapes with a foreign
+// exception, so merely building the list is the core assertion.
+TEST(CorpusRegression, EveryBuiltInCaseIsRejectedCleanly) {
+  auto cases = regression_corpus();
+  EXPECT_GE(cases.size(), 16u);
+  std::set<std::string> names;
+  for (const auto& c : cases) {
+    EXPECT_TRUE(names.insert(c.name).second) << "duplicate " << c.name;
+    EXPECT_FALSE(c.stream.empty()) << c.name;
+  }
+  // The fuzz-found ISABELA over-copy must stay covered.
+  EXPECT_TRUE(names.count("isabela_truncated_outliers"));
+}
+
+// The committed tests/data/corpus/*.bin files are the frozen form of the
+// same cases: even if a generator change drifts the built-in streams, the
+// on-disk bytes keep rejecting. Prefix of the file stem picks the decoder.
+TEST(CorpusRegression, EveryCommittedStreamIsRejectedCleanly) {
+  const std::filesystem::path dir = TRANSPWR_CORPUS_DIR;
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  std::size_t checked = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".bin") continue;
+    const std::string name = entry.path().stem().string();
+    SCOPED_TRACE(name);
+    auto stream = io::read_bytes(entry.path().string());
+    EXPECT_THROW(decode_corpus_stream(name, stream), Error);
+    ++checked;
+  }
+  EXPECT_GE(checked, 16u) << "corpus directory looks incomplete";
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace transpwr

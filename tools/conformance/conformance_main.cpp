@@ -1,0 +1,112 @@
+// Standalone conformance checker: differential round-trip validation of
+// every registered compressor against the adversarial input families.
+//
+//   conformance [--seed N] [--iters M] [--codec SZ_T,...]
+//               [--families denormals,...] [--bound B ...]
+//               [--max-points N] [--no-parallel-check] [--no-double]
+//               [--emit-corpus DIR]
+//
+// Exit code 0 when every guarantee holds, 1 on violations, 2 on usage or
+// internal errors.
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "testing/conformance.h"
+#include "testing/corpus.h"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+void usage() {
+  std::cerr
+      << "usage: conformance [--seed N] [--iters M] [--codec A,B,...]\n"
+         "                   [--families F,G,...] [--bound B ...]\n"
+         "                   [--max-points N] [--no-parallel-check]\n"
+         "                   [--no-double] [--no-degenerate]\n"
+         "                   [--emit-corpus DIR] [--list]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace transpwr;
+  using namespace transpwr::testing;
+
+  ConformanceConfig config;
+  std::vector<double> bounds;
+  std::string emit_dir;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc)
+          throw std::runtime_error("missing value for " + arg);
+        return argv[++i];
+      };
+      if (arg == "--seed") {
+        config.seed = std::stoull(next());
+      } else if (arg == "--iters") {
+        config.iters = std::stoull(next());
+      } else if (arg == "--max-points") {
+        config.max_points = std::stoull(next());
+      } else if (arg == "--codec") {
+        for (const auto& name : split_csv(next()))
+          config.schemes.push_back(scheme_from_name(name));
+      } else if (arg == "--families") {
+        for (const auto& name : split_csv(next()))
+          config.families.push_back(family_from_name(name));
+      } else if (arg == "--bound") {
+        bounds.push_back(std::stod(next()));
+      } else if (arg == "--no-parallel-check") {
+        config.check_parallel_identity = false;
+      } else if (arg == "--no-double") {
+        config.check_double = false;
+      } else if (arg == "--no-degenerate") {
+        config.check_degenerate_dims = false;
+      } else if (arg == "--emit-corpus") {
+        emit_dir = next();
+      } else if (arg == "--list") {
+        std::cout << "schemes:";
+        for (Scheme s : all_schemes()) std::cout << " " << scheme_name(s);
+        std::cout << "\nfamilies:";
+        for (Family f : all_families())
+          std::cout << " " << family_name(f);
+        std::cout << "\n";
+        return 0;
+      } else if (arg == "--help" || arg == "-h") {
+        usage();
+        return 0;
+      } else {
+        usage();
+        return 2;
+      }
+    }
+    if (!bounds.empty()) config.bounds = bounds;
+
+    if (!emit_dir.empty()) {
+      emit_corpus(emit_dir);
+      std::cout << "regression corpus written to " << emit_dir << "\n";
+      return 0;
+    }
+
+    ConformanceReport report = run_conformance(config);
+    std::cout << report.table();
+    return report.ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "conformance: " << e.what() << "\n";
+    return 2;
+  }
+}
