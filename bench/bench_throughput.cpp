@@ -1,15 +1,16 @@
-// Throughput trajectory bench: transform-only, SZ_T end-to-end, and chunked
-// end-to-end at 1/2/4/8 threads on a >= 64 MB field, plus the per-call
-// thread-pool spawn cost the shared global pool eliminates. Emits
-// machine-readable BENCH_PR1.json so future PRs can diff against this PR's
-// numbers.
+// Throughput trajectory bench: transform-only, SZ_T end-to-end (with
+// per-stage breakdown), chunked end-to-end, and the standalone block-parallel
+// entropy stage at 1/2/4/8 threads on a >= 64 MB field. Emits
+// machine-readable BENCH_PR3.json so future PRs can diff against this PR's
+// numbers (BENCH_PR1.json carries the pre-blocked-entropy baseline).
 //
 // Usage: bench_throughput [out.json] [edge]
-//   out.json  output path (default BENCH_PR1.json)
+//   out.json  output path (default BENCH_PR3.json)
 //   edge      cubic field edge length (default 256 => 64 MB of float32)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "core/log_transform.h"
 #include "core/transformed.h"
 #include "data/generators.h"
+#include "lossless/blocked_huffman.h"
 #include "parallel/chunked.h"
 
 using namespace transpwr;
@@ -32,10 +34,13 @@ double gbs(double bytes, double seconds) {
   return seconds > 0 ? bytes / 1e9 / seconds : 0;
 }
 
-/// Best-of-kReps wall time of fn() — minimum, not mean, to shed scheduler
+/// Best-of-kReps wall time of fn() after one untimed warm-up rep — the
+/// warm-up faults in pages, primes caches, and spins up pool workers so the
+/// first timed rep is not an outlier; minimum (not mean) sheds scheduler
 /// noise on shared machines.
 template <typename Fn>
 double best_seconds(Fn&& fn) {
+  fn();  // warm-up, untimed
   double best = 0;
   for (int rep = 0; rep < kReps; ++rep) {
     Timer t;
@@ -54,20 +59,39 @@ struct Run {
   double szt_decompress_s = 0;
   double chunked_compress_s = 0;
   double chunked_decompress_s = 0;
+  // Per-stage attribution of the inner SZ codec (from the last timed rep).
+  sz::StageStats stages;
+  // Standalone blocked entropy stage over a synthetic quant-code stream.
+  double entropy_encode_s = 0;
+  double entropy_decode_s = 0;
 };
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_PR1.json";
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_PR3.json";
   const std::size_t edge =
       argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 256;
 
-  bench::print_header("Throughput: transform / SZ_T / chunked vs threads");
+  bench::print_header("Throughput: transform / SZ_T / chunked / entropy");
   auto f = gen::nyx_dark_matter_density(Dims(edge, edge, edge), 42);
   const double bytes = static_cast<double>(f.bytes());
   std::printf("field: %s = %.1f MB\n", f.dims.to_string().c_str(),
               bytes / (1 << 20));
+
+  // Synthetic quant-code stream for the standalone entropy measurement:
+  // Gaussian residuals over a 2^16 alphabet, the shape the SZ quantizer
+  // emits on smooth data.
+  std::vector<std::uint32_t> codes(f.values.size());
+  {
+    std::mt19937_64 rng(1234);
+    std::normal_distribution<double> noise(0.0, 6.0);
+    for (auto& c : codes) {
+      auto v = static_cast<long>(32768 + std::lround(noise(rng)));
+      c = static_cast<std::uint32_t>(std::clamp(v, 1L, 65535L));
+    }
+  }
+  const double code_bytes = static_cast<double>(codes.size()) * 4;
 
   std::vector<Run> runs;
   for (std::size_t threads : {1u, 2u, 4u, 8u}) {
@@ -86,13 +110,18 @@ int main(int argc, char** argv) {
     tp.rel_bound = 1e-3;
     tp.threads = threads;
     std::vector<std::uint8_t> szt_stream;
+    StageTimes times;
     r.szt_compress_s = best_seconds([&] {
-      szt_stream =
-          transformed_compress<float>(f.values, f.dims, InnerCodec::kSz, tp);
+      szt_stream = transformed_compress<float>(f.values, f.dims,
+                                               InnerCodec::kSz, tp, &times);
     });
+    sz::StageStats stages = times.inner;  // compress-side stages
     r.szt_decompress_s = best_seconds([&] {
-      transformed_decompress<float>(szt_stream, nullptr, nullptr, threads);
+      transformed_decompress<float>(szt_stream, nullptr, &times, threads);
     });
+    stages.entropy_decode_s = times.inner.entropy_decode_s;
+    stages.reconstruct_s = times.inner.reconstruct_s;
+    r.stages = stages;
 
     chunked::Params cp;
     cp.scheme = Scheme::kSzT;
@@ -104,12 +133,23 @@ int main(int argc, char** argv) {
     r.chunked_decompress_s = best_seconds(
         [&] { chunked::decompress<float>(chunked_stream, nullptr, threads); });
 
+    std::vector<std::uint8_t> entropy_stream;
+    r.entropy_encode_s = best_seconds([&] {
+      entropy_stream = lossless::blocked_encode(codes, 65536, threads);
+    });
+    r.entropy_decode_s = best_seconds(
+        [&] { lossless::blocked_decode(entropy_stream, threads); });
+
     std::printf(
-        "t=%zu: fwd %.2f GB/s  inv %.2f GB/s | szt %.3f/%.3f s | "
-        "chunked %.3f/%.3f s\n",
+        "t=%zu: fwd %.2f GB/s  inv %.2f GB/s | szt %.3f/%.3f s "
+        "(predict %.3f hist %.3f enc %.3f | edec %.3f recon %.3f) | "
+        "chunked %.3f/%.3f s | entropy %.2f/%.2f GB/s\n",
         threads, gbs(bytes, r.transform_fwd_s), gbs(bytes, r.transform_inv_s),
-        r.szt_compress_s, r.szt_decompress_s, r.chunked_compress_s,
-        r.chunked_decompress_s);
+        r.szt_compress_s, r.szt_decompress_s, r.stages.predict_s,
+        r.stages.histogram_s, r.stages.encode_s, r.stages.entropy_decode_s,
+        r.stages.reconstruct_s, r.chunked_compress_s, r.chunked_decompress_s,
+        gbs(code_bytes, r.entropy_encode_s),
+        gbs(code_bytes, r.entropy_decode_s));
     runs.push_back(r);
   }
 
@@ -135,7 +175,9 @@ int main(int argc, char** argv) {
   }
   std::fprintf(out, "{\n  \"field\": {\"dims\": \"%s\", \"bytes\": %.0f},\n",
                f.dims.to_string().c_str(), bytes);
-  std::fprintf(out, "  \"reps\": %d,\n  \"pool_spawn_us\": {", kReps);
+  std::fprintf(out, "  \"reps\": %d,\n  \"warmup_reps\": 1,\n", kReps);
+  std::fprintf(out, "  \"entropy_code_bytes\": %.0f,\n", code_bytes);
+  std::fprintf(out, "  \"pool_spawn_us\": {");
   for (std::size_t i = 0; i < spawn_us.size(); ++i)
     std::fprintf(out, "%s\"%zu\": %.2f", i ? ", " : "", spawn_us[i].first,
                  spawn_us[i].second);
@@ -148,11 +190,20 @@ int main(int argc, char** argv) {
         "\"transform_inv_s\": %.6f, \"transform_fwd_gbs\": %.4f, "
         "\"transform_inv_gbs\": %.4f, \"szt_compress_s\": %.6f, "
         "\"szt_decompress_s\": %.6f, \"chunked_compress_s\": %.6f, "
-        "\"chunked_decompress_s\": %.6f, \"chunked_total_s\": %.6f}%s\n",
+        "\"chunked_decompress_s\": %.6f, \"chunked_total_s\": %.6f,\n"
+        "     \"stage_predict_s\": %.6f, \"stage_histogram_s\": %.6f, "
+        "\"stage_encode_s\": %.6f, \"stage_entropy_decode_s\": %.6f, "
+        "\"stage_reconstruct_s\": %.6f,\n"
+        "     \"entropy_encode_s\": %.6f, \"entropy_decode_s\": %.6f, "
+        "\"entropy_encode_gbs\": %.4f, \"entropy_decode_gbs\": %.4f}%s\n",
         r.threads, r.transform_fwd_s, r.transform_inv_s,
         gbs(bytes, r.transform_fwd_s), gbs(bytes, r.transform_inv_s),
         r.szt_compress_s, r.szt_decompress_s, r.chunked_compress_s,
         r.chunked_decompress_s, r.chunked_compress_s + r.chunked_decompress_s,
+        r.stages.predict_s, r.stages.histogram_s, r.stages.encode_s,
+        r.stages.entropy_decode_s, r.stages.reconstruct_s, r.entropy_encode_s,
+        r.entropy_decode_s, gbs(code_bytes, r.entropy_encode_s),
+        gbs(code_bytes, r.entropy_decode_s),
         i + 1 < runs.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");

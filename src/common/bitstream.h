@@ -70,46 +70,31 @@ class BitReader {
   std::uint64_t read_bits(unsigned nbits) {
     if (nbits == 0) return 0;
     // Width check first: corrupt streams can ask for symbol widths far past
-    // the 64-bit accumulator, where `chunk << got` would be UB.
+    // the 64-bit accumulator, where shifting by `nbits` would be UB.
     if (nbits > 64)
       throw StreamError("BitReader: read of " + std::to_string(nbits) +
                         " bits exceeds 64-bit accumulator");
     if (nbits > bytes_.size() * 8 - bit_pos_)
       throw StreamError("BitReader: read past end of stream");
-    std::uint64_t out = 0;
-    unsigned got = 0;
-    while (got < nbits) {
-      std::size_t byte = bit_pos_ >> 3;
-      unsigned bit = bit_pos_ & 7;
-      unsigned avail = 8 - bit;
-      unsigned take = nbits - got < avail ? nbits - got : avail;
-      std::uint64_t chunk = (bytes_[byte] >> bit) & ((1u << take) - 1);
-      out |= chunk << got;
-      got += take;
-      bit_pos_ += take;
-    }
+    std::uint64_t out = load_from(bit_pos_);
+    const unsigned have = 64 - (bit_pos_ & 7);  // valid bits in `out`
+    if (nbits > have)
+      // The word load straddled the accumulator; top up from the following
+      // byte (in range: the remaining-bits check above passed, so the
+      // stream extends at least `nbits` past bit_pos_).
+      out |= std::uint64_t{bytes_[(bit_pos_ >> 3) + 8]} << have;
+    if (nbits < 64) out &= (std::uint64_t{1} << nbits) - 1;
+    bit_pos_ += nbits;
     return out;
   }
 
   bool read_bit() { return read_bits(1) != 0; }
 
-  /// Read up to `nbits` without advancing; bits past the end read as 0.
+  /// Read up to `nbits` (<= 57) without advancing; bits past the end read
+  /// as 0.
   std::uint64_t peek_bits(unsigned nbits) const {
-    std::uint64_t out = 0;
-    unsigned got = 0;
-    std::size_t pos = bit_pos_;
-    const std::size_t total = bytes_.size() * 8;
-    while (got < nbits && pos < total) {
-      std::size_t byte = pos >> 3;
-      unsigned bit = pos & 7;
-      unsigned avail = 8 - bit;
-      unsigned take = std::min(nbits - got, avail);
-      std::uint64_t chunk = (bytes_[byte] >> bit) & ((1u << take) - 1);
-      out |= chunk << got;
-      got += take;
-      pos += take;
-    }
-    return out;
+    std::uint64_t out = load_from(bit_pos_);
+    return nbits < 64 ? out & ((std::uint64_t{1} << nbits) - 1) : out;
   }
 
   /// Advance by `nbits` without reading (also used to seek in fixed-rate
@@ -122,10 +107,36 @@ class BitReader {
     bit_pos_ += nbits;
   }
 
+  /// Jump to an absolute bit position (batched decoders keep a local
+  /// cursor and resynchronize through this).
+  void seek(std::size_t bit_pos) {
+    if (bit_pos > bytes_.size() * 8)
+      throw StreamError("BitReader: seek past end of stream");
+    bit_pos_ = bit_pos;
+  }
+
   std::size_t bit_pos() const { return bit_pos_; }
   std::size_t bits_remaining() const { return bytes_.size() * 8 - bit_pos_; }
+  const std::uint8_t* data() const { return bytes_.data(); }
+  std::size_t size_bytes() const { return bytes_.size(); }
 
  private:
+  /// Up to 64 bits starting at bit `pos` (57+ of them valid when the word
+  /// straddles the accumulator; bits past the end read as 0). One unaligned
+  /// word load in the interior, a byte-assembly fallback in the last 8
+  /// bytes.
+  std::uint64_t load_from(std::size_t pos) const {
+    const std::size_t byte = pos >> 3;
+    std::uint64_t w = 0;
+    if (byte + 8 <= bytes_.size()) {
+      std::memcpy(&w, bytes_.data() + byte, 8);
+    } else {
+      for (std::size_t i = byte; i < bytes_.size(); ++i)
+        w |= std::uint64_t{bytes_[i]} << (8 * (i - byte));
+    }
+    return w >> (pos & 7);
+  }
+
   std::span<const std::uint8_t> bytes_;
   std::size_t bit_pos_ = 0;
 };

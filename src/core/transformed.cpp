@@ -37,7 +37,7 @@ std::vector<std::uint8_t> transformed_compress(std::span<const T> data,
     BitWriter bw;
     rle::encode_bits(tr.negative, bw);
     auto raw = bw.take();
-    sign_bytes = lossless::compress(raw);
+    sign_bytes = lossless::compress(raw, p.threads);
   }
   double pre_s = pre.seconds();
 
@@ -48,11 +48,14 @@ std::vector<std::uint8_t> transformed_compress(std::span<const T> data,
     sp.mode = sz::Mode::kAbs;
     sp.bound = tr.adjusted_abs_bound;
     sp.quant_intervals = p.quant_intervals;
-    inner = sz::compress<T>(tr.mapped, dims, sp);
+    sp.threads = p.threads;
+    inner = sz::compress<T>(tr.mapped, dims, sp,
+                            times ? &times->inner : nullptr);
   } else if (codec == InnerCodec::kSzInterp) {
     sz_interp::Params ip;
     ip.bound = tr.adjusted_abs_bound;
     ip.quant_intervals = p.quant_intervals;
+    ip.threads = p.threads;
     inner = sz_interp::compress<T>(tr.mapped, dims, ip);
   } else {
     zfp::Params zp;
@@ -104,9 +107,10 @@ std::vector<T> transformed_decompress(std::span<const std::uint8_t> stream,
   Dims dims;
   std::vector<T> mapped;
   if (codec == InnerCodec::kSz)
-    mapped = sz::decompress<T>(inner, &dims);
+    mapped = sz::decompress<T>(inner, &dims, threads,
+                               times ? &times->inner : nullptr);
   else if (codec == InnerCodec::kSzInterp)
-    mapped = sz_interp::decompress<T>(inner, &dims);
+    mapped = sz_interp::decompress<T>(inner, &dims, threads);
   else
     mapped = zfp::decompress<T>(inner, &dims);
   if (dims_out) *dims_out = dims;
@@ -115,7 +119,7 @@ std::vector<T> transformed_decompress(std::span<const std::uint8_t> stream,
   Timer post;
   Bitmap negative;
   if (has_signs) {
-    auto raw = lossless::decompress(sign_bytes);
+    auto raw = lossless::decompress(sign_bytes, threads);
     BitReader br(raw);
     negative = rle::decode_bits(br);
   }

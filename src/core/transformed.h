@@ -7,6 +7,7 @@
 
 #include "common/types.h"
 #include "core/log_transform.h"
+#include "sz/sz.h"
 
 namespace transpwr {
 
@@ -27,6 +28,9 @@ struct TransformedParams {
 struct StageTimes {
   double pre_seconds = 0;   ///< forward log map + sign compression
   double post_seconds = 0;  ///< inverse map + sign decompression
+  /// Per-stage breakdown of the inner codec; only filled when the inner
+  /// codec is kSz (the paper's SZ_T configuration).
+  sz::StageStats inner;
 };
 
 template <typename T>

@@ -1,0 +1,145 @@
+#include "lossless/blocked_huffman.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/bitstream.h"
+#include "common/bytestream.h"
+#include "common/decode_guard.h"
+#include "common/error.h"
+#include "common/parallel.h"
+#include "common/timer.h"
+#include "lossless/huffman.h"
+
+namespace transpwr {
+namespace lossless {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x32484253;  // "SBH2"
+
+std::size_t block_count_for(std::size_t count, std::size_t block) {
+  return count == 0 ? 0 : (count - 1) / block + 1;
+}
+
+}  // namespace
+
+std::size_t entropy_block_symbols() {
+  static const std::size_t cached = [] {
+    if (const char* env = std::getenv("TRANSPWR_ENTROPY_BLOCK")) {
+      char* end = nullptr;
+      long long v = std::strtoll(env, &end, 10);
+      if (end != env && *end == '\0' && v > 0)
+        return std::clamp<std::size_t>(static_cast<std::size_t>(v), 4096,
+                                       std::size_t{1} << 24);
+    }
+    return std::size_t{1} << 17;
+  }();
+  return cached;
+}
+
+std::vector<std::uint8_t> blocked_encode(std::span<const std::uint32_t> symbols,
+                                         std::uint32_t alphabet,
+                                         std::size_t threads,
+                                         BlockedStats* stats) {
+  const std::size_t block = entropy_block_symbols();
+  const std::size_t nblocks = block_count_for(symbols.size(), block);
+
+  Timer hist_timer;
+  HuffmanCoder huff;
+  huff.build_from(symbols, alphabet, threads);
+  BitWriter table_bw;
+  huff.write_table(table_bw);
+  std::vector<std::uint8_t> table = table_bw.take();
+  if (stats) stats->histogram_s = hist_timer.seconds();
+
+  Timer enc_timer;
+  std::vector<std::vector<std::uint8_t>> subs(nblocks);
+  ParallelOptions opts;
+  opts.max_threads = threads;
+  opts.grain = 1;
+  parallel_for(
+      nblocks,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t b = begin; b < end; ++b) {
+          BitWriter bw;
+          huff.encode_all(
+              symbols.subspan(b * block,
+                              std::min(block, symbols.size() - b * block)),
+              bw);
+          subs[b] = bw.take();
+        }
+      },
+      opts);
+
+  ByteWriter out;
+  out.put(kMagic);
+  out.put(static_cast<std::uint64_t>(symbols.size()));
+  out.put(alphabet);
+  out.put(static_cast<std::uint32_t>(block));
+  out.put(static_cast<std::uint32_t>(nblocks));
+  out.put_sized(table);
+  for (const auto& s : subs) out.put(static_cast<std::uint64_t>(s.size()));
+  for (const auto& s : subs) out.put_bytes(s);
+  if (stats) stats->encode_s = enc_timer.seconds();
+  return out.take();
+}
+
+std::vector<std::uint32_t> blocked_decode(std::span<const std::uint8_t> stream,
+                                          std::size_t threads) {
+  ByteReader in(stream);
+  if (in.get<std::uint32_t>() != kMagic)
+    throw StreamError("blocked_huffman: bad magic");
+  const auto count = static_cast<std::size_t>(in.get<std::uint64_t>());
+  check_decode_alloc(count, sizeof(std::uint32_t), "blocked_huffman");
+  const std::uint32_t alphabet = in.get<std::uint32_t>();
+  const std::uint32_t block = in.get<std::uint32_t>();
+  const std::uint32_t nblocks = in.get<std::uint32_t>();
+  if (block == 0) throw StreamError("blocked_huffman: zero block size");
+  if (nblocks != block_count_for(count, block))
+    throw StreamError("blocked_huffman: block count does not match directory");
+
+  auto table_bytes = in.get_sized();
+  BitReader table_br(table_bytes);
+  HuffmanCoder huff;
+  huff.read_table(table_br);
+  if (huff.alphabet_size() != alphabet)
+    throw StreamError("blocked_huffman: table alphabet mismatch");
+
+  // Directory: per-block substream byte sizes. Every entry is re-checked
+  // against the bytes actually present before any block allocation, so a
+  // corrupt directory cannot point substreams past the payload.
+  std::vector<std::size_t> offsets(std::size_t{nblocks} + 1, 0);
+  for (std::uint32_t b = 0; b < nblocks; ++b) {
+    const auto sz = in.get<std::uint64_t>();
+    if (sz > stream.size())
+      throw StreamError("blocked_huffman: substream size exceeds stream");
+    offsets[b + 1] = offsets[b] + static_cast<std::size_t>(sz);
+    if (offsets[b + 1] < offsets[b])
+      throw StreamError("blocked_huffman: substream directory overflows");
+  }
+  if (offsets[nblocks] > in.remaining())
+    throw StreamError("blocked_huffman: truncated substreams");
+  auto payload = in.get_bytes(offsets[nblocks]);
+
+  std::vector<std::uint32_t> out(count);
+  ParallelOptions opts;
+  opts.max_threads = threads;
+  opts.grain = 1;
+  parallel_for(
+      nblocks,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t b = begin; b < end; ++b) {
+          BitReader br(payload.subspan(offsets[b], offsets[b + 1] - offsets[b]));
+          const std::size_t first = b * std::size_t{block};
+          huff.decode_all(
+              br, std::span<std::uint32_t>(out).subspan(
+                      first, std::min<std::size_t>(block, count - first)));
+        }
+      },
+      opts);
+  return out;
+}
+
+}  // namespace lossless
+}  // namespace transpwr

@@ -1,24 +1,39 @@
 #include "lossless/huffman.h"
 
 #include <algorithm>
+#include <array>
+#include <cstring>
 #include <queue>
 
 #include "common/decode_guard.h"
 #include "common/error.h"
+#include "common/parallel.h"
 
 namespace transpwr {
 namespace {
 
+constexpr std::array<std::uint8_t, 256> make_byte_reverse_table() {
+  std::array<std::uint8_t, 256> t{};
+  for (unsigned b = 0; b < 256; ++b) {
+    unsigned r = 0;
+    for (unsigned i = 0; i < 8; ++i) r |= ((b >> i) & 1u) << (7 - i);
+    t[b] = static_cast<std::uint8_t>(r);
+  }
+  return t;
+}
+
+constexpr std::array<std::uint8_t, 256> kByteReverse = make_byte_reverse_table();
+
 // Reverse the low `len` bits of `code` so that a single LSB-first
 // BitWriter::write_bits emits the code MSB-first (as canonical decoding
-// expects to consume it).
+// expects to consume it). Four table lookups instead of an O(len) loop:
+// assign_canonical_codes re-runs this for every symbol of every slab.
 std::uint32_t reverse_bits(std::uint32_t code, unsigned len) {
-  std::uint32_t r = 0;
-  for (unsigned i = 0; i < len; ++i) {
-    r = (r << 1) | (code & 1);
-    code >>= 1;
-  }
-  return r;
+  std::uint32_t r = (std::uint32_t{kByteReverse[code & 0xff]} << 24) |
+                    (std::uint32_t{kByteReverse[(code >> 8) & 0xff]} << 16) |
+                    (std::uint32_t{kByteReverse[(code >> 16) & 0xff]} << 8) |
+                    std::uint32_t{kByteReverse[(code >> 24) & 0xff]};
+  return len ? r >> (32 - len) : 0;
 }
 
 }  // namespace
@@ -101,12 +116,40 @@ void HuffmanCoder::build(std::span<const std::uint64_t> freq) {
 }
 
 void HuffmanCoder::build_from(std::span<const std::uint32_t> symbols,
-                              std::uint32_t alphabet) {
-  std::vector<std::uint64_t> freq(alphabet, 0);
-  for (auto s : symbols) {
-    if (s >= alphabet) throw ParamError("HuffmanCoder: symbol out of range");
-    ++freq[s];
+                              std::uint32_t alphabet, std::size_t threads) {
+  ParallelOptions opts;
+  opts.max_threads = threads;
+  opts.grain = 1 << 16;
+  const std::size_t slots = parallel_task_count(symbols.size(), opts);
+  // Below ~2 histograms' worth of symbols the merge would cost more than it
+  // saves; count inline.
+  if (slots <= 1 || symbols.size() < 2 * std::size_t{alphabet}) {
+    std::vector<std::uint64_t> freq(alphabet, 0);
+    for (auto s : symbols) {
+      if (s >= alphabet) throw ParamError("HuffmanCoder: symbol out of range");
+      ++freq[s];
+    }
+    build(freq);
+    return;
   }
+  // Per-slot histograms merged with exact integer sums: the final counts —
+  // and therefore the code — are identical for any thread count.
+  std::vector<std::vector<std::uint64_t>> partial(
+      slots, std::vector<std::uint64_t>(alphabet, 0));
+  parallel_for_slots(
+      symbols.size(),
+      [&](std::size_t slot, std::size_t begin, std::size_t end) {
+        std::uint64_t* f = partial[slot].data();
+        for (std::size_t i = begin; i < end; ++i) {
+          if (symbols[i] >= alphabet)
+            throw ParamError("HuffmanCoder: symbol out of range");
+          ++f[symbols[i]];
+        }
+      },
+      opts);
+  std::vector<std::uint64_t>& freq = partial[0];
+  for (std::size_t s = 1; s < slots; ++s)
+    for (std::uint32_t a = 0; a < alphabet; ++a) freq[a] += partial[s][a];
   build(freq);
 }
 
@@ -235,6 +278,46 @@ std::uint32_t HuffmanCoder::decode(BitReader& br) const {
       return sorted_symbols_[first_index_[len] + (acc - first_code_[len])];
   }
   throw StreamError("HuffmanCoder: invalid code in stream");
+}
+
+void HuffmanCoder::encode_all(std::span<const std::uint32_t> symbols,
+                              BitWriter& bw) const {
+  const std::uint32_t* codes = codes_.data();
+  const std::uint8_t* lengths = lengths_.data();
+  const std::size_t alphabet = lengths_.size();
+  for (std::uint32_t s : symbols) {
+    if (s >= alphabet || lengths[s] == 0)
+      throw ParamError("HuffmanCoder: encoding symbol without a code");
+    bw.write_bits(codes[s], lengths[s]);
+  }
+}
+
+void HuffmanCoder::decode_all(BitReader& br,
+                              std::span<std::uint32_t> out) const {
+  const std::uint8_t* data = br.data();
+  const std::size_t nbytes = br.size_bytes();
+  const FastEntry* fast = fast_table_.data();
+  std::size_t pos = br.bit_pos();
+  // Positions from which a full 8-byte load stays in bounds; past it (or on
+  // a fast-table miss) fall back to the bounds-checked scalar decode.
+  const std::size_t word_safe_bits = nbytes >= 8 ? (nbytes - 8) * 8 + 1 : 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (pos < word_safe_bits) {
+      std::uint64_t w;
+      std::memcpy(&w, data + (pos >> 3), 8);
+      const FastEntry& e =
+          fast[(w >> (pos & 7)) & ((1u << kFastBits) - 1)];
+      if (e.length) {
+        out[i] = e.symbol;
+        pos += e.length;
+        continue;
+      }
+    }
+    br.seek(pos);
+    out[i] = decode(br);
+    pos = br.bit_pos();
+  }
+  br.seek(pos);
 }
 
 }  // namespace transpwr

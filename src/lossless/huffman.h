@@ -24,8 +24,11 @@ class HuffmanCoder {
   void build(std::span<const std::uint64_t> freq);
 
   /// Convenience: count frequencies of `symbols` over alphabet [0, alphabet).
+  /// The histogram pass runs on the shared pool (per-slot counts merged
+  /// exactly, so the resulting code is thread-count independent);
+  /// `threads == 1` stays fully inline.
   void build_from(std::span<const std::uint32_t> symbols,
-                  std::uint32_t alphabet);
+                  std::uint32_t alphabet, std::size_t threads = 0);
 
   /// Serialize the code-length table (canonical codes are implied).
   void write_table(BitWriter& bw) const;
@@ -34,6 +37,14 @@ class HuffmanCoder {
 
   void encode(std::uint32_t symbol, BitWriter& bw) const;
   std::uint32_t decode(BitReader& br) const;
+
+  /// Batched encode: equivalent to encode() per symbol, but keeps the code
+  /// and length tables in registers across the whole span.
+  void encode_all(std::span<const std::uint32_t> symbols, BitWriter& bw) const;
+  /// Batched decode of out.size() symbols: equivalent to decode() per
+  /// symbol, but runs the 12-bit fast table against word loads on a local
+  /// bit cursor instead of per-symbol peek/skip bounds churn.
+  void decode_all(BitReader& br, std::span<std::uint32_t> out) const;
 
   /// Encoded length in bits of `symbol` (0 if the symbol has no code).
   unsigned code_length(std::uint32_t symbol) const {

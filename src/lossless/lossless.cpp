@@ -8,14 +8,23 @@ namespace lossless {
 namespace {
 constexpr std::uint8_t kMethodRaw = 0;
 constexpr std::uint8_t kMethodLz77 = 1;
+constexpr std::uint8_t kMethodLz77Blocked = 2;
+// Inputs at least this large use the blocked token container; the extra
+// directory bytes are noise there and the entropy stage parallelizes. A
+// size-derived cutoff keeps output independent of the thread count.
+constexpr std::size_t kBlockedThreshold = std::size_t{1} << 16;
 }  // namespace
 
-std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input) {
-  std::vector<std::uint8_t> coded = lz77::compress(input);
+std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input,
+                                   std::size_t threads) {
+  const bool blocked = input.size() >= kBlockedThreshold;
+  std::vector<std::uint8_t> coded = blocked
+                                        ? lz77::compress_blocked(input, threads)
+                                        : lz77::compress(input);
   std::vector<std::uint8_t> out;
   if (coded.size() < input.size()) {
     out.reserve(coded.size() + 1);
-    out.push_back(kMethodLz77);
+    out.push_back(blocked ? kMethodLz77Blocked : kMethodLz77);
     out.insert(out.end(), coded.begin(), coded.end());
   } else {
     out.reserve(input.size() + 1);
@@ -25,7 +34,8 @@ std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input) {
   return out;
 }
 
-std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> stream) {
+std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> stream,
+                                     std::size_t threads) {
   if (stream.empty()) throw StreamError("lossless: empty stream");
   std::uint8_t method = stream[0];
   auto body = stream.subspan(1);
@@ -34,6 +44,8 @@ std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> stream) {
       return {body.begin(), body.end()};
     case kMethodLz77:
       return lz77::decompress(body);
+    case kMethodLz77Blocked:
+      return lz77::decompress_blocked(body, threads);
     default:
       throw StreamError("lossless: unknown method tag");
   }

@@ -11,8 +11,14 @@ namespace lossless {
 /// General-purpose lossless byte compression with a 1-byte method tag.
 /// Compresses with LZ77+Huffman and falls back to a raw copy whenever the
 /// coded form would be larger, so callers can pipe anything through it.
-std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input);
-std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> stream);
+/// Inputs past a fixed size threshold use the block-parallel v2 token
+/// container (method tag 2); the threshold depends only on the input size,
+/// so output bytes are identical for any `threads`. decompress() accepts
+/// every method tag ever emitted.
+std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input,
+                                   std::size_t threads = 0);
+std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> stream,
+                                     std::size_t threads = 0);
 
 }  // namespace lossless
 }  // namespace transpwr

@@ -4,8 +4,11 @@
 #include <cstring>
 
 #include "common/bitstream.h"
+#include "common/bytestream.h"
 #include "common/decode_guard.h"
 #include "common/error.h"
+#include "common/parallel.h"
+#include "lossless/blocked_huffman.h"
 #include "lossless/huffman.h"
 
 namespace transpwr {
@@ -90,10 +93,9 @@ std::uint32_t hash4(const std::uint8_t* p) {
   return (v * 2654435761u) >> (32 - kHashBits);
 }
 
-}  // namespace
-
-std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input) {
-  const ClassTables& ct = tables();
+/// Hash-chain greedy tokenization — shared verbatim by the v1 and blocked
+/// v2 containers, so both emit the same token sequence.
+std::vector<Token> tokenize(std::span<const std::uint8_t> input) {
   const std::size_t n = input.size();
   std::vector<Token> toks;
   toks.reserve(n / 3 + 16);
@@ -146,10 +148,17 @@ std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input) {
       ++i;
     }
   }
+  return toks;
+}
 
-  // Frequency pass.
-  std::vector<std::uint64_t> litlen_freq(kLitLenAlphabet, 0);
-  std::vector<std::uint64_t> dist_freq(kNumDistClasses, 0);
+/// Token frequency pass shared by both containers. `with_eos` accounts for
+/// the v1 end-of-stream marker.
+void count_tokens(const std::vector<Token>& toks, bool with_eos,
+                  std::vector<std::uint64_t>& litlen_freq,
+                  std::vector<std::uint64_t>& dist_freq) {
+  const ClassTables& ct = tables();
+  litlen_freq.assign(kLitLenAlphabet, 0);
+  dist_freq.assign(kNumDistClasses, 0);
   for (const Token& t : toks) {
     if (t.dist == 0) {
       ++litlen_freq[t.literal_or_len];
@@ -158,7 +167,52 @@ std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input) {
       ++dist_freq[ct.dist_class(t.dist)];
     }
   }
-  ++litlen_freq[kEos];
+  if (with_eos) ++litlen_freq[kEos];
+}
+
+void encode_token(const Token& t, const HuffmanCoder& litlen,
+                  const HuffmanCoder& dist, BitWriter& bw) {
+  const ClassTables& ct = tables();
+  if (t.dist == 0) {
+    litlen.encode(t.literal_or_len, bw);
+  } else {
+    unsigned lk = ct.len_class(t.literal_or_len);
+    litlen.encode(kLenBase + lk, bw);
+    bw.write_bits(t.literal_or_len - ct.len_base[lk], len_class_extra(lk));
+    unsigned dk = ct.dist_class(t.dist);
+    dist.encode(dk, bw);
+    bw.write_bits(t.dist - ct.dist_base[dk], dist_class_extra(dk));
+  }
+}
+
+/// Decode one token (v2 path: no EOS symbol in the alphabet stream).
+Token decode_token(BitReader& br, const HuffmanCoder& litlen,
+                   const HuffmanCoder& dist) {
+  const ClassTables& ct = tables();
+  std::uint32_t sym = litlen.decode(br);
+  if (sym < 256) return {sym, 0};
+  if (sym == kEos) throw StreamError("lz77: unexpected EOS in blocked stream");
+  unsigned lk = sym - kLenBase;
+  if (lk >= kNumLenClasses) throw StreamError("lz77: bad length class");
+  std::uint32_t len_off =
+      ct.len_base[lk] +
+      static_cast<std::uint32_t>(br.read_bits(len_class_extra(lk)));
+  unsigned dk = dist.decode(br);
+  if (dk >= kNumDistClasses) throw StreamError("lz77: bad distance class");
+  std::uint32_t d = ct.dist_base[dk] +
+                    static_cast<std::uint32_t>(
+                        br.read_bits(dist_class_extra(dk)));
+  return {len_off, d};
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input) {
+  const std::size_t n = input.size();
+  std::vector<Token> toks = tokenize(input);
+
+  std::vector<std::uint64_t> litlen_freq, dist_freq;
+  count_tokens(toks, /*with_eos=*/true, litlen_freq, dist_freq);
 
   HuffmanCoder litlen, dist;
   litlen.build(litlen_freq);
@@ -168,18 +222,7 @@ std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input) {
   bw.write_bits(n, 64);
   litlen.write_table(bw);
   dist.write_table(bw);
-  for (const Token& t : toks) {
-    if (t.dist == 0) {
-      litlen.encode(t.literal_or_len, bw);
-    } else {
-      unsigned lk = ct.len_class(t.literal_or_len);
-      litlen.encode(kLenBase + lk, bw);
-      bw.write_bits(t.literal_or_len - ct.len_base[lk], len_class_extra(lk));
-      unsigned dk = ct.dist_class(t.dist);
-      dist.encode(dk, bw);
-      bw.write_bits(t.dist - ct.dist_base[dk], dist_class_extra(dk));
-    }
-  }
+  for (const Token& t : toks) encode_token(t, litlen, dist, bw);
   litlen.encode(kEos, bw);
   return bw.take();
 }
@@ -217,6 +260,132 @@ std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> stream) {
     std::size_t d = ct.dist_base[dk] +
                     static_cast<std::size_t>(
                         br.read_bits(dist_class_extra(dk)));
+    if (d == 0 || d > out.size()) throw StreamError("lz77: bad distance");
+    std::size_t src = out.size() - d;
+    for (std::size_t j = 0; j < len; ++j) out.push_back(out[src + j]);
+  }
+  if (out.size() != n) throw StreamError("lz77: size mismatch");
+  return out;
+}
+
+std::vector<std::uint8_t> compress_blocked(std::span<const std::uint8_t> input,
+                                           std::size_t threads) {
+  const std::size_t n = input.size();
+  std::vector<Token> toks = tokenize(input);
+
+  std::vector<std::uint64_t> litlen_freq, dist_freq;
+  count_tokens(toks, /*with_eos=*/false, litlen_freq, dist_freq);
+
+  HuffmanCoder litlen, dist;
+  litlen.build(litlen_freq);
+  dist.build(dist_freq);
+
+  BitWriter tables_bw;
+  litlen.write_table(tables_bw);
+  dist.write_table(tables_bw);
+  std::vector<std::uint8_t> table_bytes = tables_bw.take();
+
+  const std::size_t block = lossless::entropy_block_symbols();
+  const std::size_t nblocks = toks.empty() ? 0 : (toks.size() - 1) / block + 1;
+  std::vector<std::vector<std::uint8_t>> subs(nblocks);
+  ParallelOptions opts;
+  opts.max_threads = threads;
+  opts.grain = 1;
+  parallel_for(
+      nblocks,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t b = begin; b < end; ++b) {
+          BitWriter bw;
+          const std::size_t first = b * block;
+          const std::size_t last = std::min(first + block, toks.size());
+          for (std::size_t t = first; t < last; ++t)
+            encode_token(toks[t], litlen, dist, bw);
+          subs[b] = bw.take();
+        }
+      },
+      opts);
+
+  ByteWriter out;
+  out.put(static_cast<std::uint64_t>(n));
+  out.put(static_cast<std::uint64_t>(toks.size()));
+  out.put(static_cast<std::uint32_t>(block));
+  out.put(static_cast<std::uint32_t>(nblocks));
+  out.put_sized(table_bytes);
+  for (const auto& s : subs) out.put(static_cast<std::uint64_t>(s.size()));
+  for (const auto& s : subs) out.put_bytes(s);
+  return out.take();
+}
+
+std::vector<std::uint8_t> decompress_blocked(
+    std::span<const std::uint8_t> stream, std::size_t threads) {
+  ByteReader in(stream);
+  const auto n = static_cast<std::size_t>(in.get<std::uint64_t>());
+  check_decode_alloc(n, 1, "lz77");
+  const auto ntoks = static_cast<std::size_t>(in.get<std::uint64_t>());
+  // Every token reconstructs at least one output byte, and costs at least
+  // one bit in its substream; both sides of that bound are enforced.
+  if (ntoks > n) throw StreamError("lz77: more tokens than output bytes");
+  check_decode_alloc(ntoks, sizeof(Token), "lz77");
+  const std::uint32_t block = in.get<std::uint32_t>();
+  const std::uint32_t nblocks = in.get<std::uint32_t>();
+  if (block == 0) throw StreamError("lz77: zero token block size");
+  if (nblocks != (ntoks == 0 ? 0 : (ntoks - 1) / block + 1))
+    throw StreamError("lz77: block count does not match token count");
+
+  auto table_bytes = in.get_sized();
+  BitReader tables_br(table_bytes);
+  HuffmanCoder litlen, dist;
+  litlen.read_table(tables_br);
+  dist.read_table(tables_br);
+
+  std::vector<std::size_t> offsets(std::size_t{nblocks} + 1, 0);
+  for (std::uint32_t b = 0; b < nblocks; ++b) {
+    const auto sz = in.get<std::uint64_t>();
+    if (sz > stream.size())
+      throw StreamError("lz77: substream size exceeds stream");
+    offsets[b + 1] = offsets[b] + static_cast<std::size_t>(sz);
+    if (offsets[b + 1] < offsets[b])
+      throw StreamError("lz77: substream directory overflows");
+  }
+  if (offsets[nblocks] > in.remaining())
+    throw StreamError("lz77: truncated substreams");
+  auto payload = in.get_bytes(offsets[nblocks]);
+
+  // Phase 1 (parallel): entropy-decode each block back to tokens.
+  std::vector<Token> toks(ntoks);
+  ParallelOptions opts;
+  opts.max_threads = threads;
+  opts.grain = 1;
+  parallel_for(
+      nblocks,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t b = begin; b < end; ++b) {
+          BitReader br(
+              payload.subspan(offsets[b], offsets[b + 1] - offsets[b]));
+          const std::size_t first = b * std::size_t{block};
+          const std::size_t last =
+              std::min<std::size_t>(first + block, ntoks);
+          for (std::size_t t = first; t < last; ++t)
+            toks[t] = decode_token(br, litlen, dist);
+        }
+      },
+      opts);
+
+  // Phase 2 (serial): expand matches — back-references cross block
+  // boundaries, but this is plain memory traffic.
+  std::vector<std::uint8_t> out;
+  out.reserve(n);
+  for (const Token& t : toks) {
+    if (t.dist == 0) {
+      if (out.size() >= n)
+        throw StreamError("lz77: output exceeds header size");
+      out.push_back(static_cast<std::uint8_t>(t.literal_or_len));
+      continue;
+    }
+    std::size_t len = kMinMatch + t.literal_or_len;
+    if (len > n - out.size())
+      throw StreamError("lz77: output exceeds header size");
+    std::size_t d = t.dist;
     if (d == 0 || d > out.size()) throw StreamError("lz77: bad distance");
     std::size_t src = out.size() - d;
     for (std::size_t j = 0; j < len; ++j) out.push_back(out[src + j]);

@@ -12,12 +12,28 @@ namespace transpwr {
 /// canonical Huffman tables. This plays the role of the GZIP stage SZ
 /// applies after Huffman coding.
 ///
-/// Container layout (all inside one bit stream):
+/// v1 container layout (all inside one bit stream):
 ///   u64 original size, litlen table, dist table, token bits.
+///
+/// v2 (compress_blocked) keeps the identical token sequence but encodes it
+/// in fixed-size token blocks with a substream size directory, so the
+/// entropy stage runs block-parallel in both directions (the serial match
+/// expansion on decode is the cheap part). Layout:
+///   u64 original size, u64 token count, u32 tokens per block,
+///   u32 block count, sized (litlen table + dist table bit stream),
+///   u64 substream byte size per block, concatenated substreams.
 namespace lz77 {
 
 std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input);
 std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> stream);
+
+/// Block-parallel v2 coder of the same token sequence compress() emits.
+/// Output bytes are identical for any thread count (blocks are sized by
+/// token count, never thread count).
+std::vector<std::uint8_t> compress_blocked(std::span<const std::uint8_t> input,
+                                           std::size_t threads = 0);
+std::vector<std::uint8_t> decompress_blocked(
+    std::span<const std::uint8_t> stream, std::size_t threads = 0);
 
 }  // namespace lz77
 }  // namespace transpwr

@@ -9,6 +9,7 @@
 #include "common/decode_guard.h"
 #include "common/error.h"
 #include "common/numeric.h"
+#include "lossless/blocked_huffman.h"
 #include "lossless/huffman.h"
 #include "lossless/lossless.h"
 #include "sz/outlier_coding.h"
@@ -18,6 +19,11 @@ namespace sz_interp {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x31495A53;  // "SZI1"
+
+// Codes format byte (historically just the lz flag): bit 0 = LZ applied,
+// bit 1 = blocked v2 entropy container. v1 writers only emitted 0/1.
+constexpr std::uint8_t kCodesLz = 1;
+constexpr std::uint8_t kCodesBlocked = 2;
 
 void validate(const Params& p, const Dims& dims) {
   dims.validate();
@@ -140,34 +146,31 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims dims,
     recon[idx] = data[idx];
   });
 
-  HuffmanCoder huff;
-  huff.build_from(codes, params.quant_intervals);
-  BitWriter bw;
-  huff.write_table(bw);
-  for (auto c : codes) huff.encode(c, bw);
-  std::vector<std::uint8_t> coded = bw.take();
-  std::uint8_t lz_applied =
-      sz_detail::maybe_lz(coded, params.lz_stage) ? 1 : 0;
+  std::vector<std::uint8_t> coded = lossless::blocked_encode(
+      codes, params.quant_intervals, params.threads);
+  std::uint8_t codes_format = kCodesBlocked;
+  if (sz_detail::maybe_lz(coded, params.lz_stage, params.threads))
+    codes_format |= kCodesLz;
 
   ByteWriter out;
   out.put(kMagic);
   out.put(static_cast<std::uint8_t>(data_type_of<T>()));
   out.put(static_cast<std::uint8_t>(dims.nd));
-  out.put(lz_applied);
+  out.put(codes_format);
   out.put(static_cast<std::uint8_t>(params.cubic ? 1 : 0));
   for (int i = 0; i < 3; ++i)
     out.put(static_cast<std::uint64_t>(dims.d[static_cast<std::size_t>(i)]));
   out.put(eb);
   out.put(params.quant_intervals);
   out.put_sized(coded);
-  out.put_sized(
-      lossless::compress(sz_detail::encode_outliers(outliers)));
+  out.put_sized(lossless::compress(sz_detail::encode_outliers(outliers),
+                                   params.threads));
   return out.take();
 }
 
 template <typename T>
 std::vector<T> decompress(std::span<const std::uint8_t> stream,
-                          Dims* dims_out) {
+                          Dims* dims_out, std::size_t threads) {
   ByteReader in(stream);
   if (in.get<std::uint32_t>() != kMagic)
     throw StreamError("sz_interp: bad magic");
@@ -175,7 +178,11 @@ std::vector<T> decompress(std::span<const std::uint8_t> stream,
   if (dtype != data_type_of<T>())
     throw StreamError("sz_interp: stream data type does not match");
   int nd = in.get<std::uint8_t>();
-  std::uint8_t lz_applied = in.get<std::uint8_t>();
+  std::uint8_t codes_format = in.get<std::uint8_t>();
+  if (codes_format > (kCodesLz | kCodesBlocked))
+    throw StreamError("sz_interp: unknown codes format byte");
+  const bool lz_applied = codes_format & kCodesLz;
+  const bool blocked = codes_format & kCodesBlocked;
   bool cubic = in.get<std::uint8_t>() != 0;
   Dims dims;
   dims.nd = nd;
@@ -191,25 +198,33 @@ std::vector<T> decompress(std::span<const std::uint8_t> stream,
   auto coded_span = in.get_sized();
   std::vector<std::uint8_t> coded_store;
   if (lz_applied) {
-    coded_store = lossless::decompress(coded_span);
+    coded_store = lossless::decompress(coded_span, threads);
     coded_span = coded_store;
   }
-  auto outlier_bytes = lossless::decompress(in.get_sized());
+  auto outlier_bytes = lossless::decompress(in.get_sized(), threads);
   std::vector<T> outliers = sz_detail::decode_outliers<T>(outlier_bytes);
 
   // One Huffman bit minimum per point bounds the plausible element count.
   if (n > coded_span.size() * 8)
     throw StreamError("sz_interp: dims exceed coded stream capacity");
+  std::vector<std::uint32_t> decoded_codes;
   BitReader br(coded_span);
   HuffmanCoder huff;
-  huff.read_table(br);
+  if (blocked) {
+    decoded_codes = lossless::blocked_decode(coded_span, threads);
+    if (decoded_codes.size() != n)
+      throw StreamError("sz_interp: blocked code count does not match dims");
+  } else {
+    huff.read_table(br);
+  }
   const std::uint32_t radius = intervals / 2;
 
   Grid g(dims);
   std::vector<T> recon(n);
   std::size_t outlier_next = 0;
+  std::size_t code_next = 0;  // codes were appended in traversal order
   traverse<T>(g, recon, cubic, [&](std::size_t idx, double pred) {
-    std::uint32_t code = huff.decode(br);
+    std::uint32_t code = blocked ? decoded_codes[code_next++] : huff.decode(br);
     if (code == 0) {
       if (outlier_next >= outliers.size())
         throw StreamError("sz_interp: outlier stream exhausted");
@@ -230,9 +245,9 @@ template std::vector<std::uint8_t> compress<float>(std::span<const float>,
 template std::vector<std::uint8_t> compress<double>(std::span<const double>,
                                                     Dims, const Params&);
 template std::vector<float> decompress<float>(std::span<const std::uint8_t>,
-                                              Dims*);
+                                              Dims*, std::size_t);
 template std::vector<double> decompress<double>(std::span<const std::uint8_t>,
-                                                Dims*);
+                                                Dims*, std::size_t);
 
 }  // namespace sz_interp
 }  // namespace transpwr

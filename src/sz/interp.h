@@ -28,15 +28,20 @@ struct Params {
   std::uint32_t quant_intervals = 65536;
   bool cubic = true;  ///< 4-point cubic where available, else linear
   bool lz_stage = true;
+  /// Worker cap for the block-parallel entropy stage (0 => hardware
+  /// default). Output bytes are identical for every value.
+  std::size_t threads = 0;
 };
 
 template <typename T>
 std::vector<std::uint8_t> compress(std::span<const T> data, Dims dims,
                                    const Params& params);
 
+/// v2 streams decode their entropy blocks in parallel (`threads`); v1
+/// streams from older writers still decode serially.
 template <typename T>
 std::vector<T> decompress(std::span<const std::uint8_t> stream,
-                          Dims* dims_out = nullptr);
+                          Dims* dims_out = nullptr, std::size_t threads = 0);
 
 }  // namespace sz_interp
 }  // namespace transpwr

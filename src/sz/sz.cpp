@@ -10,6 +10,8 @@
 #include "common/decode_guard.h"
 #include "common/error.h"
 #include "common/numeric.h"
+#include "common/timer.h"
+#include "lossless/blocked_huffman.h"
 #include "lossless/huffman.h"
 #include "lossless/lossless.h"
 #include "sz/outlier_coding.h"
@@ -20,6 +22,12 @@ namespace {
 
 constexpr std::uint32_t kMagic = 0x315A5354;  // "TSZ1"
 constexpr std::int16_t kAllZeroBlock = std::numeric_limits<std::int16_t>::min();
+
+// The header byte that historically only said "LZ applied" is now a codes
+// format byte: bit 0 = LZ applied, bit 1 = blocked v2 entropy container.
+// v1 writers only ever emitted 0/1, so old streams parse unchanged.
+constexpr std::uint8_t kCodesLz = 1;
+constexpr std::uint8_t kCodesBlocked = 2;
 
 std::uint32_t default_block_edge(int nd) {
   switch (nd) {
@@ -310,7 +318,7 @@ RegPlan<T> build_regression_plan(std::span<const T> data, const Geometry& g) {
 
 template <typename T>
 std::vector<std::uint8_t> compress(std::span<const T> data, Dims dims,
-                                   const Params& params) {
+                                   const Params& params, StageStats* stats) {
   validate(params, dims);
   if (data.size() != dims.count())
     throw ParamError("sz: data size does not match dims");
@@ -337,6 +345,7 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims dims,
   const std::size_t ny = dims.nd >= 2 ? dims[dims.nd - 2] : 1;
   const std::size_t nx = dims[dims.nd - 1];
 
+  Timer predict_timer;
   std::size_t idx = 0;
   for (std::size_t z = 0; z < nz; ++z)
     for (std::size_t y = 0; y < ny; ++y)
@@ -371,21 +380,28 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims dims,
         recon[idx] = data[idx];
       }
 
-  // Entropy stage: Huffman over the quantization codes, then optionally LZ.
-  HuffmanCoder huff;
-  huff.build_from(codes, p.quant_intervals);
-  BitWriter bw;
-  huff.write_table(bw);
-  for (auto c : codes) huff.encode(c, bw);
-  std::vector<std::uint8_t> coded = bw.take();
-  std::uint8_t lz_applied = sz_detail::maybe_lz(coded, p.lz_stage) ? 1 : 0;
+  if (stats) stats->predict_s = predict_timer.seconds();
+
+  // Entropy stage: block-parallel Huffman over the quantization codes (the
+  // v2 container), then optionally LZ over the coded bytes.
+  lossless::BlockedStats bstats;
+  Timer encode_timer;
+  std::vector<std::uint8_t> coded =
+      lossless::blocked_encode(codes, p.quant_intervals, p.threads, &bstats);
+  std::uint8_t codes_format = kCodesBlocked;
+  if (sz_detail::maybe_lz(coded, p.lz_stage, p.threads))
+    codes_format |= kCodesLz;
+  if (stats) {
+    stats->histogram_s = bstats.histogram_s;
+    stats->encode_s = encode_timer.seconds() - bstats.histogram_s;
+  }
 
   ByteWriter out;
   out.put(kMagic);
   out.put(static_cast<std::uint8_t>(data_type_of<T>()));
   out.put(static_cast<std::uint8_t>(dims.nd));
   out.put(static_cast<std::uint8_t>(p.mode));
-  out.put(lz_applied);
+  out.put(codes_format);
   out.put(static_cast<std::uint8_t>(p.predictor));
   for (int i = 0; i < 3; ++i)
     out.put(static_cast<std::uint64_t>(dims.d[static_cast<std::size_t>(i)]));
@@ -395,27 +411,30 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims dims,
 
   if (hybrid) {
     out.put(static_cast<std::uint32_t>(rg.edge));
-    out.put_sized(lossless::compress(reg.use_reg));
+    out.put_sized(lossless::compress(reg.use_reg, p.threads));
     out.put_sized(lossless::compress(
         {reinterpret_cast<const std::uint8_t*>(reg.coeffs.data()),
-         reg.coeffs.size() * sizeof(T)}));
+         reg.coeffs.size() * sizeof(T)},
+        p.threads));
   }
 
   if (p.mode == Mode::kPwrBlock) {
     auto exp_bytes = lossless::compress(
         {reinterpret_cast<const std::uint8_t*>(exps.data()),
-         exps.size() * sizeof(std::int16_t)});
+         exps.size() * sizeof(std::int16_t)},
+        p.threads);
     out.put_sized(exp_bytes);
   }
   out.put_sized(coded);
   out.put_sized(
-      lossless::compress(sz_detail::encode_outliers(outliers)));
+      lossless::compress(sz_detail::encode_outliers(outliers), p.threads));
   return out.take();
 }
 
 template <typename T>
 std::vector<T> decompress(std::span<const std::uint8_t> stream,
-                          Dims* dims_out) {
+                          Dims* dims_out, std::size_t threads,
+                          StageStats* stats) {
   ByteReader in(stream);
   if (in.get<std::uint32_t>() != kMagic)
     throw StreamError("sz: bad magic");
@@ -427,7 +446,11 @@ std::vector<T> decompress(std::span<const std::uint8_t> stream,
   if (mode_byte > static_cast<std::uint8_t>(Mode::kPwrBlock))
     throw StreamError("sz: unknown mode byte");
   auto mode = static_cast<Mode>(mode_byte);
-  std::uint8_t lz_applied = in.get<std::uint8_t>();
+  std::uint8_t codes_format = in.get<std::uint8_t>();
+  if (codes_format > (kCodesLz | kCodesBlocked))
+    throw StreamError("sz: unknown codes format byte");
+  const bool lz_applied = codes_format & kCodesLz;
+  const bool blocked = codes_format & kCodesBlocked;
   std::uint8_t pred_byte = in.get<std::uint8_t>();
   if (pred_byte > static_cast<std::uint8_t>(Predictor::kAuto))
     throw StreamError("sz: unknown predictor byte");
@@ -454,8 +477,8 @@ std::vector<T> decompress(std::span<const std::uint8_t> stream,
   if (hybrid) {
     reg_edge = in.get<std::uint32_t>();
     if (reg_edge == 0) throw StreamError("sz: bad regression edge");
-    reg.use_reg = lossless::decompress(in.get_sized());
-    auto coeff_bytes = lossless::decompress(in.get_sized());
+    reg.use_reg = lossless::decompress(in.get_sized(), threads);
+    auto coeff_bytes = lossless::decompress(in.get_sized(), threads);
     if (coeff_bytes.size() % sizeof(T) != 0)
       throw StreamError("sz: regression coefficient size mismatch");
     reg.coeffs.resize(coeff_bytes.size() / sizeof(T));
@@ -474,7 +497,7 @@ std::vector<T> decompress(std::span<const std::uint8_t> stream,
     throw StreamError("sz: regression plan size mismatch");
   std::vector<std::int16_t> exps;
   if (mode == Mode::kPwrBlock) {
-    auto exp_bytes = lossless::decompress(in.get_sized());
+    auto exp_bytes = lossless::decompress(in.get_sized(), threads);
     if (exp_bytes.size() != g.num_blocks() * sizeof(std::int16_t))
       throw StreamError("sz: block exponent section size mismatch");
     exps.resize(g.num_blocks());
@@ -484,10 +507,10 @@ std::vector<T> decompress(std::span<const std::uint8_t> stream,
   auto coded_span = in.get_sized();
   std::vector<std::uint8_t> coded_store;
   if (lz_applied) {
-    coded_store = lossless::decompress(coded_span);
+    coded_store = lossless::decompress(coded_span, threads);
     coded_span = coded_store;
   }
-  auto outlier_bytes = lossless::decompress(in.get_sized());
+  auto outlier_bytes = lossless::decompress(in.get_sized(), threads);
   std::vector<T> outliers = sz_detail::decode_outliers<T>(outlier_bytes);
 
   // Every point costs at least one Huffman bit, so the element count is
@@ -495,10 +518,22 @@ std::vector<T> decompress(std::span<const std::uint8_t> stream,
   // reconstruction allocation.
   if (n > coded_span.size() * 8)
     throw StreamError("sz: dims exceed coded stream capacity");
+  Timer entropy_timer;
   BitReader br(coded_span);
   HuffmanCoder huff;
-  huff.read_table(br);
+  std::vector<std::uint32_t> decoded_codes;
+  if (blocked) {
+    // v2: fan the entropy blocks out in parallel up front; the
+    // reconstruction sweep below then reads plain indices.
+    decoded_codes = lossless::blocked_decode(coded_span, threads);
+    if (decoded_codes.size() != n)
+      throw StreamError("sz: blocked code count does not match dims");
+  } else {
+    huff.read_table(br);
+  }
+  if (stats) stats->entropy_decode_s = entropy_timer.seconds();
 
+  Timer recon_timer;
   const std::uint32_t radius = intervals / 2;
   std::vector<T> recon(n);
   const std::size_t nz = dims.nd == 3 ? dims[0] : 1;
@@ -509,7 +544,7 @@ std::vector<T> decompress(std::span<const std::uint8_t> stream,
   for (std::size_t z = 0; z < nz; ++z)
     for (std::size_t y = 0; y < ny; ++y)
       for (std::size_t x = 0; x < nx; ++x, ++idx) {
-        std::uint32_t code = huff.decode(br);
+        std::uint32_t code = blocked ? decoded_codes[idx] : huff.decode(br);
         if (code == 0) {
           if (outlier_next >= outliers.size())
             throw StreamError("sz: outlier stream exhausted");
@@ -533,23 +568,28 @@ std::vector<T> decompress(std::span<const std::uint8_t> stream,
       }
   if (outlier_next != outliers.size())
     throw StreamError("sz: trailing outliers in stream");
+  if (stats) stats->reconstruct_s = recon_timer.seconds();
   return recon;
 }
 
 template std::vector<std::uint8_t> compress<float>(std::span<const float>,
-                                                   Dims, const Params&);
+                                                   Dims, const Params&,
+                                                   StageStats*);
 template std::vector<std::uint8_t> compress<double>(std::span<const double>,
-                                                    Dims, const Params&);
+                                                    Dims, const Params&,
+                                                    StageStats*);
 template std::vector<float> decompress<float>(std::span<const std::uint8_t>,
-                                              Dims*);
+                                              Dims*, std::size_t, StageStats*);
 template std::vector<double> decompress<double>(std::span<const std::uint8_t>,
-                                                Dims*);
+                                                Dims*, std::size_t,
+                                                StageStats*);
 
 }  // namespace sz
 
 namespace sz_detail {
 
-bool maybe_lz(std::vector<std::uint8_t>& coded, bool enabled) {
+bool maybe_lz(std::vector<std::uint8_t>& coded, bool enabled,
+              std::size_t threads) {
   if (!enabled || coded.size() <= 64) return false;
   std::uint32_t hist[256] = {};
   const std::size_t step = std::max<std::size_t>(1, coded.size() / 8192);
@@ -563,7 +603,7 @@ bool maybe_lz(std::vector<std::uint8_t>& coded, bool enabled) {
       entropy -= f * std::log2(f);
     }
   if (entropy >= 7.2) return false;
-  auto squeezed = lossless::compress(coded);
+  auto squeezed = lossless::compress(coded, threads);
   if (squeezed.size() >= coded.size()) return false;
   coded = std::move(squeezed);
   return true;

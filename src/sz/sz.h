@@ -47,17 +47,34 @@ struct Params {
   std::uint32_t block_edge = 0;  ///< kPwrBlock block edge; 0 => default per nd
   bool lz_stage = true;          ///< apply the LZ77 stage after Huffman
   Predictor predictor = Predictor::kLorenzo;
+  /// Worker cap for the block-parallel entropy stage (0 => hardware
+  /// default). Output bytes are identical for every value.
+  std::size_t threads = 0;
+};
+
+/// Optional per-stage wall times filled by compress()/decompress(); the
+/// throughput bench uses these to attribute time to pipeline stages.
+struct StageStats {
+  double predict_s = 0;         ///< prediction + quantization sweep
+  double histogram_s = 0;       ///< entropy histogram + table build
+  double encode_s = 0;          ///< block-parallel entropy encode (+ gated LZ)
+  double entropy_decode_s = 0;  ///< block-parallel entropy decode
+  double reconstruct_s = 0;     ///< prediction-driven reconstruction
 };
 
 template <typename T>
 std::vector<std::uint8_t> compress(std::span<const T> data, Dims dims,
-                                   const Params& params);
+                                   const Params& params,
+                                   StageStats* stats = nullptr);
 
 /// Decompress a stream produced by compress(). The stream is
-/// self-describing; `dims_out` receives the original shape.
+/// self-describing; `dims_out` receives the original shape. Streams carry
+/// a version marker: v2 streams decode the entropy blocks in parallel
+/// (`threads`), v1 streams from older writers still decode serially.
 template <typename T>
 std::vector<T> decompress(std::span<const std::uint8_t> stream,
-                          Dims* dims_out = nullptr);
+                          Dims* dims_out = nullptr, std::size_t threads = 0,
+                          StageStats* stats = nullptr);
 
 }  // namespace sz
 }  // namespace transpwr

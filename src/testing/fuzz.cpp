@@ -11,6 +11,7 @@
 #include "common/decode_guard.h"
 #include "common/error.h"
 #include "core/compressor.h"
+#include "lossless/blocked_huffman.h"
 #include "lossless/lossless.h"
 #include "lossless/lz77.h"
 #include "lossless/rle.h"
@@ -102,10 +103,29 @@ std::vector<FuzzTarget> default_fuzz_targets(std::uint64_t seed) {
   {
     FuzzTarget t;
     t.name = "lossless";
+    // The 80 KiB compressible entry crosses the blocked-container
+    // threshold, so the v2 (method 2) framing gets mutated too.
     t.corpus = {lossless::compress(bytes_corpus(seed, 512, true)),
-                lossless::compress(bytes_corpus(seed + 1, 300, false))};
+                lossless::compress(bytes_corpus(seed + 1, 300, false)),
+                lossless::compress(bytes_corpus(seed + 5, 80 * 1024, true))};
     t.decode = [](std::span<const std::uint8_t> s) {
       lossless::decompress(s);
+    };
+    targets.push_back(std::move(t));
+  }
+  {
+    FuzzTarget t;
+    t.name = "blocked_huffman";
+    Rng rng(seed + 6);
+    std::vector<std::uint32_t> small(700);
+    for (auto& c : small) c = static_cast<std::uint32_t>(rng.below(9));
+    std::vector<std::uint32_t> multi(300000);
+    for (auto& c : multi) c = static_cast<std::uint32_t>(rng.below(1000));
+    t.corpus = {lossless::blocked_encode(small, 16),
+                lossless::blocked_encode(multi, 1024),
+                lossless::blocked_encode({}, 4)};
+    t.decode = [](std::span<const std::uint8_t> s) {
+      lossless::blocked_decode(s);
     };
     targets.push_back(std::move(t));
   }

@@ -137,6 +137,50 @@ TEST(BitStream, LargeSkipForRandomAccess) {
   EXPECT_EQ(br.read_bits(32), 777u);
 }
 
+TEST(BitStream, WideReadsAtEveryMisalignment) {
+  // 57..64-bit reads starting at every bit offset within a byte exercise the
+  // accumulator top-up path (nbits > 64 - (pos & 7)) and its boundary.
+  for (unsigned lead = 0; lead < 8; ++lead) {
+    for (unsigned width = 57; width <= 64; ++width) {
+      std::uint64_t value = 0x9e3779b97f4a7c15ULL;
+      if (width < 64) value &= (std::uint64_t{1} << width) - 1;
+      BitWriter bw;
+      bw.write_bits(0x5a, lead);
+      bw.write_bits(value, width);
+      bw.write_bits(0x3, 2);
+      auto bytes = bw.take();
+      BitReader br(bytes);
+      br.read_bits(lead);
+      EXPECT_EQ(br.read_bits(width), value)
+          << "lead=" << lead << " width=" << width;
+      EXPECT_EQ(br.read_bits(2), 0x3u);
+    }
+  }
+}
+
+TEST(BitStream, SeekMatchesSkip) {
+  BitWriter bw;
+  for (int i = 0; i < 64; ++i) bw.write_bits(static_cast<unsigned>(i), 9);
+  auto bytes = bw.take();
+  BitReader br(bytes);
+  br.seek(9 * 17);
+  EXPECT_EQ(br.read_bits(9), 17u);
+  br.seek(0);  // backwards is allowed
+  EXPECT_EQ(br.read_bits(9), 0u);
+  br.seek(br.size_bytes() * 8);  // exactly at the end
+  EXPECT_THROW(br.read_bit(), StreamError);
+  EXPECT_THROW(br.seek(br.size_bytes() * 8 + 1), StreamError);
+}
+
+TEST(BitStream, DataAndSizeExposeBuffer) {
+  BitWriter bw;
+  bw.write_bits(0xabcd, 16);
+  auto bytes = bw.take();
+  BitReader br(bytes);
+  EXPECT_EQ(br.data(), bytes.data());
+  EXPECT_EQ(br.size_bytes(), bytes.size());
+}
+
 // Property: any random sequence of (value, width) writes reads back exactly.
 class BitStreamFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 

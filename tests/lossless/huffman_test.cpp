@@ -171,6 +171,74 @@ TEST(Huffman, DecodeNearStreamEndUsesSlowPathSafely) {
   EXPECT_EQ(decode_all(bytes, syms.size()), syms);
 }
 
+TEST(Huffman, BatchedEncodeMatchesPerSymbol) {
+  Rng rng(41);
+  std::vector<std::uint32_t> syms(30000);
+  for (auto& s : syms) s = static_cast<std::uint32_t>(rng.below(300));
+  HuffmanCoder coder;
+  coder.build_from(syms, 512);
+
+  BitWriter serial_bw;
+  coder.write_table(serial_bw);
+  for (auto s : syms) coder.encode(s, serial_bw);
+  BitWriter batched_bw;
+  coder.write_table(batched_bw);
+  coder.encode_all(syms, batched_bw);
+  EXPECT_EQ(batched_bw.take(), serial_bw.take());
+}
+
+TEST(Huffman, BatchedDecodeMatchesPerSymbol) {
+  // Power-law lengths force the batched decoder through both the 12-bit
+  // fast path and the per-symbol fallback.
+  std::vector<std::uint64_t> freq(600);
+  std::uint64_t f = 1;
+  for (std::size_t s = 0; s < freq.size(); ++s) {
+    freq[s] = f;
+    if (s % 30 == 29 && f < (1ULL << 40)) f *= 2;
+  }
+  HuffmanCoder coder;
+  coder.build(freq);
+  Rng rng(43);
+  std::vector<std::uint32_t> syms(25000);
+  for (auto& s : syms) s = static_cast<std::uint32_t>(rng.below(600));
+  auto bytes = encode_all(coder, syms);
+
+  BitReader br(bytes);
+  HuffmanCoder decoder;
+  decoder.read_table(br);
+  std::vector<std::uint32_t> got(syms.size());
+  decoder.decode_all(br, got);
+  EXPECT_EQ(got, syms);
+  EXPECT_EQ(br.bits_remaining() / 8, 0u);  // consumed up to padding
+}
+
+TEST(Huffman, BatchedEncodeUnknownSymbolThrows) {
+  std::vector<std::uint32_t> syms = {1, 2, 1};
+  HuffmanCoder coder;
+  coder.build_from(syms, 8);
+  BitWriter bw;
+  std::vector<std::uint32_t> bad = {1, 5};
+  EXPECT_THROW(coder.encode_all(bad, bw), ParamError);
+}
+
+TEST(Huffman, ParallelBuildMatchesSerial) {
+  Rng rng(47);
+  std::vector<std::uint32_t> syms(400000);
+  for (auto& s : syms) s = static_cast<std::uint32_t>(rng.below(1000));
+  HuffmanCoder serial, parallel;
+  serial.build_from(syms, 1024, 1);
+  parallel.build_from(syms, 1024, 8);
+  for (std::uint32_t s = 0; s < 1024; ++s)
+    EXPECT_EQ(parallel.code_length(s), serial.code_length(s)) << "sym " << s;
+}
+
+TEST(Huffman, ParallelBuildKeepsRangeCheck) {
+  std::vector<std::uint32_t> syms(300000, 1);
+  syms[250000] = 99;  // out of the declared alphabet
+  HuffmanCoder coder;
+  EXPECT_THROW(coder.build_from(syms, 8, 8), ParamError);
+}
+
 class HuffmanFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(HuffmanFuzz, RandomRoundTrip) {
