@@ -1,0 +1,190 @@
+// TPAR archive store bench: write / full-read / ROI-read throughput versus
+// worker threads and chunk count, plus the Fig. 6 harness run in both file
+// layouts (N-to-N file-per-rank vs N-to-1 shared archive). Emits
+// machine-readable BENCH_PR4.json so future PRs can diff the store path.
+//
+// Usage: bench_archive [out.json] [edge]
+//   out.json  output path (default BENCH_PR4.json)
+//   edge      cubic field edge length (default 192 => 27 MB of float32)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "data/generators.h"
+#include "parallel/harness.h"
+#include "store/archive.h"
+
+using namespace transpwr;
+
+namespace {
+
+constexpr int kReps = 3;
+
+double mbs(double bytes, double seconds) {
+  return seconds > 0 ? bytes / (1 << 20) / seconds : 0;
+}
+
+template <typename Fn>
+double best_seconds(Fn&& fn) {
+  fn();  // warm-up, untimed
+  double best = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Timer t;
+    fn();
+    double s = t.seconds();
+    if (rep == 0 || s < best) best = s;
+  }
+  return best;
+}
+
+struct StoreRun {
+  std::size_t threads = 0;
+  std::size_t chunks = 0;
+  double write_s = 0;      ///< compress + append + finalize
+  double read_s = 0;       ///< open + full decompress
+  double roi_s = 0;        ///< open + 8-row ROI decompress
+  double roi_speedup = 0;  ///< read_s / roi_s
+  std::uint64_t archive_bytes = 0;
+};
+
+struct HarnessRun {
+  const char* mode = "";
+  std::size_t ranks = 0;
+  double dump_s = 0;
+  double load_s = 0;
+  double write_s = 0;
+  double read_s = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_PR4.json";
+  const std::size_t edge =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 192;
+
+  bench::print_header("TPAR archive: write / read / ROI throughput");
+  auto f = gen::nyx_dark_matter_density(Dims(edge, edge, edge), 42);
+  const double bytes = static_cast<double>(f.bytes());
+  std::printf("field: %s = %.1f MB\n", f.dims.to_string().c_str(),
+              bytes / (1 << 20));
+
+  const std::string path = "/tmp/transpwr_bench_archive.tpar";
+  const std::size_t rows = f.dims[0];
+  const std::size_t roi_rows = 8;
+  const double roi_bytes =
+      bytes * static_cast<double>(roi_rows) / static_cast<double>(rows);
+
+  std::vector<StoreRun> store_runs;
+  for (std::size_t chunks : {4u, 16u, 64u}) {
+    for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+      StoreRun r;
+      r.threads = threads;
+      r.chunks = chunks;
+
+      store::DatasetOptions opts;
+      opts.scheme = Scheme::kSzT;
+      opts.params.bound = 1e-3;
+      opts.threads = threads;
+      opts.rows_per_chunk = (rows + chunks - 1) / chunks;
+
+      r.write_s = best_seconds([&] {
+        store::ArchiveWriter writer(path);
+        writer.add_dataset<float>("density", f.span(), f.dims, opts);
+        writer.finish();
+        r.archive_bytes = writer.bytes_written();
+      });
+      r.read_s = best_seconds([&] {
+        store::ArchiveReader reader(path);
+        reader.load<float>("density", nullptr, threads);
+      });
+      // ROI in the middle of the dataset, so it cannot ride on a chunk that
+      // happens to start the file.
+      const std::size_t roi_begin = rows / 2;
+      r.roi_s = best_seconds([&] {
+        store::ArchiveReader reader(path);
+        reader.read_rows<float>("density", roi_begin, roi_begin + roi_rows,
+                                nullptr, threads);
+      });
+      r.roi_speedup = r.roi_s > 0 ? r.read_s / r.roi_s : 0;
+      std::printf(
+          "chunks=%2zu t=%zu: write %7.1f MB/s | read %7.1f MB/s | "
+          "roi(8 rows) %6.3f ms (%.1fx vs full read) | %llu bytes\n",
+          chunks, threads, mbs(bytes, r.write_s), mbs(bytes, r.read_s),
+          1e3 * r.roi_s, r.roi_speedup,
+          static_cast<unsigned long long>(r.archive_bytes));
+      store_runs.push_back(r);
+    }
+  }
+  std::remove(path.c_str());
+
+  bench::print_header("Fig. 6 harness: N-to-N files vs N-to-1 shared TPAR");
+  auto shards = gen::nyx_bundle(gen::Scale::kSmall, 7);
+  std::vector<HarnessRun> harness_runs;
+  for (std::size_t ranks : {4u, 8u}) {
+    for (auto layout :
+         {parallel::Layout::kFilePerRank, parallel::Layout::kSharedArchive}) {
+      parallel::RunConfig cfg;
+      cfg.scheme = Scheme::kSzT;
+      cfg.params.bound = 1e-2;
+      cfg.ranks = ranks;
+      cfg.dir = "/tmp";
+      cfg.layout = layout;
+      cfg.pfs_mbps_per_rank = 2.0;  // the paper's bandwidth-starved regime
+      cfg.verify_rel_bound = 1e-2;
+      auto res = parallel::run(cfg, shards);
+      HarnessRun h;
+      h.mode = layout == parallel::Layout::kSharedArchive ? "n_to_1" : "n_to_n";
+      h.ranks = ranks;
+      h.dump_s = res.dump_s();
+      h.load_s = res.load_s();
+      h.write_s = res.write_s;
+      h.read_s = res.read_s;
+      std::printf("%zu ranks %-7s: dump %6.3fs (write %6.3fs) | "
+                  "load %6.3fs (read %6.3fs)%s\n",
+                  ranks, h.mode, h.dump_s, h.write_s, h.load_s, h.read_s,
+                  res.verified ? "" : " !VERIFY");
+      harness_runs.push_back(h);
+    }
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"field\": {\"dims\": \"%s\", \"bytes\": %.0f},\n",
+               f.dims.to_string().c_str(), bytes);
+  std::fprintf(out, "  \"reps\": %d,\n  \"roi_rows\": %zu,\n", kReps,
+               roi_rows);
+  std::fprintf(out, "  \"roi_bytes\": %.0f,\n  \"store_runs\": [\n",
+               roi_bytes);
+  for (std::size_t i = 0; i < store_runs.size(); ++i) {
+    const StoreRun& r = store_runs[i];
+    std::fprintf(out,
+                 "    {\"chunks\": %zu, \"threads\": %zu, \"write_s\": %.6f, "
+                 "\"read_s\": %.6f, \"roi_s\": %.6f, \"write_mbs\": %.2f, "
+                 "\"read_mbs\": %.2f, \"roi_speedup\": %.2f, "
+                 "\"archive_bytes\": %llu}%s\n",
+                 r.chunks, r.threads, r.write_s, r.read_s, r.roi_s,
+                 mbs(bytes, r.write_s), mbs(bytes, r.read_s), r.roi_speedup,
+                 static_cast<unsigned long long>(r.archive_bytes),
+                 i + 1 < store_runs.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"harness_runs\": [\n");
+  for (std::size_t i = 0; i < harness_runs.size(); ++i) {
+    const HarnessRun& h = harness_runs[i];
+    std::fprintf(out,
+                 "    {\"mode\": \"%s\", \"ranks\": %zu, \"dump_s\": %.6f, "
+                 "\"load_s\": %.6f, \"write_s\": %.6f, \"read_s\": %.6f}%s\n",
+                 h.mode, h.ranks, h.dump_s, h.load_s, h.write_s, h.read_s,
+                 i + 1 < harness_runs.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

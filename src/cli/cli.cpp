@@ -11,6 +11,7 @@
 #include "core/temporal.h"
 #include "metrics/metrics.h"
 #include "parallel/chunked.h"
+#include "store/archive.h"
 
 namespace transpwr {
 namespace cli {
@@ -175,6 +176,126 @@ int do_eval(const Args& a) {
 }
 
 
+// --- TPAR archive subcommands ------------------------------------------------
+
+/// Dataset name for an input file: the file stem ("/a/b/vx.bin" -> "vx").
+std::string dataset_name_for(const std::string& path) {
+  std::size_t slash = path.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  std::size_t dot = base.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) base = base.substr(0, dot);
+  if (base.empty()) throw ParamError("cannot derive a dataset name from " +
+                                     path + "; rename the input");
+  return base;
+}
+
+template <typename T>
+int do_archive_create(const Args& a) {
+  Dims dims = a.dims.value();
+  store::DatasetOptions opts;
+  opts.scheme = a.scheme;
+  opts.params.bound = a.bound;
+  opts.params.log_base = a.log_base;
+  opts.threads = a.threads;
+  if (a.chunks)
+    opts.rows_per_chunk = (dims[0] + a.chunks - 1) / a.chunks;
+
+  Timer t;
+  std::size_t raw = 0;
+  store::ArchiveWriter writer(a.output);
+  for (const auto& path : a.inputs) {
+    auto data = load_field<T>(path, dims);
+    raw += data.size() * sizeof(T);
+    writer.add_dataset<T>(dataset_name_for(path), data, dims, opts);
+  }
+  writer.finish();
+  double secs = t.seconds();
+  double mb = static_cast<double>(raw) / (1 << 20);
+  std::printf("archive %s: %zu dataset(s), %s %s -> %llu bytes, "
+              "ratio %.3f, %.1f MB/s\n",
+              a.output.c_str(), a.inputs.size(), dims.to_string().c_str(),
+              a.dtype == DataType::kFloat32 ? "f32" : "f64",
+              static_cast<unsigned long long>(writer.bytes_written()),
+              compression_ratio(raw, writer.bytes_written()),
+              secs > 0 ? mb / secs : 0.0);
+  return 0;
+}
+
+int do_archive_ls(const Args& a) {
+  store::ArchiveReader reader(a.input);
+  std::printf("%-20s | %-7s | %-4s | %-16s | %6s | %12s | %7s\n", "dataset",
+              "scheme", "type", "dims", "chunks", "bytes", "ratio");
+  for (const auto& ds : reader.datasets()) {
+    std::uint64_t compressed = ds.compressed_bytes();
+    std::uint64_t raw = ds.dims.count() * size_of(ds.dtype);
+    std::printf("%-20s | %-7s | %-4s | %-16s | %6zu | %12llu | %7.3f\n",
+                ds.name.c_str(), scheme_name(ds.scheme),
+                ds.dtype == DataType::kFloat32 ? "f32" : "f64",
+                ds.dims.to_string().c_str(), ds.chunks.size(),
+                static_cast<unsigned long long>(compressed),
+                compression_ratio(raw, compressed));
+  }
+  std::printf("%zu dataset(s)\n", reader.datasets().size());
+  return 0;
+}
+
+template <typename T>
+int do_archive_extract(const Args& a) {
+  store::ArchiveReader reader(a.input);
+  std::string name = a.dataset;
+  if (name.empty()) {
+    if (reader.datasets().size() != 1)
+      throw ParamError("archive has " +
+                       std::to_string(reader.datasets().size()) +
+                       " datasets; pick one with --dataset NAME");
+    name = reader.datasets().front().name;
+  }
+  Timer t;
+  Dims dims;
+  std::vector<T> data =
+      a.rows ? reader.read_rows<T>(name, a.rows->first, a.rows->second,
+                                   &dims, a.threads)
+             : reader.load<T>(name, &dims, a.threads);
+  double secs = t.seconds();
+  io::write_bytes(a.output,
+                  {reinterpret_cast<const std::uint8_t*>(data.data()),
+                   data.size() * sizeof(T)});
+  double mb = static_cast<double>(data.size() * sizeof(T)) / (1 << 20);
+  std::printf("extracted %s%s -> %zu values (%s), %.1f MB/s\n", name.c_str(),
+              a.rows ? " (row range)" : "", data.size(),
+              dims.to_string().c_str(), secs > 0 ? mb / secs : 0.0);
+  return 0;
+}
+
+int do_archive_verify(const Args& a) {
+  store::ArchiveReader reader(a.input);
+  reader.verify();
+  std::size_t chunks = 0;
+  std::uint64_t bytes = 0;
+  for (const auto& ds : reader.datasets()) {
+    chunks += ds.chunks.size();
+    bytes += ds.compressed_bytes();
+  }
+  std::printf("%s: ok — %zu dataset(s), %zu chunk(s), %llu payload bytes, "
+              "all checksums match\n",
+              a.input.c_str(), reader.datasets().size(), chunks,
+              static_cast<unsigned long long>(bytes));
+  return 0;
+}
+
+int do_archive(const Args& a) {
+  if (a.archive_cmd == "create")
+    return a.dtype == DataType::kFloat32 ? do_archive_create<float>(a)
+                                         : do_archive_create<double>(a);
+  if (a.archive_cmd == "ls") return do_archive_ls(a);
+  if (a.archive_cmd == "extract")
+    return a.dtype == DataType::kFloat32 ? do_archive_extract<float>(a)
+                                         : do_archive_extract<double>(a);
+  if (a.archive_cmd == "verify") return do_archive_verify(a);
+  throw ParamError("unknown archive subcommand: " + a.archive_cmd);
+}
+
 constexpr std::uint32_t kSeriesMagic = 0x31525354;  // "TSR1"
 
 int do_series(const Args& a) {
@@ -240,6 +361,13 @@ const char* usage() {
       "  transpwr series     -d DIMS [-b BOUND] [-s SZ_T|ZFP_T] -o OUT\n"
       "                      SNAP1 SNAP2 ...\n"
       "  transpwr unseries   IN -o OUTPREFIX\n"
+      "  transpwr archive    create -d DIMS [-s SCHEME] [-b BOUND]\n"
+      "                      [-t f32|f64] [--chunks N] [--threads N]\n"
+      "                      -o OUT IN1 IN2 ...\n"
+      "  transpwr archive    ls ARCHIVE\n"
+      "  transpwr archive    extract [--dataset NAME] [--rows BEGIN:END]\n"
+      "                      [--threads N] ARCHIVE OUT\n"
+      "  transpwr archive    verify ARCHIVE\n"
       "\n"
       "DIMS is Z x Y x X slowest-first, e.g. 512x512x512, 1800x3600, 1000000.\n"
       "SCHEME is one of SZ_T ZFP_T FPZIP SZ_PWR ZFP_P ISABELA SZ_ABS\n"
@@ -283,7 +411,8 @@ Args parse_args(const std::vector<std::string>& argv) {
   a.command = argv[0];
   if (a.command != "compress" && a.command != "decompress" &&
       a.command != "info" && a.command != "gen" && a.command != "eval" &&
-      a.command != "series" && a.command != "unseries")
+      a.command != "series" && a.command != "unseries" &&
+      a.command != "archive")
     throw ParamError("unknown command: " + a.command);
 
   std::vector<std::string> positional;
@@ -314,6 +443,17 @@ Args parse_args(const std::vector<std::string>& argv) {
       a.threads = static_cast<std::size_t>(parse_u64(next(), "threads"));
     } else if (arg == "--chunks") {
       a.chunks = static_cast<std::size_t>(parse_u64(next(), "chunks"));
+    } else if (arg == "--dataset") {
+      a.dataset = next();
+    } else if (arg == "--rows") {
+      const std::string& spec = next();
+      std::size_t sep = spec.find(':');
+      if (sep == std::string::npos || sep == 0 || sep + 1 == spec.size())
+        throw ParamError("--rows expects BEGIN:END, got " + spec);
+      a.rows = {static_cast<std::size_t>(
+                    parse_u64(spec.substr(0, sep), "rows begin")),
+                static_cast<std::size_t>(
+                    parse_u64(spec.substr(sep + 1), "rows end"))};
     } else if (arg == "-w" || arg == "--workload") {
       a.workload = next();
     } else if (arg == "--field") {
@@ -354,6 +494,30 @@ Args parse_args(const std::vector<std::string>& argv) {
       throw ParamError("unseries needs one input file");
     a.input = positional[0];
     if (a.output.empty()) throw ParamError("unseries requires -o OUTPREFIX");
+  } else if (a.command == "archive") {
+    if (positional.empty())
+      throw ParamError("archive needs a subcommand: create|ls|extract|verify");
+    a.archive_cmd = positional[0];
+    positional.erase(positional.begin());
+    if (a.archive_cmd == "create") {
+      if (positional.empty())
+        throw ParamError("archive create needs input files");
+      a.inputs = positional;
+      if (a.output.empty()) throw ParamError("archive create requires -o OUT");
+      if (!a.dims) throw ParamError("archive create requires -d DIMS");
+    } else if (a.archive_cmd == "ls" || a.archive_cmd == "verify") {
+      if (positional.size() != 1)
+        throw ParamError("archive " + a.archive_cmd +
+                         " needs one archive file");
+      a.input = positional[0];
+    } else if (a.archive_cmd == "extract") {
+      if (positional.size() != 2)
+        throw ParamError("archive extract needs ARCHIVE and OUT arguments");
+      a.input = positional[0];
+      a.output = positional[1];
+    } else {
+      throw ParamError("unknown archive subcommand: " + a.archive_cmd);
+    }
   } else {  // gen
     if (!positional.empty() && a.output.empty()) a.output = positional[0];
     if (a.output.empty()) throw ParamError("gen requires -o OUT");
@@ -378,6 +542,7 @@ int run(const Args& a) {
                                          : do_eval<double>(a);
   if (a.command == "series") return do_series(a);
   if (a.command == "unseries") return do_unseries(a);
+  if (a.command == "archive") return do_archive(a);
   throw ParamError("unknown command: " + a.command);
 }
 

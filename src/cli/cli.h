@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -16,9 +17,14 @@ namespace cli {
 /// parsing is unit-testable without spawning processes.
 struct Args {
   std::string command;  // compress|decompress|info|gen|eval|series|unseries
+                        // |archive
+  std::string archive_cmd;  // archive: create|ls|extract|verify
   std::string input;
-  std::vector<std::string> inputs;  // series: snapshot files in time order
+  std::vector<std::string> inputs;  // series/archive create: input files
   std::string output;
+  std::string dataset;      // archive extract: dataset to pull (default:
+                            // the archive's only dataset)
+  std::optional<std::pair<std::size_t, std::size_t>> rows;  // extract ROI
   Scheme scheme = Scheme::kSzT;
   double bound = 1e-3;
   double log_base = 2.0;

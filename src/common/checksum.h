@@ -2,6 +2,7 @@
 #define TRANSPWR_COMMON_CHECKSUM_H
 
 #include <cstdint>
+#include <cstring>
 #include <span>
 
 namespace transpwr {
@@ -9,12 +10,35 @@ namespace transpwr {
 /// FNV-1a 64-bit checksum — cheap integrity guard for compressed
 /// containers. Not cryptographic; it exists to turn silent bit rot or
 /// truncation into a clean StreamError instead of garbage science data.
+///
+/// The hot loop loads 8 bytes per iteration with one unaligned word read
+/// and feeds them through the byte-serial FNV-1a recurrence via shifts, so
+/// the digest is bit-identical to the classic byte-at-a-time definition
+/// (the recurrence itself is inherently sequential) while the multi-GiB
+/// archive-verification path stops paying a load + branch per byte. Byte
+/// order within the word follows the little-endian layout every transpwr
+/// container already assumes.
 inline std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes,
                              std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
   std::uint64_t h = seed;
-  for (std::uint8_t b : bytes) {
-    h ^= b;
-    h *= 0x100000001b3ULL;
+  const std::uint8_t* p = bytes.data();
+  std::size_t n = bytes.size();
+  for (; n >= 8; n -= 8, p += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);
+    h = (h ^ (w & 0xff)) * kPrime;
+    h = (h ^ ((w >> 8) & 0xff)) * kPrime;
+    h = (h ^ ((w >> 16) & 0xff)) * kPrime;
+    h = (h ^ ((w >> 24) & 0xff)) * kPrime;
+    h = (h ^ ((w >> 32) & 0xff)) * kPrime;
+    h = (h ^ ((w >> 40) & 0xff)) * kPrime;
+    h = (h ^ ((w >> 48) & 0xff)) * kPrime;
+    h = (h ^ (w >> 56)) * kPrime;
+  }
+  for (; n > 0; --n, ++p) {
+    h ^= *p;
+    h *= kPrime;
   }
   return h;
 }

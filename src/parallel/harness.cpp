@@ -1,5 +1,7 @@
 #include "parallel/harness.h"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <barrier>
 #include <chrono>
@@ -11,6 +13,7 @@
 #include "common/parallel.h"
 #include "common/timer.h"
 #include "data/io.h"
+#include "store/archive.h"
 
 namespace transpwr {
 namespace parallel {
@@ -22,12 +25,30 @@ struct RankTimes {
   bool ok = true;
 };
 
-std::string rank_path(const std::string& dir, std::size_t rank) {
-  return dir + "/transpwr_rank_" + std::to_string(rank) + ".bin";
+/// Unique per-run scratch tag: concurrent runs (even across processes
+/// sharing /tmp) get disjoint file names instead of clobbering each other.
+std::string unique_run_tag() {
+  static std::atomic<std::uint64_t> next{0};
+  return std::to_string(static_cast<long long>(::getpid())) + "_" +
+         std::to_string(next.fetch_add(1, std::memory_order_relaxed));
 }
 
-// Floor an I/O phase's elapsed time at bytes/bandwidth by sleeping out the
-// remainder; returns the effective phase time.
+std::string rank_path(const std::string& dir, const std::string& tag,
+                      std::size_t rank) {
+  return dir + "/transpwr_" + tag + "_rank_" + std::to_string(rank) + ".bin";
+}
+
+/// Scope-exit removal of every scratch file a run may create, so nothing
+/// leaks when a rank body or the post-run verification throws.
+struct ScopedRemove {
+  std::vector<std::string> paths;
+  ~ScopedRemove() {
+    for (const auto& p : paths) std::remove(p.c_str());
+  }
+};
+
+/// Floor an I/O phase's elapsed time at bytes/bandwidth by sleeping out the
+/// remainder; returns the effective phase time.
 double throttle_io(double actual_s, std::size_t bytes, double mbps) {
   if (mbps <= 0) return actual_s;
   double floor_s =
@@ -38,13 +59,32 @@ double throttle_io(double actual_s, std::size_t bytes, double mbps) {
   return std::max(actual_s, floor_s);
 }
 
+std::string rank_dataset(std::size_t rank) {
+  return "rank_" + std::to_string(rank);
+}
+
 }  // namespace
 
 RunResult run(const RunConfig& cfg, const std::vector<Field<float>>& shards) {
   if (shards.empty()) throw ParamError("parallel::run: no shards");
   if (cfg.ranks == 0) throw ParamError("parallel::run: zero ranks");
 
+  const std::string tag = unique_run_tag();
+  const bool shared = cfg.layout == Layout::kSharedArchive;
+  const std::string archive_path =
+      cfg.dir + "/transpwr_" + tag + ".tpar";
+  ScopedRemove cleanup;
+  if (shared) {
+    cleanup.paths.push_back(archive_path);
+  } else {
+    for (std::size_t r = 0; r < cfg.ranks; ++r)
+      cleanup.paths.push_back(rank_path(cfg.dir, tag, r));
+  }
+
   std::vector<RankTimes> times(cfg.ranks);
+  // Shared-archive mode: ranks hand their streams to the single writer
+  // (rank 0) across a barrier, which provides the happens-before edges.
+  std::vector<std::vector<std::uint8_t>> streams(shared ? cfg.ranks : 0);
   std::barrier sync(static_cast<std::ptrdiff_t>(cfg.ranks));
   std::atomic<bool> failed{false};
 
@@ -54,25 +94,63 @@ RunResult run(const RunConfig& cfg, const std::vector<Field<float>>& shards) {
       auto comp = make_compressor(cfg.scheme);
       RankTimes& t = times[rank];
 
-      // --- dump: compress, then write own file (file-per-process).
+      // --- dump: compress, then write (own file, or one shared archive).
       sync.arrive_and_wait();
       Timer tc;
       auto stream = comp->compress(shard.span(), shard.dims, cfg.params);
       t.compress_s = tc.seconds();
       t.compressed_bytes = stream.size();
 
+      if (shared) streams[rank] = std::move(stream);
       sync.arrive_and_wait();
-      Timer tw;
-      io::write_bytes(rank_path(cfg.dir, rank), stream);
-      t.write_s =
-          throttle_io(tw.seconds(), stream.size(), cfg.pfs_mbps_per_rank);
+      if (shared) {
+        // N-to-1: rank 0 is the writer; the shared file serializes the
+        // write phase, so its makespan is the whole archive through one
+        // rank's bandwidth share. The other ranks idle (their write_s
+        // stays 0; the reported phase time is the max over ranks).
+        if (rank == 0) {
+          Timer tw;
+          std::size_t total = 0;
+          {
+            store::ArchiveWriter writer(archive_path);
+            for (std::size_t r = 0; r < cfg.ranks; ++r) {
+              const Field<float>& s = shards[r % shards.size()];
+              writer.add_compressed(rank_dataset(r), DataType::kFloat32,
+                                    cfg.scheme, s.dims, cfg.params.bound,
+                                    cfg.params.log_base, streams[r]);
+              total += streams[r].size();
+            }
+            writer.finish();
+          }
+          t.write_s = throttle_io(tw.seconds(), total, cfg.pfs_mbps_per_rank);
+          for (auto& s : streams) {
+            s.clear();
+            s.shrink_to_fit();
+          }
+        }
+      } else {
+        Timer tw;
+        io::write_bytes(rank_path(cfg.dir, tag, rank), stream);
+        t.write_s =
+            throttle_io(tw.seconds(), stream.size(), cfg.pfs_mbps_per_rank);
+      }
 
-      // --- load: read own file, then decompress.
+      // --- load: read own file / seek into the shared archive, then
+      // decompress. The barrier guarantees the archive is finalized before
+      // any rank opens it.
       sync.arrive_and_wait();
-      Timer tr;
-      auto loaded = io::read_bytes(rank_path(cfg.dir, rank));
-      t.read_s =
-          throttle_io(tr.seconds(), loaded.size(), cfg.pfs_mbps_per_rank);
+      std::vector<std::uint8_t> loaded;
+      {
+        Timer tr;
+        if (shared) {
+          store::ArchiveReader reader(archive_path);
+          loaded = reader.read_chunk_bytes(rank_dataset(rank), 0);
+        } else {
+          loaded = io::read_bytes(rank_path(cfg.dir, tag, rank));
+        }
+        t.read_s =
+            throttle_io(tr.seconds(), loaded.size(), cfg.pfs_mbps_per_rank);
+      }
 
       sync.arrive_and_wait();
       Timer td;
@@ -92,7 +170,6 @@ RunResult run(const RunConfig& cfg, const std::vector<Field<float>>& shards) {
           }
         }
       }
-      std::remove(rank_path(cfg.dir, rank).c_str());
     } catch (...) {
       failed = true;
       times[rank].ok = false;
@@ -135,6 +212,11 @@ RunResult run_raw_baseline(std::size_t ranks, const std::string& dir,
   if (shards.empty()) throw ParamError("run_raw_baseline: no shards");
   if (ranks == 0) throw ParamError("run_raw_baseline: zero ranks");
 
+  const std::string tag = unique_run_tag();
+  ScopedRemove cleanup;
+  for (std::size_t r = 0; r < ranks; ++r)
+    cleanup.paths.push_back(rank_path(dir, tag, r));
+
   std::vector<RankTimes> times(ranks);
   std::barrier sync(static_cast<std::ptrdiff_t>(ranks));
   std::atomic<bool> failed{false};
@@ -145,17 +227,16 @@ RunResult run_raw_baseline(std::size_t ranks, const std::string& dir,
       RankTimes& t = times[rank];
       sync.arrive_and_wait();
       Timer tw;
-      io::write_floats(rank_path(dir, rank), shard.span());
+      io::write_floats(rank_path(dir, tag, rank), shard.span());
       t.write_s = throttle_io(tw.seconds(), shard.bytes(),
                               pfs_mbps_per_rank);
       sync.arrive_and_wait();
       Timer tr;
-      auto loaded = io::read_floats(rank_path(dir, rank));
+      auto loaded = io::read_floats(rank_path(dir, tag, rank));
       t.read_s = throttle_io(tr.seconds(), loaded.size() * sizeof(float),
                              pfs_mbps_per_rank);
       t.compressed_bytes = loaded.size() * sizeof(float);
       if (loaded.size() != shard.values.size()) t.ok = false;
-      std::remove(rank_path(dir, rank).c_str());
     } catch (...) {
       failed = true;
       times[rank].ok = false;

@@ -31,20 +31,38 @@ struct RunResult {
   bool verified = false;  ///< decompressed output matched the compressor's
 };
 
+/// On-disk layout of a dump/load run.
+enum class Layout : std::uint8_t {
+  /// N-to-N: every rank writes/reads its own anonymous `*.bin` file (the
+  /// paper's file-per-process POSIX mode).
+  kFilePerRank = 0,
+  /// N-to-1: all ranks share one TPAR archive. The dump's write phase is a
+  /// single sequential writer appending every rank's stream plus the
+  /// indexed footer (the classic shared-file serialization cost); the load
+  /// seeks straight to each rank's checksummed extent (the index's payoff).
+  kSharedArchive = 1,
+};
+
 struct RunConfig {
   Scheme scheme = Scheme::kSzT;
   CompressorParams params;
   std::size_t ranks = 4;
   std::string dir = "/tmp";       ///< where per-rank files are written
+  Layout layout = Layout::kFilePerRank;
   double verify_rel_bound = 0;    ///< >0: check pointwise bound after load
   /// >0: emulate a bandwidth-starved parallel file system by flooring each
   /// rank's write/read time at bytes / this rate. The paper's GPFS runs sit
   /// near 8 MB/s per rank at 4,096 ranks; 0 leaves raw local-disk speed.
+  /// In kSharedArchive mode the single writer is floored at the *total*
+  /// bytes over one rank's share — shared-file writes do not aggregate
+  /// bandwidth — while the indexed reads stay per-rank parallel.
   double pfs_mbps_per_rank = 0;
 };
 
 /// Run dump+load over `shards` (one field per rank, reused round-robin if
-/// fewer shards than ranks). Files are removed afterwards.
+/// fewer shards than ranks). Scratch files carry a unique per-run suffix
+/// (concurrent runs in one `dir` cannot collide) and are removed on every
+/// exit path, including verification failures and throwing ranks.
 RunResult run(const RunConfig& cfg, const std::vector<Field<float>>& shards);
 
 /// Raw (uncompressed) dump/load baseline for the same shards.

@@ -1,0 +1,611 @@
+#include "store/archive.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstring>
+#include <exception>
+
+#include "common/bytestream.h"
+#include "common/checksum.h"
+#include "common/decode_guard.h"
+#include "common/error.h"
+#include "common/parallel.h"
+
+namespace transpwr {
+namespace store {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x31415054;     // "TPA1"
+constexpr std::uint32_t kEndMagic = 0x45415054;  // "TPAE"
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint64_t kHeadSize = 8;     // magic + version
+constexpr std::uint64_t kTrailerSize = 20;  // footer fnv + footer size + end magic
+constexpr std::size_t kMaxNameLen = 255;
+constexpr std::size_t kMaxDatasets = 1u << 20;
+
+std::size_t resolve_threads(std::size_t threads) {
+  return threads ? threads : default_threads();
+}
+
+/// Footer blob: the whole directory, serialized dataset by dataset. The
+/// trailer (checksum + size + end magic) frames it from the file's tail.
+std::vector<std::uint8_t> serialize_footer(
+    const std::vector<DatasetInfo>& directory) {
+  ByteWriter out;
+  out.put(static_cast<std::uint32_t>(directory.size()));
+  for (const auto& ds : directory) {
+    out.put(static_cast<std::uint16_t>(ds.name.size()));
+    out.put_bytes({reinterpret_cast<const std::uint8_t*>(ds.name.data()),
+                   ds.name.size()});
+    out.put(static_cast<std::uint8_t>(ds.dtype));
+    out.put(static_cast<std::uint8_t>(ds.scheme));
+    out.put(static_cast<std::uint8_t>(ds.dims.nd));
+    out.put(std::uint8_t{0});
+    for (int i = 0; i < 3; ++i)
+      out.put(static_cast<std::uint64_t>(ds.dims.d[static_cast<std::size_t>(i)]));
+    out.put(ds.bound);
+    out.put(ds.log_base);
+    out.put(static_cast<std::uint32_t>(ds.chunks.size()));
+    for (const auto& c : ds.chunks) {
+      out.put(c.rows);
+      out.put(c.offset);
+      out.put(c.size);
+      out.put(c.checksum);
+    }
+  }
+  return out.take();
+}
+
+/// Parse and validate the footer blob. `payload_end` is the absolute offset
+/// where the footer begins — every chunk extent must tile
+/// [kHeadSize, payload_end) exactly, in directory order, so *any* byte of
+/// the file is covered by either a field compare or a checksum.
+std::vector<DatasetInfo> parse_directory(std::span<const std::uint8_t> footer,
+                                         std::uint64_t payload_end) {
+  ByteReader in(footer);
+  auto count = in.get<std::uint32_t>();
+  if (count > kMaxDatasets)
+    throw StreamError("archive: implausible dataset count");
+  std::vector<DatasetInfo> directory;
+  directory.reserve(count);
+  std::uint64_t expected = kHeadSize;
+  for (std::uint32_t d = 0; d < count; ++d) {
+    DatasetInfo ds;
+    auto name_len = in.get<std::uint16_t>();
+    if (name_len == 0 || name_len > kMaxNameLen)
+      throw StreamError("archive: bad dataset name length");
+    auto name_bytes = in.get_bytes(name_len);
+    ds.name.assign(reinterpret_cast<const char*>(name_bytes.data()),
+                   name_bytes.size());
+    for (const auto& prev : directory)
+      if (prev.name == ds.name)
+        throw StreamError("archive: duplicate dataset name " + ds.name);
+    auto dtype = in.get<std::uint8_t>();
+    if (dtype > static_cast<std::uint8_t>(DataType::kFloat64))
+      throw StreamError("archive: unknown dtype byte");
+    ds.dtype = static_cast<DataType>(dtype);
+    auto scheme = in.get<std::uint8_t>();
+    if (scheme > static_cast<std::uint8_t>(Scheme::kSziT))
+      throw StreamError("archive: unknown scheme byte");
+    ds.scheme = static_cast<Scheme>(scheme);
+    ds.dims.nd = in.get<std::uint8_t>();
+    in.get<std::uint8_t>();
+    for (int i = 0; i < 3; ++i)
+      ds.dims.d[static_cast<std::size_t>(i)] =
+          static_cast<std::size_t>(in.get<std::uint64_t>());
+    checked_count(ds.dims, "archive");
+    ds.bound = in.get<double>();
+    ds.log_base = in.get<double>();
+    auto nchunks = in.get<std::uint32_t>();
+    // Each chunk needs its 32-byte directory entry in the footer.
+    if (nchunks == 0 || nchunks > ds.dims[0] ||
+        nchunks > footer.size() / 32)
+      throw StreamError("archive: implausible chunk count for " + ds.name);
+    ds.chunks.resize(nchunks);
+    std::uint64_t rows_sum = 0;
+    for (auto& c : ds.chunks) {
+      c.rows = in.get<std::uint64_t>();
+      c.offset = in.get<std::uint64_t>();
+      c.size = in.get<std::uint64_t>();
+      c.checksum = in.get<std::uint64_t>();
+      if (c.rows == 0 || c.rows > ds.dims[0] - rows_sum)
+        throw StreamError("archive: chunk rows do not sum to dataset rows");
+      rows_sum += c.rows;
+      if (c.offset != expected)
+        throw StreamError("archive: chunk extents do not tile the payload");
+      if (c.size > payload_end - expected)
+        throw StreamError("archive: chunk extends past the footer");
+      expected += c.size;
+    }
+    if (rows_sum != ds.dims[0])
+      throw StreamError("archive: chunk rows do not sum to dataset rows");
+    directory.push_back(std::move(ds));
+  }
+  if (in.remaining() != 0)
+    throw StreamError("archive: trailing bytes after the directory");
+  if (expected != payload_end)
+    throw StreamError("archive: chunk extents do not tile the payload");
+  return directory;
+}
+
+}  // namespace
+
+// --- ArchiveWriter ----------------------------------------------------------
+
+ArchiveWriter::ArchiveWriter(std::string path)
+    : path_(std::move(path)), tmp_path_(path_ + ".part") {
+  if (path_.empty()) throw ParamError("archive: empty path");
+  file_ = std::fopen(tmp_path_.c_str(), "wb");
+  if (!file_) throw StreamError("archive: cannot open " + tmp_path_);
+  ByteWriter head;
+  head.put(kMagic);
+  head.put(kVersion);
+  auto bytes = head.take();
+  append(bytes);
+}
+
+ArchiveWriter::ArchiveWriter(std::vector<std::uint8_t>* buffer)
+    : mem_(buffer) {
+  if (!mem_) throw ParamError("archive: null buffer");
+  mem_->clear();
+  ByteWriter head;
+  head.put(kMagic);
+  head.put(kVersion);
+  auto bytes = head.take();
+  append(bytes);
+}
+
+ArchiveWriter::~ArchiveWriter() {
+  if (file_) std::fclose(file_);
+  if (!finished_ && !tmp_path_.empty()) std::remove(tmp_path_.c_str());
+}
+
+void ArchiveWriter::append(std::span<const std::uint8_t> bytes) {
+  if (file_) {
+    if (!bytes.empty() &&
+        std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+      failed_ = true;
+      throw StreamError("archive: short write to " + tmp_path_);
+    }
+  } else {
+    mem_->insert(mem_->end(), bytes.begin(), bytes.end());
+  }
+  offset_ += bytes.size();
+}
+
+void ArchiveWriter::require_usable(const char* verb) const {
+  if (finished_)
+    throw ParamError(std::string("archive: ") + verb + " after finish");
+  if (failed_)
+    throw StreamError(std::string("archive: ") + verb +
+                      " on a poisoned writer (an earlier dataset failed)");
+}
+
+void ArchiveWriter::check_new_name(const std::string& name) const {
+  if (name.empty() || name.size() > kMaxNameLen)
+    throw ParamError("archive: dataset name must be 1.." +
+                     std::to_string(kMaxNameLen) + " bytes");
+  for (const auto& ds : directory_)
+    if (ds.name == name)
+      throw ParamError("archive: duplicate dataset name " + name);
+}
+
+template <typename T>
+void ArchiveWriter::add_dataset(const std::string& name,
+                                std::span<const T> data, Dims dims,
+                                const DatasetOptions& opts) {
+  require_usable("add_dataset");
+  check_new_name(name);
+  dims.validate();
+  if (data.size() != dims.count())
+    throw ParamError("archive: data size does not match dims");
+
+  const std::size_t rows = dims[0];
+  const std::size_t row_elems = dims.count() / rows;
+  const std::size_t threads = resolve_threads(opts.threads);
+  std::size_t per = opts.rows_per_chunk
+                        ? std::min(opts.rows_per_chunk, rows)
+                        : (rows + std::min(threads, rows) - 1) /
+                              std::min(threads, rows);
+  const std::size_t nchunks = (rows + per - 1) / per;
+
+  // Fan the chunk compressions out over the shared pool; the writer thread
+  // appends chunk i the moment it is done, pipelined with chunks > i still
+  // compressing. Tasks only touch locals guarded by `mu`, and every task
+  // flags `done` even on failure, so the wait loop below always drains.
+  std::vector<std::vector<std::uint8_t>> streams(nchunks);
+  std::vector<char> done(nchunks, 0);
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr err;
+  auto& pool = global_pool();
+  for (std::size_t i = 0; i < nchunks; ++i) {
+    pool.submit([&, i] {
+      try {
+        const std::size_t begin = i * per;
+        const std::size_t count = std::min(per, rows - begin);
+        Dims cdims = dims;
+        cdims.d[0] = count;
+        auto comp = make_compressor(opts.scheme);
+        auto stream = comp->compress(
+            data.subspan(begin * row_elems, count * row_elems), cdims,
+            opts.params);
+        std::lock_guard<std::mutex> lock(mu);
+        streams[i] = std::move(stream);
+        done[i] = 1;
+        cv.notify_all();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!err) err = std::current_exception();
+        done[i] = 1;
+        cv.notify_all();
+      }
+    });
+  }
+
+  DatasetInfo info;
+  info.name = name;
+  info.dtype = data_type_of<T>();
+  info.scheme = opts.scheme;
+  info.dims = dims;
+  info.bound = opts.params.bound;
+  info.log_base = opts.params.log_base;
+  std::exception_ptr write_err;
+  for (std::size_t i = 0; i < nchunks; ++i) {
+    std::vector<std::uint8_t> stream;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return done[i] != 0; });
+      stream = std::move(streams[i]);
+    }
+    if (err || write_err) continue;  // keep draining the remaining tasks
+    ChunkInfo c;
+    c.rows = std::min(per, rows - i * per);
+    c.offset = offset_;
+    c.size = stream.size();
+    c.checksum = fnv1a64(stream);
+    try {
+      append(stream);
+    } catch (...) {
+      write_err = std::current_exception();
+      continue;
+    }
+    info.chunks.push_back(c);
+  }
+  if (err || write_err) {
+    // Chunks may have been partially appended; the byte stream no longer
+    // matches any directory we could write, so the archive is abandoned.
+    failed_ = true;
+    std::rethrow_exception(err ? err : write_err);
+  }
+  directory_.push_back(std::move(info));
+}
+
+void ArchiveWriter::add_compressed(const std::string& name, DataType dtype,
+                                   Scheme scheme, Dims dims, double bound,
+                                   double log_base,
+                                   std::span<const std::uint8_t> stream) {
+  require_usable("add_compressed");
+  check_new_name(name);
+  dims.validate();
+  if (stream.empty()) throw ParamError("archive: empty compressed stream");
+
+  DatasetInfo info;
+  info.name = name;
+  info.dtype = dtype;
+  info.scheme = scheme;
+  info.dims = dims;
+  info.bound = bound;
+  info.log_base = log_base;
+  ChunkInfo c;
+  c.rows = dims[0];
+  c.offset = offset_;
+  c.size = stream.size();
+  c.checksum = fnv1a64(stream);
+  try {
+    append(stream);
+  } catch (...) {
+    failed_ = true;
+    throw;
+  }
+  info.chunks.push_back(c);
+  directory_.push_back(std::move(info));
+}
+
+void ArchiveWriter::finish() {
+  require_usable("finish");
+  auto footer = serialize_footer(directory_);
+  ByteWriter trailer;
+  trailer.put(fnv1a64(footer));
+  trailer.put(static_cast<std::uint64_t>(footer.size()));
+  trailer.put(kEndMagic);
+  auto trailer_bytes = trailer.take();
+  try {
+    append(footer);
+    append(trailer_bytes);
+  } catch (...) {
+    failed_ = true;
+    throw;
+  }
+  if (file_) {
+    bool flushed = std::fflush(file_) == 0;
+    std::fclose(file_);
+    file_ = nullptr;
+    if (!flushed || std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+      failed_ = true;
+      std::remove(tmp_path_.c_str());
+      throw StreamError("archive: cannot finalize " + path_);
+    }
+  }
+  finished_ = true;
+}
+
+template void ArchiveWriter::add_dataset<float>(const std::string&,
+                                                std::span<const float>, Dims,
+                                                const DatasetOptions&);
+template void ArchiveWriter::add_dataset<double>(const std::string&,
+                                                 std::span<const double>,
+                                                 Dims, const DatasetOptions&);
+
+// --- ArchiveReader ----------------------------------------------------------
+
+ArchiveReader::ArchiveReader(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (!file_) throw StreamError("archive: cannot open " + path);
+  std::fseek(file_, 0, SEEK_END);
+  long size = std::ftell(file_);
+  if (size < 0) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw StreamError("archive: cannot stat " + path);
+  }
+  size_ = static_cast<std::uint64_t>(size);
+  try {
+    parse_footer();
+  } catch (...) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw;
+  }
+}
+
+ArchiveReader::ArchiveReader(std::span<const std::uint8_t> bytes)
+    : mem_(bytes), size_(bytes.size()) {
+  parse_footer();
+}
+
+ArchiveReader::~ArchiveReader() {
+  if (file_) std::fclose(file_);
+}
+
+std::vector<std::uint8_t> ArchiveReader::read_at(std::uint64_t offset,
+                                                 std::uint64_t size,
+                                                 const char* what) {
+  if (offset > size_ || size > size_ - offset)
+    throw StreamError(std::string("archive: ") + what +
+                      " extends past the end of the archive");
+  check_decode_alloc(static_cast<std::size_t>(size), 1, "archive");
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(size));
+  if (file_) {
+    std::lock_guard<std::mutex> lock(io_mu_);
+    if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0 ||
+        (!out.empty() &&
+         std::fread(out.data(), 1, out.size(), file_) != out.size()))
+      throw StreamError(std::string("archive: short read of ") + what);
+  } else {
+    std::memcpy(out.data(), mem_.data() + offset, out.size());
+  }
+  return out;
+}
+
+void ArchiveReader::parse_footer() {
+  if (size_ < kHeadSize + kTrailerSize)
+    throw StreamError("archive: file too small to be a TPAR archive");
+  auto head = read_at(0, kHeadSize, "header");
+  ByteReader hin(head);
+  if (hin.get<std::uint32_t>() != kMagic)
+    throw StreamError("archive: bad magic (not a TPAR archive)");
+  if (hin.get<std::uint32_t>() != kVersion)
+    throw StreamError("archive: unsupported version");
+
+  auto trailer = read_at(size_ - kTrailerSize, kTrailerSize, "trailer");
+  ByteReader tin(trailer);
+  auto footer_sum = tin.get<std::uint64_t>();
+  auto footer_size = tin.get<std::uint64_t>();
+  if (tin.get<std::uint32_t>() != kEndMagic)
+    throw StreamError("archive: bad end magic (truncated archive?)");
+  if (footer_size > size_ - kHeadSize - kTrailerSize)
+    throw StreamError("archive: footer size exceeds the file");
+  const std::uint64_t footer_start = size_ - kTrailerSize - footer_size;
+  auto footer = read_at(footer_start, footer_size, "footer");
+  if (fnv1a64(footer) != footer_sum)
+    throw StreamError("archive: footer checksum mismatch (corrupt archive)");
+  directory_ = parse_directory(footer, footer_start);
+}
+
+const DatasetInfo& ArchiveReader::dataset(const std::string& name) const {
+  for (const auto& ds : directory_)
+    if (ds.name == name) return ds;
+  throw ParamError("archive: no dataset named " + name);
+}
+
+std::vector<std::uint8_t> ArchiveReader::read_chunk_bytes(
+    const std::string& name, std::size_t chunk) {
+  const DatasetInfo& ds = dataset(name);
+  if (chunk >= ds.chunks.size())
+    throw ParamError("archive: chunk index out of range for " + name);
+  const ChunkInfo& c = ds.chunks[chunk];
+  auto bytes = read_at(c.offset, c.size, "chunk");
+  if (fnv1a64(bytes) != c.checksum)
+    throw StreamError("archive: dataset " + name + " chunk " +
+                      std::to_string(chunk) +
+                      " checksum mismatch (corrupt archive)");
+  return bytes;
+}
+
+namespace {
+
+/// Decode one checksummed chunk stream and verify its shape against the
+/// directory row count.
+template <typename T>
+std::vector<T> decode_chunk(const DatasetInfo& ds, std::size_t chunk,
+                            std::span<const std::uint8_t> bytes,
+                            Dims* dims_out) {
+  Dims want = ds.dims;
+  want.d[0] = static_cast<std::size_t>(ds.chunks[chunk].rows);
+  auto comp = make_compressor(ds.scheme);
+  Dims got;
+  std::vector<T> data;
+  if constexpr (std::is_same_v<T, float>)
+    data = comp->decompress_f32(bytes, &got);
+  else
+    data = comp->decompress_f64(bytes, &got);
+  if (!(got == want) || data.size() != want.count())
+    throw StreamError("archive: dataset " + ds.name + " chunk " +
+                      std::to_string(chunk) +
+                      " shape does not match the directory");
+  if (dims_out) *dims_out = got;
+  return data;
+}
+
+}  // namespace
+
+template <typename T>
+std::vector<T> ArchiveReader::load(const std::string& name, Dims* dims_out,
+                                   std::size_t threads) {
+  const DatasetInfo& ds = dataset(name);
+  if (ds.dtype != data_type_of<T>())
+    throw StreamError("archive: dataset " + name +
+                      " data type does not match");
+  const std::size_t n = checked_count(ds.dims, "archive");
+  check_decode_alloc(n, sizeof(T), "archive");
+  if (dims_out) *dims_out = ds.dims;
+  const std::size_t row_elems = n / ds.dims[0];
+
+  // Sequential I/O (checksummed), then parallel decode into place.
+  std::vector<std::vector<std::uint8_t>> raw(ds.chunks.size());
+  for (std::size_t i = 0; i < ds.chunks.size(); ++i)
+    raw[i] = read_chunk_bytes(name, i);
+
+  std::vector<std::uint64_t> row_begin(ds.chunks.size());
+  std::uint64_t at = 0;
+  for (std::size_t i = 0; i < ds.chunks.size(); ++i) {
+    row_begin[i] = at;
+    at += ds.chunks[i].rows;
+  }
+
+  std::vector<T> out(n);
+  ParallelOptions opts;
+  opts.max_threads = resolve_threads(threads);
+  opts.grain = 1;
+  parallel_for(
+      ds.chunks.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          auto data = decode_chunk<T>(ds, i, raw[i], nullptr);
+          std::memcpy(out.data() + row_begin[i] * row_elems, data.data(),
+                      data.size() * sizeof(T));
+        }
+      },
+      opts);
+  return out;
+}
+
+template <typename T>
+std::vector<T> ArchiveReader::load_chunk(const std::string& name,
+                                         std::size_t chunk,
+                                         Dims* chunk_dims_out) {
+  const DatasetInfo& ds = dataset(name);
+  if (ds.dtype != data_type_of<T>())
+    throw StreamError("archive: dataset " + name +
+                      " data type does not match");
+  auto bytes = read_chunk_bytes(name, chunk);
+  return decode_chunk<T>(ds, chunk, bytes, chunk_dims_out);
+}
+
+template <typename T>
+std::vector<T> ArchiveReader::read_rows(const std::string& name,
+                                        std::size_t row_begin,
+                                        std::size_t row_end,
+                                        Dims* roi_dims_out,
+                                        std::size_t threads) {
+  const DatasetInfo& ds = dataset(name);
+  if (ds.dtype != data_type_of<T>())
+    throw StreamError("archive: dataset " + name +
+                      " data type does not match");
+  if (row_begin >= row_end || row_end > ds.dims[0])
+    throw ParamError("archive: row range out of bounds");
+  const std::size_t n = checked_count(ds.dims, "archive");
+  const std::size_t row_elems = n / ds.dims[0];
+  Dims roi = ds.dims;
+  roi.d[0] = row_end - row_begin;
+  check_decode_alloc(roi.count(), sizeof(T), "archive");
+  if (roi_dims_out) *roi_dims_out = roi;
+
+  // Chunks overlapping the row range; only these are read and checksummed.
+  struct Wanted {
+    std::size_t chunk;
+    std::size_t chunk_row_begin;
+    std::vector<std::uint8_t> bytes;
+  };
+  std::vector<Wanted> wanted;
+  std::size_t at = 0;
+  for (std::size_t i = 0; i < ds.chunks.size(); ++i) {
+    const std::size_t rows = static_cast<std::size_t>(ds.chunks[i].rows);
+    if (at < row_end && at + rows > row_begin)
+      wanted.push_back({i, at, read_chunk_bytes(name, i)});
+    at += rows;
+  }
+
+  std::vector<T> out(roi.count());
+  ParallelOptions opts;
+  opts.max_threads = resolve_threads(threads);
+  opts.grain = 1;
+  parallel_for(
+      wanted.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t w = begin; w < end; ++w) {
+          Wanted& item = wanted[w];
+          auto data = decode_chunk<T>(ds, item.chunk, item.bytes, nullptr);
+          const std::size_t rows =
+              static_cast<std::size_t>(ds.chunks[item.chunk].rows);
+          std::size_t from = std::max(item.chunk_row_begin, row_begin);
+          std::size_t to = std::min(item.chunk_row_begin + rows, row_end);
+          std::memcpy(
+              out.data() + (from - row_begin) * row_elems,
+              data.data() + (from - item.chunk_row_begin) * row_elems,
+              (to - from) * row_elems * sizeof(T));
+        }
+      },
+      opts);
+  return out;
+}
+
+void ArchiveReader::verify() {
+  for (const auto& ds : directory_) {
+    for (std::size_t i = 0; i < ds.chunks.size(); ++i) {
+      const ChunkInfo& c = ds.chunks[i];
+      auto bytes = read_at(c.offset, c.size, "chunk");
+      if (fnv1a64(bytes) != c.checksum)
+        throw StreamError("archive: dataset " + ds.name + " chunk " +
+                          std::to_string(i) +
+                          " checksum mismatch (corrupt archive)");
+    }
+  }
+}
+
+template std::vector<float> ArchiveReader::load<float>(const std::string&,
+                                                       Dims*, std::size_t);
+template std::vector<double> ArchiveReader::load<double>(const std::string&,
+                                                         Dims*, std::size_t);
+template std::vector<float> ArchiveReader::load_chunk<float>(
+    const std::string&, std::size_t, Dims*);
+template std::vector<double> ArchiveReader::load_chunk<double>(
+    const std::string&, std::size_t, Dims*);
+template std::vector<float> ArchiveReader::read_rows<float>(
+    const std::string&, std::size_t, std::size_t, Dims*, std::size_t);
+template std::vector<double> ArchiveReader::read_rows<double>(
+    const std::string&, std::size_t, std::size_t, Dims*, std::size_t);
+
+}  // namespace store
+}  // namespace transpwr

@@ -1,0 +1,179 @@
+#ifndef TRANSPWR_STORE_ARCHIVE_H
+#define TRANSPWR_STORE_ARCHIVE_H
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/compressor.h"
+
+namespace transpwr {
+namespace store {
+
+/// TPAR: the on-disk archive container for compressed snapshots.
+///
+/// The per-rank `*.bin` blobs the Fig. 6 harness started from have no
+/// index, no integrity check, and no way to read a subvolume back without
+/// decompressing a whole file. TPAR is the self-describing replacement: a
+/// head magic + version, then one or more *named datasets*, each stored as
+/// byte-aligned compressed chunks (the slabs of `chunked`, one scheme
+/// stream per chunk), then a footer holding the whole directory — names,
+/// scheme/dtype/dims/params, and per chunk its row count, byte offset,
+/// size, and FNV-1a 64 checksum. The footer is written *last* and is
+/// itself checksummed, so a truncated or bit-rotted file is rejected with
+/// a clean StreamError at open / verify / load instead of decoding into
+/// garbage science data. See docs/formats.md for the byte layout.
+struct ChunkInfo {
+  std::uint64_t rows = 0;      ///< rows along the slowest dimension
+  std::uint64_t offset = 0;    ///< absolute byte offset of the chunk stream
+  std::uint64_t size = 0;      ///< chunk stream size in bytes
+  std::uint64_t checksum = 0;  ///< fnv1a64 of the chunk stream
+};
+
+struct DatasetInfo {
+  std::string name;
+  DataType dtype = DataType::kFloat32;
+  Scheme scheme = Scheme::kSzT;
+  Dims dims;
+  double bound = 0;     ///< error bound the dataset was compressed with
+  double log_base = 0;  ///< transform base (metadata; streams self-describe)
+  std::vector<ChunkInfo> chunks;
+
+  std::uint64_t compressed_bytes() const {
+    std::uint64_t total = 0;
+    for (const auto& c : chunks) total += c.size;
+    return total;
+  }
+};
+
+/// Per-dataset compression knobs for ArchiveWriter::add_dataset.
+struct DatasetOptions {
+  Scheme scheme = Scheme::kSzT;
+  CompressorParams params;
+  std::size_t rows_per_chunk = 0;  ///< 0 => one chunk per worker thread
+  std::size_t threads = 0;         ///< 0 => hardware concurrency
+};
+
+/// Writes a TPAR archive. Chunk compression is fanned out over the shared
+/// thread pool and *pipelined* with the sequential file writes: chunk i is
+/// appended as soon as it is compressed while later chunks are still in
+/// flight, so the writer streams instead of buffering a whole dataset.
+///
+/// Finalization is crash-safe: bytes go to `<path>.part` and the file is
+/// renamed onto `path` only after the footer is flushed, so a crashed or
+/// abandoned writer never leaves a readable-looking torn archive behind.
+/// Destroying an unfinished writer removes the partial file.
+class ArchiveWriter {
+ public:
+  /// Open `<path>.part` for writing; finish() renames it onto `path`.
+  explicit ArchiveWriter(std::string path);
+  /// In-memory archive (tests, fuzzing): bytes accumulate in `*buffer`.
+  explicit ArchiveWriter(std::vector<std::uint8_t>* buffer);
+  ~ArchiveWriter();
+  ArchiveWriter(const ArchiveWriter&) = delete;
+  ArchiveWriter& operator=(const ArchiveWriter&) = delete;
+
+  /// Compress `data` under `name` and append it as a chunked dataset.
+  /// Throws ParamError on bad input and poisons the writer if a chunk
+  /// fails to compress or write (the partial archive is unusable).
+  template <typename T>
+  void add_dataset(const std::string& name, std::span<const T> data,
+                   Dims dims, const DatasetOptions& opts = {});
+
+  /// Append an already-compressed scheme stream as a single-chunk dataset
+  /// (the N-to-1 harness path: every rank compressed its own shard).
+  /// `bound`/`log_base` are recorded as metadata only.
+  void add_compressed(const std::string& name, DataType dtype, Scheme scheme,
+                      Dims dims, double bound, double log_base,
+                      std::span<const std::uint8_t> stream);
+
+  /// Write the footer, flush, and (file mode) rename into place. The
+  /// writer may not be reused afterwards.
+  void finish();
+
+  std::size_t datasets() const { return directory_.size(); }
+  std::uint64_t bytes_written() const { return offset_; }
+
+ private:
+  void append(std::span<const std::uint8_t> bytes);
+  void require_usable(const char* verb) const;
+  void check_new_name(const std::string& name) const;
+
+  std::string path_;       // final path ("" in memory mode)
+  std::string tmp_path_;   // path_ + ".part"
+  std::FILE* file_ = nullptr;
+  std::vector<std::uint8_t>* mem_ = nullptr;
+  std::uint64_t offset_ = 0;
+  std::vector<DatasetInfo> directory_;
+  bool finished_ = false;
+  bool failed_ = false;
+};
+
+/// Random-access reader over a TPAR archive. The constructor validates the
+/// head magic/version, the footer checksum, and the whole directory (chunk
+/// extents must exactly tile the space between header and footer), so any
+/// structural corruption is a StreamError at open; payload corruption is
+/// caught by the per-chunk checksums at load / verify time.
+class ArchiveReader {
+ public:
+  /// Open a file (seekable loads; each reader owns its own handle, so
+  /// concurrent readers of one archive do not contend).
+  explicit ArchiveReader(const std::string& path);
+  /// Parse an in-memory archive; `bytes` must outlive the reader.
+  explicit ArchiveReader(std::span<const std::uint8_t> bytes);
+  ~ArchiveReader();
+  ArchiveReader(const ArchiveReader&) = delete;
+  ArchiveReader& operator=(const ArchiveReader&) = delete;
+
+  const std::vector<DatasetInfo>& datasets() const { return directory_; }
+  const DatasetInfo& dataset(const std::string& name) const;
+
+  /// Decompress a whole dataset (chunks checksummed, then decoded in
+  /// parallel; `threads` = 0 uses hardware concurrency).
+  template <typename T>
+  std::vector<T> load(const std::string& name, Dims* dims_out = nullptr,
+                      std::size_t threads = 0);
+
+  /// Decompress one chunk only; `chunk_dims_out` receives its shape.
+  template <typename T>
+  std::vector<T> load_chunk(const std::string& name, std::size_t chunk,
+                            Dims* chunk_dims_out = nullptr);
+
+  /// Region-of-interest load: reconstruct only the rows
+  /// [row_begin, row_end) along the slowest dimension, seeking to (and
+  /// checksumming) only the chunks that overlap the range.
+  template <typename T>
+  std::vector<T> read_rows(const std::string& name, std::size_t row_begin,
+                           std::size_t row_end, Dims* roi_dims_out = nullptr,
+                           std::size_t threads = 0);
+
+  /// Read one chunk's raw compressed stream, checksum-verified. Lets
+  /// callers that time I/O separately from decode (the Fig. 6 harness)
+  /// split the phases.
+  std::vector<std::uint8_t> read_chunk_bytes(const std::string& name,
+                                             std::size_t chunk);
+
+  /// Offline integrity scan: re-read and checksum every chunk of every
+  /// dataset. Throws StreamError naming the first corrupt chunk.
+  void verify();
+
+ private:
+  std::vector<std::uint8_t> read_at(std::uint64_t offset, std::uint64_t size,
+                                    const char* what);
+  void parse_footer();
+
+  std::FILE* file_ = nullptr;
+  std::span<const std::uint8_t> mem_;
+  std::uint64_t size_ = 0;
+  std::mutex io_mu_;  // serializes seek+read on the shared FILE*
+  std::vector<DatasetInfo> directory_;
+};
+
+}  // namespace store
+}  // namespace transpwr
+
+#endif  // TRANSPWR_STORE_ARCHIVE_H

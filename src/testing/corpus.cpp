@@ -14,6 +14,7 @@
 #include "lossless/lz77.h"
 #include "lossless/rle.h"
 #include "parallel/chunked.h"
+#include "store/archive.h"
 #include "sz/interp.h"
 #include "sz/sz.h"
 #include "testing/generators.h"
@@ -186,6 +187,29 @@ std::vector<CorpusCase> build_cases() {
     patch_u64(bad_rows, 36, ~std::uint64_t{0});
     cases.push_back({"chunked_slab_rows_overflow", std::move(bad_rows)});
   }
+  {  // archive trailer: footer_fnv u64 at size-20, footer_size u64 at
+     // size-12, end magic u32 at size-4; payload starts at byte 8.
+    std::vector<std::uint8_t> s;
+    {
+      store::ArchiveWriter w(&s);
+      store::DatasetOptions opts;
+      opts.scheme = Scheme::kSzAbs;
+      opts.params.bound = 1e-2;
+      opts.rows_per_chunk = 24;
+      opts.threads = 1;
+      w.add_dataset<float>("field", field, d1, opts);
+      w.finish();
+    }
+    auto huge_footer = s;
+    patch_u64(huge_footer, huge_footer.size() - 12, ~std::uint64_t{0});
+    cases.push_back({"archive_footer_size_overflow", std::move(huge_footer)});
+    auto bad_end = s;
+    patch(bad_end, bad_end.size() - 4, {0xde, 0xad, 0xbe, 0xef});
+    cases.push_back({"archive_bad_end_magic", std::move(bad_end)});
+    auto flipped_payload = s;
+    flipped_payload[8] ^= 0x01;  // first payload byte of the first chunk
+    cases.push_back({"archive_payload_bit_flip", std::move(flipped_payload)});
+  }
   return cases;
 }
 
@@ -214,6 +238,11 @@ void decode_corpus_stream(const std::string& name,
     transformed_decompress<float>(stream);
   } else if (starts_with(name, "chunked_")) {
     chunked::decompress<float>(stream, nullptr, 1);
+  } else if (starts_with(name, "archive_")) {
+    store::ArchiveReader reader(stream);
+    reader.verify();
+    for (const auto& ds : reader.datasets())
+      reader.load<float>(ds.name, nullptr, 1);
   } else {
     throw std::logic_error("corpus: no decoder for case " + name);
   }

@@ -16,6 +16,7 @@
 #include "lossless/lz77.h"
 #include "lossless/rle.h"
 #include "parallel/chunked.h"
+#include "store/archive.h"
 #include "testing/generators.h"
 
 namespace transpwr {
@@ -169,6 +170,58 @@ std::vector<FuzzTarget> default_fuzz_targets(std::uint64_t seed) {
     t.corpus = {chunked::compress<float>(data, dims, p)};
     t.decode = [](std::span<const std::uint8_t> s) {
       chunked::decompress<float>(s, nullptr, 1);
+    };
+    targets.push_back(std::move(t));
+  }
+  {
+    FuzzTarget t;
+    t.name = "archive";
+    // Two tiny in-memory archives: a multi-dataset one (exercises the
+    // directory walk) and a multi-chunk one (exercises the extent tiling).
+    std::vector<std::uint8_t> multi_ds;
+    {
+      store::ArchiveWriter w(&multi_ds);
+      store::DatasetOptions opts;
+      opts.scheme = Scheme::kSzAbs;
+      opts.params.bound = 1e-2;
+      opts.threads = 1;
+      Dims dims;
+      dims.nd = 1;
+      dims.d[0] = 48;
+      auto a = make_field<float>(Family::kRandomSmooth, dims.count(), seed);
+      auto b = make_field<double>(Family::kSparseZeros, dims.count(),
+                                  seed + 7);
+      w.add_dataset<float>("a", a, dims, opts);
+      w.add_dataset<double>("b", b, dims, opts);
+      w.finish();
+    }
+    std::vector<std::uint8_t> multi_chunk;
+    {
+      store::ArchiveWriter w(&multi_chunk);
+      store::DatasetOptions opts;
+      opts.scheme = Scheme::kSzAbs;
+      opts.params.bound = 1e-2;
+      opts.rows_per_chunk = 9;
+      opts.threads = 1;
+      Dims dims;
+      dims.nd = 2;
+      dims.d[0] = 24;
+      dims.d[1] = 8;
+      auto data =
+          make_field<float>(Family::kSignAlternating, dims.count(), seed);
+      w.add_dataset<float>("field", data, dims, opts);
+      w.finish();
+    }
+    t.corpus = {std::move(multi_ds), std::move(multi_chunk)};
+    t.decode = [](std::span<const std::uint8_t> s) {
+      store::ArchiveReader reader(s);
+      reader.verify();
+      for (const auto& ds : reader.datasets()) {
+        if (ds.dtype == DataType::kFloat32)
+          reader.load<float>(ds.name, nullptr, 1);
+        else
+          reader.load<double>(ds.name, nullptr, 1);
+      }
     };
     targets.push_back(std::move(t));
   }

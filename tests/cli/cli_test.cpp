@@ -171,6 +171,100 @@ TEST(CliParse, SeriesValidation) {
   EXPECT_EQ(ok.inputs.size(), 2u);
 }
 
+TEST(CliParse, ArchiveSubcommands) {
+  auto c = cli::parse_args({"archive", "create", "-d", "32x8", "-s", "ZFP_T",
+                            "-b", "1e-4", "--chunks", "4", "-o", "out.tpar",
+                            "a.bin", "b.bin"});
+  EXPECT_EQ(c.command, "archive");
+  EXPECT_EQ(c.archive_cmd, "create");
+  EXPECT_EQ(c.scheme, Scheme::kZfpT);
+  EXPECT_EQ(c.chunks, 4u);
+  EXPECT_EQ(c.output, "out.tpar");
+  ASSERT_EQ(c.inputs.size(), 2u);
+  EXPECT_EQ(c.inputs[1], "b.bin");
+
+  auto l = cli::parse_args({"archive", "ls", "x.tpar"});
+  EXPECT_EQ(l.archive_cmd, "ls");
+  EXPECT_EQ(l.input, "x.tpar");
+
+  auto e = cli::parse_args({"archive", "extract", "--dataset", "vx",
+                            "--rows", "10:20", "x.tpar", "out.bin"});
+  EXPECT_EQ(e.archive_cmd, "extract");
+  EXPECT_EQ(e.dataset, "vx");
+  ASSERT_TRUE(e.rows.has_value());
+  EXPECT_EQ(e.rows->first, 10u);
+  EXPECT_EQ(e.rows->second, 20u);
+  EXPECT_EQ(e.input, "x.tpar");
+  EXPECT_EQ(e.output, "out.bin");
+
+  auto v = cli::parse_args({"archive", "verify", "x.tpar"});
+  EXPECT_EQ(v.archive_cmd, "verify");
+
+  EXPECT_THROW(cli::parse_args({"archive"}), ParamError);
+  EXPECT_THROW(cli::parse_args({"archive", "defrag", "x"}), ParamError);
+  EXPECT_THROW(cli::parse_args({"archive", "create", "-d", "8", "a.bin"}),
+               ParamError);  // no -o
+  EXPECT_THROW(cli::parse_args({"archive", "create", "-o", "x", "a.bin"}),
+               ParamError);  // no dims
+  EXPECT_THROW(cli::parse_args({"archive", "ls"}), ParamError);
+  EXPECT_THROW(cli::parse_args({"archive", "extract", "x.tpar"}),
+               ParamError);
+  EXPECT_THROW(cli::parse_args({"archive", "extract", "--rows", "10-20",
+                                "x.tpar", "o"}),
+               ParamError);  // malformed range
+}
+
+TEST(CliEndToEnd, ArchiveCreateLsExtractVerify) {
+  std::string vx = tmp("vx.bin"), vy = tmp("vy.bin");
+  std::string packed = tmp("fields.tpar");
+  std::string out = tmp("vx_out.bin"), roi = tmp("vx_roi.bin");
+
+  ASSERT_EQ(cli::run(cli::parse_args({"gen", "-w", "nyx", "-d", "16x12x12",
+                                      "--seed", "5", "-o", vx})),
+            0);
+  ASSERT_EQ(cli::run(cli::parse_args({"gen", "-w", "nyx", "-d", "16x12x12",
+                                      "--seed", "6", "-o", vy})),
+            0);
+
+  ASSERT_EQ(cli::run(cli::parse_args({"archive", "create", "-d", "16x12x12",
+                                      "-b", "1e-2", "--chunks", "4", "-o",
+                                      packed, vx, vy})),
+            0);
+  EXPECT_EQ(cli::run(cli::parse_args({"archive", "ls", packed})), 0);
+  EXPECT_EQ(cli::run(cli::parse_args({"archive", "verify", packed})), 0);
+
+  // Dataset names are the input file stems.
+  const std::string ds = "transpwr_cli_vx";
+
+  // Two datasets: extract must demand --dataset, then honor it.
+  EXPECT_THROW(
+      cli::run(cli::parse_args({"archive", "extract", packed, out})),
+      ParamError);
+  ASSERT_EQ(cli::run(cli::parse_args({"archive", "extract", "--dataset",
+                                      ds, packed, out})),
+            0);
+  auto orig = io::read_floats(vx);
+  auto dec = io::read_floats(out);
+  ASSERT_EQ(orig.size(), dec.size());
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    if (orig[i] == 0.0f)
+      ASSERT_EQ(dec[i], 0.0f);
+    else
+      ASSERT_LE(std::abs(orig[i] - dec[i]), 1e-2 * std::abs(orig[i]));
+  }
+
+  // ROI extract: rows [4, 8) of the full reconstruction, byte-for-byte.
+  ASSERT_EQ(cli::run(cli::parse_args({"archive", "extract", "--dataset",
+                                      ds, "--rows", "4:8", packed, roi})),
+            0);
+  auto roi_vals = io::read_floats(roi);
+  ASSERT_EQ(roi_vals.size(), 4u * 144);
+  for (std::size_t i = 0; i < roi_vals.size(); ++i)
+    ASSERT_EQ(roi_vals[i], dec[4 * 144 + i]);
+
+  for (const auto& p : {vx, vy, packed, out, roi}) std::remove(p.c_str());
+}
+
 TEST(CliEndToEnd, InfoRejectsGarbage) {
   std::string junk = tmp("junk.bin");
   std::vector<std::uint8_t> bytes = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};

@@ -1,0 +1,80 @@
+#include "common/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace transpwr {
+namespace {
+
+std::uint64_t fnv_of(const std::string& s) {
+  return fnv1a64({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+}
+
+/// The classic byte-at-a-time definition the word-batched loop must match.
+std::uint64_t fnv_reference(std::span<const std::uint8_t> bytes,
+                            std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  std::uint64_t h = seed;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Known FNV-1a 64 vectors (from the reference implementation's test suite).
+TEST(Checksum, PinnedVectors) {
+  EXPECT_EQ(fnv_of(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv_of("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv_of("foobar"), 0x85944171f73967e8ULL);
+  EXPECT_EQ(fnv_of("chongo was here!\n"), 0x46810940eff5f915ULL);
+}
+
+// The 8-byte batched loop must be bit-identical to the byte-serial
+// recurrence at every length, including the 0..7 tail and lengths that are
+// exact word multiples.
+TEST(Checksum, WordBatchingMatchesByteSerialAtEveryLength) {
+  Rng rng(314);
+  std::vector<std::uint8_t> data(64);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  for (std::size_t n = 0; n <= data.size(); ++n) {
+    std::span<const std::uint8_t> s(data.data(), n);
+    ASSERT_EQ(fnv1a64(s), fnv_reference(s)) << "length " << n;
+  }
+}
+
+// Seed chaining: hashing a buffer in two pieces (second seeded with the
+// first's digest) equals hashing it whole — the property incremental
+// checksumming in the archive writer relies on.
+TEST(Checksum, SeedChainsAcrossSplits) {
+  Rng rng(2718);
+  std::vector<std::uint8_t> data(257);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  std::uint64_t whole = fnv1a64(data);
+  for (std::size_t cut : {0u, 1u, 7u, 8u, 9u, 128u, 256u, 257u}) {
+    std::uint64_t head = fnv1a64({data.data(), cut});
+    std::uint64_t chained =
+        fnv1a64({data.data() + cut, data.size() - cut}, head);
+    ASSERT_EQ(chained, whole) << "cut " << cut;
+  }
+}
+
+TEST(Checksum, SingleBitFlipsChangeTheDigest) {
+  Rng rng(99);
+  std::vector<std::uint8_t> data(40);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  const std::uint64_t clean = fnv1a64(data);
+  for (std::size_t byte = 0; byte < data.size(); ++byte)
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      ASSERT_NE(fnv1a64(data), clean) << byte << ":" << bit;
+      data[byte] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+}
+
+}  // namespace
+}  // namespace transpwr

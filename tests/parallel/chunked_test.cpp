@@ -146,6 +146,47 @@ TEST(Chunked, RoiMatchesFullDecode) {
   }
 }
 
+// Pin the ROI edge semantics: the full range reproduces decompress()
+// exactly, a single-row ROI works right at the last slab boundary (both
+// the last row of the second-to-last slab and the first row of the last
+// one), the empty range is a ParamError (not an empty result), and
+// out-of-range rows throw before any slab is decoded.
+TEST(Chunked, RoiEdgeCases) {
+  auto f = gen::nyx_velocity(Dims(26, 6, 6), 31);
+  chunked::Params p;
+  p.scheme = Scheme::kSzT;
+  p.compressor.bound = 1e-2;
+  p.num_chunks = 4;  // 26 rows split unevenly across 4 slabs
+  p.threads = 2;
+  auto stream = chunked::compress<float>(f.span(), f.dims, p);
+
+  Dims full_dims;
+  auto full = chunked::decompress<float>(stream, &full_dims);
+  Dims roi_dims;
+  auto all_rows = chunked::decompress_rows<float>(stream, 0, 26, &roi_dims);
+  EXPECT_EQ(roi_dims, full_dims);
+  EXPECT_EQ(all_rows, full);
+
+  // Single-row ROIs straddling the last slab boundary. With 26 rows over 4
+  // slabs the last slab starts at row ceil(26/4)*3 = 21; probe both sides
+  // of every possible boundary row so the test stays correct even if the
+  // split rule changes.
+  const std::size_t row = 36;
+  for (std::size_t b : {20u, 21u, 25u}) {
+    SCOPED_TRACE(b);
+    auto one = chunked::decompress_rows<float>(stream, b, b + 1, &roi_dims);
+    EXPECT_EQ(roi_dims[0], 1u);
+    ASSERT_EQ(one.size(), row);
+    for (std::size_t i = 0; i < row; ++i)
+      ASSERT_EQ(one[i], full[b * row + i]) << i;
+  }
+
+  EXPECT_THROW(chunked::decompress_rows<float>(stream, 0, 0), ParamError);
+  EXPECT_THROW(chunked::decompress_rows<float>(stream, 26, 26), ParamError);
+  EXPECT_THROW(chunked::decompress_rows<float>(stream, 25, 27), ParamError);
+  EXPECT_THROW(chunked::decompress_rows<float>(stream, 26, 27), ParamError);
+}
+
 TEST(Chunked, RoiRejectsBadRange) {
   auto f = gen::cesm_flux(Dims(10, 8), 23);
   chunked::Params p;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "common/error.h"
 #include "data/generators.h"
 
@@ -50,6 +52,63 @@ TEST(ParallelHarness, MoreRanksThanShardsReuses) {
   auto res = parallel::run(cfg, small_shards());
   EXPECT_TRUE(res.verified);
   EXPECT_EQ(res.ranks, 8u);
+}
+
+TEST(ParallelHarness, SharedArchiveLayoutRoundTrips) {
+  parallel::RunConfig cfg;
+  cfg.scheme = Scheme::kSzT;
+  cfg.params.bound = 1e-2;
+  cfg.ranks = 4;
+  cfg.dir = ::testing::TempDir();
+  cfg.layout = parallel::Layout::kSharedArchive;
+  cfg.verify_rel_bound = 1e-2;
+  auto res = parallel::run(cfg, small_shards());
+  EXPECT_TRUE(res.verified);
+  EXPECT_EQ(res.ranks, 4u);
+  EXPECT_GT(res.compression_ratio, 1.0);
+  EXPECT_GT(res.write_s, 0.0);  // rank 0's archive write
+}
+
+TEST(ParallelHarness, SharedArchiveSingleRank) {
+  parallel::RunConfig cfg;
+  cfg.scheme = Scheme::kFpzip;
+  cfg.params.bound = 1e-2;
+  cfg.ranks = 1;
+  cfg.dir = ::testing::TempDir();
+  cfg.layout = parallel::Layout::kSharedArchive;
+  auto res = parallel::run(cfg, small_shards());
+  EXPECT_TRUE(res.verified);
+}
+
+// Satellite of the rank-file fix: scratch files carry a unique per-run tag
+// and are removed on every exit path, so back-to-back runs in one
+// directory leave it exactly as they found it — in both layouts.
+TEST(ParallelHarness, ScratchFilesAreRemoved) {
+  namespace fs = std::filesystem;
+  const std::string dir = ::testing::TempDir() + "/harness_scratch";
+  fs::create_directories(dir);
+  auto count_entries = [&] {
+    std::size_t n = 0;
+    for (auto it = fs::directory_iterator(dir);
+         it != fs::directory_iterator(); ++it)
+      ++n;
+    return n;
+  };
+  ASSERT_EQ(count_entries(), 0u);
+  for (auto layout : {parallel::Layout::kFilePerRank,
+                      parallel::Layout::kSharedArchive}) {
+    parallel::RunConfig cfg;
+    cfg.scheme = Scheme::kSzT;
+    cfg.params.bound = 1e-2;
+    cfg.ranks = 3;
+    cfg.dir = dir;
+    cfg.layout = layout;
+    parallel::run(cfg, small_shards());
+    EXPECT_EQ(count_entries(), 0u);
+  }
+  parallel::run_raw_baseline(3, dir, small_shards());
+  EXPECT_EQ(count_entries(), 0u);
+  fs::remove_all(dir);
 }
 
 TEST(ParallelHarness, RawBaseline) {

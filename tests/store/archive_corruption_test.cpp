@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+#include "data/generators.h"
+#include "store/archive.h"
+
+namespace transpwr {
+namespace store {
+namespace {
+
+/// Small two-dataset archive so the sweep covers head, payload of several
+/// chunks, directory, and trailer bytes while staying fast enough to flip
+/// every bit.
+std::vector<std::uint8_t> tiny_archive() {
+  auto f = gen::hacc_velocity(48, 17);
+  std::vector<std::uint8_t> buf;
+  ArchiveWriter w(&buf);
+  DatasetOptions opts;
+  opts.scheme = Scheme::kSzAbs;
+  opts.params.bound = 1.0;
+  opts.rows_per_chunk = 20;  // 20, 20, 8
+  opts.threads = 1;
+  w.add_dataset<float>("a", f.span(), f.dims, opts);
+  w.add_compressed("b", DataType::kFloat32, Scheme::kSzAbs, Dims(4), 1.0,
+                   2.0, std::vector<std::uint8_t>{9, 9, 9, 9, 9, 9, 9, 9});
+  w.finish();
+  return buf;
+}
+
+/// The full consumer sequence a corrupted archive must not survive: parse
+/// the footer, re-checksum every chunk, decode every dataset.
+void open_verify_load(std::span<const std::uint8_t> bytes) {
+  ArchiveReader r(bytes);
+  r.verify();
+  for (const auto& ds : r.datasets())
+    if (ds.dtype == DataType::kFloat32)
+      r.load<float>(ds.name, nullptr, 1);
+    else
+      r.load<double>(ds.name, nullptr, 1);
+}
+
+// The acceptance bar for the format: every byte of the file is covered by
+// a field compare or a checksum, so ANY single flipped bit is rejected
+// with a clean StreamError — never a crash, never silently different data.
+// (Dataset "b" holds a garbage stream on purpose: corruption must be
+// caught by the container's checksums before scheme decode is even tried.)
+TEST(ArchiveCorruption, EverySingleBitFlipIsRejected) {
+  auto clean = tiny_archive();
+  // "b" is a deliberately undecodable stream, so even the pristine archive
+  // fails the full sequence at decode; restrict the clean-path sanity check
+  // to open+verify and the flip sweep to the same.
+  ArchiveReader(std::span<const std::uint8_t>(clean)).verify();
+  auto bytes = clean;
+  for (std::size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      bytes[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      try {
+        ArchiveReader r{std::span<const std::uint8_t>(bytes)};
+        r.verify();
+        ADD_FAILURE() << "flip at byte " << byte << " bit " << bit
+                      << " went unnoticed";
+      } catch (const StreamError&) {
+        // expected
+      }
+      bytes[byte] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+  }
+  EXPECT_EQ(bytes, clean);
+}
+
+TEST(ArchiveCorruption, EveryTruncationIsRejected) {
+  auto clean = tiny_archive();
+  for (std::size_t len = 0; len < clean.size(); ++len) {
+    EXPECT_THROW(
+        open_verify_load(std::span<const std::uint8_t>(clean.data(), len)),
+        StreamError)
+        << "truncation to " << len << " bytes";
+  }
+}
+
+// Appending trailing garbage shifts the trailer window and must be caught
+// (a partially-overwritten archive looks exactly like this).
+TEST(ArchiveCorruption, AppendedTailIsRejected) {
+  auto bytes = tiny_archive();
+  for (std::size_t extra : {1u, 7u, 64u}) {
+    auto grown = bytes;
+    grown.insert(grown.end(), extra, std::uint8_t{0xa5});
+    EXPECT_THROW(open_verify_load(grown), StreamError) << extra;
+  }
+}
+
+// A decodable-looking archive whose directory lies about shapes: the chunk
+// decodes fine but to the wrong row count, which load() must reject.
+TEST(ArchiveCorruption, ShapeLieIsRejected) {
+  auto f = gen::hacc_velocity(32, 23);
+  auto comp = make_compressor(Scheme::kSzAbs);
+  CompressorParams p;
+  p.bound = 1.0;
+  auto stream = comp->compress(f.span(), f.dims, p);
+  std::vector<std::uint8_t> buf;
+  {
+    ArchiveWriter w(&buf);
+    // Claim 16 rows for a 32-value stream; the container checksums all
+    // pass, so only the decode-shape cross-check can catch it.
+    w.add_compressed("v", DataType::kFloat32, Scheme::kSzAbs, Dims(16), 1.0,
+                     2.0, stream);
+    w.finish();
+  }
+  ArchiveReader r(buf);
+  r.verify();  // checksums are fine — the lie is in the metadata
+  EXPECT_THROW(r.load<float>("v", nullptr, 1), StreamError);
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace transpwr

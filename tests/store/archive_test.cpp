@@ -1,0 +1,336 @@
+#include "store/archive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "data/generators.h"
+#include "metrics/metrics.h"
+
+namespace transpwr {
+namespace store {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// Every registered scheme must survive a write + load through the archive
+// and keep the guarantee class it advertises (the conformance taxonomy):
+// pointwise relative for the transformed schemes, FPZIP and ISABELA;
+// absolute for SZ_ABS; relative-on-nonzeros for SZ_PWR; finite output and
+// shape only for ZFP_P.
+TEST(Archive, RoundTripEveryScheme) {
+  auto f = gen::nyx_dark_matter_density(Dims(16, 12, 12), 7);
+  for (Scheme s : all_schemes()) {
+    SCOPED_TRACE(scheme_name(s));
+    const double bound = s == Scheme::kSzAbs ? 1.0 : 1e-2;
+    std::vector<std::uint8_t> buf;
+    {
+      ArchiveWriter w(&buf);
+      DatasetOptions opts;
+      opts.scheme = s;
+      opts.params.bound = bound;
+      opts.rows_per_chunk = 5;  // 16 rows -> 4 chunks, last one short
+      w.add_dataset<float>("field", f.span(), f.dims, opts);
+      w.finish();
+    }
+    ArchiveReader r(buf);
+    ASSERT_EQ(r.datasets().size(), 1u);
+    EXPECT_EQ(r.dataset("field").scheme, s);
+    EXPECT_EQ(r.dataset("field").chunks.size(), 4u);
+    EXPECT_DOUBLE_EQ(r.dataset("field").bound, bound);
+    Dims dims;
+    auto out = r.load<float>("field", &dims);
+    EXPECT_EQ(dims, f.dims);
+    ASSERT_EQ(out.size(), f.values.size());
+    for (float v : out) ASSERT_TRUE(std::isfinite(v));
+    auto stats = compute_error_stats(f.span(), std::span<const float>(out));
+    if (s == Scheme::kSzAbs) {
+      EXPECT_LE(stats.max_abs, bound);
+    } else if (s == Scheme::kSzPwr) {
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        if (f.values[i] != 0.0f) {
+          ASSERT_LE(std::abs(out[i] - f.values[i]),
+                    bound * std::abs(f.values[i]) * (1 + 1e-6))
+              << i;
+        }
+      }
+    } else if (s != Scheme::kZfpP) {
+      EXPECT_LE(stats.max_rel, bound * (1 + 1e-6));
+    }
+  }
+}
+
+TEST(Archive, MultipleDatasetsMixedTypes) {
+  auto f32 = gen::cesm_flux(Dims(30, 16), 3);
+  std::vector<double> f64(512);
+  for (std::size_t i = 0; i < f64.size(); ++i)
+    f64[i] = 1e4 + std::sin(0.02 * static_cast<double>(i));
+
+  std::vector<std::uint8_t> buf;
+  {
+    ArchiveWriter w(&buf);
+    DatasetOptions o32;
+    o32.scheme = Scheme::kSzT;
+    o32.params.bound = 1e-3;
+    w.add_dataset<float>("flux", f32.span(), f32.dims, o32);
+    DatasetOptions o64;
+    o64.scheme = Scheme::kSzT;
+    o64.params.bound = 1e-6;
+    o64.rows_per_chunk = 100;
+    w.add_dataset<double>("pressure", f64, Dims(512), o64);
+    EXPECT_EQ(w.datasets(), 2u);
+    w.finish();
+  }
+
+  ArchiveReader r(buf);
+  ASSERT_EQ(r.datasets().size(), 2u);
+  EXPECT_EQ(r.dataset("flux").dtype, DataType::kFloat32);
+  EXPECT_EQ(r.dataset("pressure").dtype, DataType::kFloat64);
+  EXPECT_EQ(r.dataset("pressure").chunks.size(), 6u);  // ceil(512/100)
+  r.verify();
+
+  auto flux = r.load<float>("flux");
+  auto stats32 =
+      compute_error_stats(f32.span(), std::span<const float>(flux));
+  EXPECT_LE(stats32.max_rel, 1e-3 * (1 + 1e-6));
+
+  auto pressure = r.load<double>("pressure");
+  auto stats64 = compute_error_stats(std::span<const double>(f64),
+                                     std::span<const double>(pressure));
+  EXPECT_LE(stats64.max_rel, 1e-6 * (1 + 1e-9));
+}
+
+TEST(Archive, ReadRowsMatchesFullLoad) {
+  auto f = gen::hurricane_wind(Dims(26, 10, 10), 9);
+  std::vector<std::uint8_t> buf;
+  {
+    ArchiveWriter w(&buf);
+    DatasetOptions opts;
+    opts.scheme = Scheme::kSzT;
+    opts.params.bound = 1e-2;
+    opts.rows_per_chunk = 7;  // 26 rows -> chunks of 7,7,7,5
+    w.add_dataset<float>("wind", f.span(), f.dims, opts);
+    w.finish();
+  }
+  ArchiveReader r(buf);
+  auto full = r.load<float>("wind");
+  const std::size_t row = 100;
+  for (auto [b, e] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {0, 26}, {0, 1}, {6, 8}, {7, 7 + 1}, {21, 22}, {25, 26},
+           {3, 24}}) {
+    SCOPED_TRACE(b);
+    Dims roi;
+    auto rows = r.read_rows<float>("wind", b, e, &roi);
+    EXPECT_EQ(roi[0], e - b);
+    EXPECT_EQ(roi[1], 10u);
+    ASSERT_EQ(rows.size(), (e - b) * row);
+    for (std::size_t i = 0; i < rows.size(); ++i)
+      ASSERT_EQ(rows[i], full[b * row + i]) << i;
+  }
+}
+
+TEST(Archive, LoadChunkReturnsTheChunkShape) {
+  auto f = gen::cesm_cloud_fraction(Dims(20, 8), 5);
+  std::vector<std::uint8_t> buf;
+  {
+    ArchiveWriter w(&buf);
+    DatasetOptions opts;
+    opts.scheme = Scheme::kSzAbs;
+    opts.params.bound = 1e-3;
+    opts.rows_per_chunk = 8;  // 8, 8, 4
+    w.add_dataset<float>("cloud", f.span(), f.dims, opts);
+    w.finish();
+  }
+  ArchiveReader r(buf);
+  auto full = r.load<float>("cloud");
+  std::size_t at = 0;
+  for (std::size_t c = 0; c < r.dataset("cloud").chunks.size(); ++c) {
+    Dims cd;
+    auto part = r.load_chunk<float>("cloud", c, &cd);
+    EXPECT_EQ(cd[1], 8u);
+    ASSERT_EQ(part.size(), cd[0] * 8);
+    for (std::size_t i = 0; i < part.size(); ++i)
+      ASSERT_EQ(part[i], full[at + i]);
+    at += part.size();
+  }
+  EXPECT_EQ(at, full.size());
+}
+
+TEST(Archive, AddCompressedMatchesDirectDecompress) {
+  auto f = gen::hacc_velocity(2000, 11);
+  CompressorParams params;
+  params.bound = 1e-2;
+  auto comp = make_compressor(Scheme::kSzT);
+  auto stream = comp->compress(f.span(), f.dims, params);
+  auto direct = comp->decompress_f32(stream);
+
+  std::vector<std::uint8_t> buf;
+  {
+    ArchiveWriter w(&buf);
+    w.add_compressed("rank_0", DataType::kFloat32, Scheme::kSzT, f.dims,
+                     params.bound, params.log_base, stream);
+    w.finish();
+  }
+  ArchiveReader r(buf);
+  EXPECT_EQ(r.read_chunk_bytes("rank_0", 0), stream);
+  EXPECT_EQ(r.load<float>("rank_0"), direct);
+}
+
+TEST(Archive, WriterRejectsBadInput) {
+  auto f = gen::hacc_velocity(64, 1);
+  std::vector<std::uint8_t> buf;
+  ArchiveWriter w(&buf);
+  DatasetOptions opts;
+  opts.scheme = Scheme::kSzAbs;
+  EXPECT_THROW(w.add_dataset<float>("", f.span(), f.dims, opts), ParamError);
+  EXPECT_THROW(
+      w.add_dataset<float>(std::string(300, 'x'), f.span(), f.dims, opts),
+      ParamError);
+  EXPECT_THROW(w.add_dataset<float>("short", f.span(), Dims(65), opts),
+               ParamError);
+  w.add_dataset<float>("v", f.span(), f.dims, opts);
+  EXPECT_THROW(w.add_dataset<float>("v", f.span(), f.dims, opts),
+               ParamError);  // duplicate name
+  EXPECT_THROW(
+      w.add_compressed("e", DataType::kFloat32, Scheme::kSzT, f.dims, 0, 2,
+                       {}),
+      ParamError);  // empty stream
+  w.finish();
+  EXPECT_THROW(w.add_dataset<float>("late", f.span(), f.dims, opts),
+               ParamError);
+  EXPECT_THROW(w.finish(), ParamError);
+}
+
+TEST(Archive, EmptyArchiveRoundTrips) {
+  std::vector<std::uint8_t> buf;
+  {
+    ArchiveWriter w(&buf);
+    w.finish();
+  }
+  ArchiveReader r(buf);
+  EXPECT_TRUE(r.datasets().empty());
+  r.verify();
+  EXPECT_THROW(r.dataset("anything"), ParamError);
+}
+
+TEST(Archive, ReaderRejectsBadRequests) {
+  auto f = gen::hacc_velocity(128, 2);
+  std::vector<std::uint8_t> buf;
+  {
+    ArchiveWriter w(&buf);
+    DatasetOptions opts;
+    opts.scheme = Scheme::kSzT;
+    opts.params.bound = 1e-2;
+    opts.rows_per_chunk = 64;
+    w.add_dataset<float>("v", f.span(), f.dims, opts);
+    w.finish();
+  }
+  ArchiveReader r(buf);
+  EXPECT_THROW(r.load<float>("missing"), ParamError);
+  EXPECT_THROW(r.load<double>("v"), StreamError);  // dtype mismatch
+  EXPECT_THROW(r.load_chunk<float>("v", 2), ParamError);
+  EXPECT_THROW(r.read_rows<float>("v", 5, 5), ParamError);   // empty
+  EXPECT_THROW(r.read_rows<float>("v", 9, 4), ParamError);   // inverted
+  EXPECT_THROW(r.read_rows<float>("v", 0, 129), ParamError);  // past end
+}
+
+// File mode: bytes stream into `<path>.part` and only a successful finish()
+// renames them onto the real path, so a crashed writer never leaves a
+// readable-looking torn archive and an abandoned writer cleans up after
+// itself.
+TEST(Archive, CrashSafeFinalize) {
+  const std::string path = temp_path("crash_safe.tpar");
+  const std::string part = path + ".part";
+  std::remove(path.c_str());
+  auto f = gen::hacc_velocity(256, 3);
+  DatasetOptions opts;
+  opts.scheme = Scheme::kSzT;
+  opts.params.bound = 1e-2;
+
+  {  // abandoned writer: .part existed mid-write, nothing survives
+    ArchiveWriter w(path);
+    w.add_dataset<float>("v", f.span(), f.dims, opts);
+    EXPECT_TRUE(std::filesystem::exists(part));
+    EXPECT_FALSE(std::filesystem::exists(path));
+  }
+  EXPECT_FALSE(std::filesystem::exists(part));
+  EXPECT_FALSE(std::filesystem::exists(path));
+
+  {  // finished writer: the final path appears, the partial file is gone
+    ArchiveWriter w(path);
+    w.add_dataset<float>("v", f.span(), f.dims, opts);
+    w.finish();
+  }
+  EXPECT_FALSE(std::filesystem::exists(part));
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  ArchiveReader r(path);
+  r.verify();
+  auto out = r.load<float>("v");
+  auto stats = compute_error_stats(f.span(), std::span<const float>(out));
+  EXPECT_LE(stats.max_rel, 1e-2 * (1 + 1e-6));
+  std::remove(path.c_str());
+}
+
+// File-backed and in-memory archives are byte-identical for the same
+// inputs, so the fuzz/corpus coverage of the memory path covers the file
+// path too.
+TEST(Archive, FileAndMemoryModesProduceIdenticalBytes) {
+  const std::string path = temp_path("identical.tpar");
+  auto f = gen::cesm_flux(Dims(24, 12), 4);
+  DatasetOptions opts;
+  opts.scheme = Scheme::kSzT;
+  opts.params.bound = 1e-3;
+  opts.rows_per_chunk = 10;
+
+  std::vector<std::uint8_t> mem;
+  {
+    ArchiveWriter w(&mem);
+    w.add_dataset<float>("flux", f.span(), f.dims, opts);
+    w.finish();
+  }
+  {
+    ArchiveWriter w(path);
+    w.add_dataset<float>("flux", f.span(), f.dims, opts);
+    w.finish();
+    EXPECT_EQ(w.bytes_written(), mem.size());
+  }
+  std::FILE* fp = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(fp, nullptr);
+  std::vector<std::uint8_t> disk(mem.size() + 1);
+  disk.resize(std::fread(disk.data(), 1, disk.size(), fp));
+  std::fclose(fp);
+  std::remove(path.c_str());
+  EXPECT_EQ(disk, mem);
+}
+
+TEST(Archive, ParallelLoadMatchesSerial) {
+  auto f = gen::nyx_velocity(Dims(32, 12, 12), 13);
+  std::vector<std::uint8_t> buf;
+  {
+    ArchiveWriter w(&buf);
+    DatasetOptions opts;
+    opts.scheme = Scheme::kSzT;
+    opts.params.bound = 1e-2;
+    opts.rows_per_chunk = 4;
+    opts.threads = 4;
+    w.add_dataset<float>("v", f.span(), f.dims, opts);
+    w.finish();
+  }
+  ArchiveReader r(buf);
+  EXPECT_EQ(r.dataset("v").chunks.size(), 8u);
+  auto serial = r.load<float>("v", nullptr, 1);
+  auto parallel = r.load<float>("v", nullptr, 4);
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace transpwr
