@@ -1,10 +1,12 @@
 // TPAR archive store bench: write / full-read / ROI-read throughput versus
 // worker threads and chunk count, plus the Fig. 6 harness run in both file
 // layouts (N-to-N file-per-rank vs N-to-1 shared archive). Emits
-// machine-readable BENCH_PR4.json so future PRs can diff the store path.
+// machine-readable BENCH_PR5_archive.json through the obs stats registry
+// (BENCH_PR4.json carries the pre-registry layout) and self-checks that the
+// recorded archive/harness span times stay below the measured wall time.
 //
 // Usage: bench_archive [out.json] [edge]
-//   out.json  output path (default BENCH_PR4.json)
+//   out.json  output path (default BENCH_PR5_archive.json)
 //   edge      cubic field edge length (default 192 => 27 MB of float32)
 #include <cstdio>
 #include <cstdlib>
@@ -14,6 +16,7 @@
 #include "bench_util.h"
 #include "common/timer.h"
 #include "data/generators.h"
+#include "obs/obs.h"
 #include "parallel/harness.h"
 #include "store/archive.h"
 
@@ -62,9 +65,15 @@ struct HarnessRun {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_PR4.json";
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_PR5_archive.json";
   const std::size_t edge =
       argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 192;
+
+  // Record across the whole run: every archive.* / harness.* / chunked.*
+  // span the store path emits lands in the JSON next to the gauge table.
+  obs::ScopedRecording rec;
+  obs::reset();
+  Timer total_wall;
 
   bench::print_header("TPAR archive: write / read / ROI throughput");
   auto f = gen::nyx_dark_matter_density(Dims(edge, edge, edge), 42);
@@ -151,40 +160,62 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::FILE* out = std::fopen(out_path.c_str(), "w");
-  if (!out) {
-    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+  // --- emit everything through the registry as transpwr-stats-v1.
+  for (const StoreRun& r : store_runs) {
+    const std::string p = "store.c" + std::to_string(r.chunks) + ".t" +
+                          std::to_string(r.threads) + ".";
+    obs::gauge_set(p + "write_s", r.write_s);
+    obs::gauge_set(p + "read_s", r.read_s);
+    obs::gauge_set(p + "roi_s", r.roi_s);
+    obs::gauge_set(p + "write_mbs", mbs(bytes, r.write_s));
+    obs::gauge_set(p + "read_mbs", mbs(bytes, r.read_s));
+    obs::gauge_set(p + "roi_speedup", r.roi_speedup);
+    obs::gauge_set(p + "archive_bytes",
+                   static_cast<double>(r.archive_bytes));
+  }
+  for (const HarnessRun& h : harness_runs) {
+    const std::string p = std::string("harness.") + h.mode + ".r" +
+                          std::to_string(h.ranks) + ".";
+    obs::gauge_set(p + "dump_s", h.dump_s);
+    obs::gauge_set(p + "load_s", h.load_s);
+    obs::gauge_set(p + "write_s", h.write_s);
+    obs::gauge_set(p + "read_s", h.read_s);
+  }
+  obs::gauge_set("field_bytes", bytes);
+  obs::gauge_set("roi_bytes", roi_bytes);
+
+  // --- stats self-check: spans only observe, so no single-threaded span
+  // can have accumulated more wall time than the whole process took. A
+  // violation means span placement or cross-thread merging double-counts.
+  const double wall = total_wall.seconds();
+  obs::gauge_set("bench_wall_s", wall);
+  int rc = 0;
+  obs::Snapshot snap = obs::snapshot();
+  for (const char* path : {"archive.add_dataset", "archive.finish",
+                           "archive.load", "archive.read_rows"}) {
+    for (const auto& [p, stat] : snap.spans) {
+      if (p == path && stat.seconds > wall * 1.10 + 2e-3) {
+        std::fprintf(stderr,
+                     "stats check failed: span %s %.6f s exceeds bench wall "
+                     "%.6f s\n",
+                     p.c_str(), stat.seconds, wall);
+        rc = 1;
+      }
+    }
+  }
+
+  const std::vector<std::pair<std::string, std::string>> meta = {
+      {"bench", "archive"},
+      {"field_dims", f.dims.to_string()},
+      {"reps", std::to_string(kReps)},
+      {"roi_rows", std::to_string(roi_rows)},
+  };
+  std::string text = obs::to_json(snap, meta);
+  if (!obs::json_valid(text)) {
+    std::fprintf(stderr, "stats check failed: emitted JSON is invalid\n");
     return 1;
   }
-  std::fprintf(out, "{\n  \"field\": {\"dims\": \"%s\", \"bytes\": %.0f},\n",
-               f.dims.to_string().c_str(), bytes);
-  std::fprintf(out, "  \"reps\": %d,\n  \"roi_rows\": %zu,\n", kReps,
-               roi_rows);
-  std::fprintf(out, "  \"roi_bytes\": %.0f,\n  \"store_runs\": [\n",
-               roi_bytes);
-  for (std::size_t i = 0; i < store_runs.size(); ++i) {
-    const StoreRun& r = store_runs[i];
-    std::fprintf(out,
-                 "    {\"chunks\": %zu, \"threads\": %zu, \"write_s\": %.6f, "
-                 "\"read_s\": %.6f, \"roi_s\": %.6f, \"write_mbs\": %.2f, "
-                 "\"read_mbs\": %.2f, \"roi_speedup\": %.2f, "
-                 "\"archive_bytes\": %llu}%s\n",
-                 r.chunks, r.threads, r.write_s, r.read_s, r.roi_s,
-                 mbs(bytes, r.write_s), mbs(bytes, r.read_s), r.roi_speedup,
-                 static_cast<unsigned long long>(r.archive_bytes),
-                 i + 1 < store_runs.size() ? "," : "");
-  }
-  std::fprintf(out, "  ],\n  \"harness_runs\": [\n");
-  for (std::size_t i = 0; i < harness_runs.size(); ++i) {
-    const HarnessRun& h = harness_runs[i];
-    std::fprintf(out,
-                 "    {\"mode\": \"%s\", \"ranks\": %zu, \"dump_s\": %.6f, "
-                 "\"load_s\": %.6f, \"write_s\": %.6f, \"read_s\": %.6f}%s\n",
-                 h.mode, h.ranks, h.dump_s, h.load_s, h.write_s, h.read_s,
-                 i + 1 < harness_runs.size() ? "," : "");
-  }
-  std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
+  obs::write_stats_json(out_path, meta);
   std::printf("wrote %s\n", out_path.c_str());
-  return 0;
+  return rc;
 }

@@ -1,11 +1,13 @@
 // Throughput trajectory bench: transform-only, SZ_T end-to-end (with
 // per-stage breakdown), chunked end-to-end, and the standalone block-parallel
 // entropy stage at 1/2/4/8 threads on a >= 64 MB field. Emits
-// machine-readable BENCH_PR3.json so future PRs can diff against this PR's
-// numbers (BENCH_PR1.json carries the pre-blocked-entropy baseline).
+// machine-readable BENCH_PR5.json through the obs stats registry so future
+// PRs can diff against this PR's numbers (BENCH_PR3.json carries the
+// pre-registry layout), and self-checks that the per-stage span times are
+// consistent with the measured wall time.
 //
 // Usage: bench_throughput [out.json] [edge]
-//   out.json  output path (default BENCH_PR3.json)
+//   out.json  output path (default BENCH_PR5.json)
 //   edge      cubic field edge length (default 256 => 64 MB of float32)
 #include <algorithm>
 #include <cstdio>
@@ -22,6 +24,7 @@
 #include "core/transformed.h"
 #include "data/generators.h"
 #include "lossless/blocked_huffman.h"
+#include "obs/obs.h"
 #include "parallel/chunked.h"
 
 using namespace transpwr;
@@ -69,7 +72,7 @@ struct Run {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_PR3.json";
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_PR5.json";
   const std::size_t edge =
       argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 256;
 
@@ -168,46 +171,111 @@ int main(int argc, char** argv) {
                 spawn_us.back().second);
   }
 
-  std::FILE* out = std::fopen(out_path.c_str(), "w");
-  if (!out) {
-    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
-    return 1;
+  // --- stats consistency rep: one single-threaded SZ_T round trip with the
+  // registry recording, then check the per-stage spans against the walls.
+  // A stage accounting that drifts more than 10% from the measured wall
+  // time means the spans are placed or merged wrongly — fail the bench.
+  int rc = 0;
+  double stats_compress_wall = 0, stats_decompress_wall = 0;
+  {
+    obs::ScopedRecording rec;
+    obs::reset();
+    TransformedParams tp1;
+    tp1.rel_bound = 1e-3;
+    tp1.threads = 1;
+    std::vector<std::uint8_t> stream;
+    {
+      Timer t;
+      stream = transformed_compress<float>(f.values, f.dims, InnerCodec::kSz,
+                                           tp1);
+      stats_compress_wall = t.seconds();
+    }
+    {
+      Timer t;
+      transformed_decompress<float>(stream, nullptr, nullptr, 1);
+      stats_decompress_wall = t.seconds();
+    }
+
+    obs::Snapshot snap = obs::snapshot();
+    auto span_s = [&](const char* path) {
+      for (const auto& [p, stat] : snap.spans)
+        if (p == path) return stat.seconds;
+      return 0.0;
+    };
+    struct Check {
+      const char* what;
+      double sum, wall;
+    };
+    const Check checks[] = {
+        {"transformed.compress stages",
+         span_s("transformed.compress/pre") +
+             span_s("transformed.compress/inner") ,
+         stats_compress_wall},
+        {"transformed.decompress stages",
+         span_s("transformed.decompress/inner") +
+             span_s("transformed.decompress/post"),
+         stats_decompress_wall},
+    };
+    for (const Check& c : checks) {
+      // Sub-spans tile their parent minus header/serialization slivers, so
+      // the sum must stay within 10% of the wall (plus a small absolute
+      // epsilon for tiny smoke-test fields).
+      if (c.sum > c.wall * 1.10 + 2e-3 || c.sum < c.wall * 0.50 - 2e-3) {
+        std::fprintf(stderr,
+                     "stats check failed: %s sum %.6f s vs wall %.6f s\n",
+                     c.what, c.sum, c.wall);
+        rc = 1;
+      }
+    }
+    std::printf(
+        "stats rep (t=1): compress wall %.3f s (stage sum %.3f), "
+        "decompress wall %.3f s (stage sum %.3f)\n",
+        stats_compress_wall, checks[0].sum, stats_decompress_wall,
+        checks[1].sum);
+
+    // --- emit everything through the registry as transpwr-stats-v1.
+    for (const Run& r : runs) {
+      const std::string p = "t" + std::to_string(r.threads) + ".";
+      obs::gauge_set(p + "transform_fwd_s", r.transform_fwd_s);
+      obs::gauge_set(p + "transform_inv_s", r.transform_inv_s);
+      obs::gauge_set(p + "transform_fwd_gbs", gbs(bytes, r.transform_fwd_s));
+      obs::gauge_set(p + "transform_inv_gbs", gbs(bytes, r.transform_inv_s));
+      obs::gauge_set(p + "szt_compress_s", r.szt_compress_s);
+      obs::gauge_set(p + "szt_decompress_s", r.szt_decompress_s);
+      obs::gauge_set(p + "chunked_compress_s", r.chunked_compress_s);
+      obs::gauge_set(p + "chunked_decompress_s", r.chunked_decompress_s);
+      obs::gauge_set(p + "chunked_total_s",
+                     r.chunked_compress_s + r.chunked_decompress_s);
+      obs::gauge_set(p + "stage_predict_s", r.stages.predict_s);
+      obs::gauge_set(p + "stage_histogram_s", r.stages.histogram_s);
+      obs::gauge_set(p + "stage_encode_s", r.stages.encode_s);
+      obs::gauge_set(p + "stage_entropy_decode_s", r.stages.entropy_decode_s);
+      obs::gauge_set(p + "stage_reconstruct_s", r.stages.reconstruct_s);
+      obs::gauge_set(p + "entropy_encode_s", r.entropy_encode_s);
+      obs::gauge_set(p + "entropy_decode_s", r.entropy_decode_s);
+      obs::gauge_set(p + "entropy_encode_gbs",
+                     gbs(code_bytes, r.entropy_encode_s));
+      obs::gauge_set(p + "entropy_decode_gbs",
+                     gbs(code_bytes, r.entropy_decode_s));
+    }
+    for (const auto& [threads, us] : spawn_us)
+      obs::gauge_set("pool_spawn_us.t" + std::to_string(threads), us);
+    obs::gauge_set("entropy_code_bytes", code_bytes);
+    obs::gauge_set("field_bytes", bytes);
+
+    const std::vector<std::pair<std::string, std::string>> meta = {
+        {"bench", "throughput"},
+        {"field_dims", f.dims.to_string()},
+        {"reps", std::to_string(kReps)},
+        {"warmup_reps", "1"},
+    };
+    std::string text = obs::to_json(obs::snapshot(), meta);
+    if (!obs::json_valid(text)) {
+      std::fprintf(stderr, "stats check failed: emitted JSON is invalid\n");
+      return 1;
+    }
+    obs::write_stats_json(out_path, meta);
   }
-  std::fprintf(out, "{\n  \"field\": {\"dims\": \"%s\", \"bytes\": %.0f},\n",
-               f.dims.to_string().c_str(), bytes);
-  std::fprintf(out, "  \"reps\": %d,\n  \"warmup_reps\": 1,\n", kReps);
-  std::fprintf(out, "  \"entropy_code_bytes\": %.0f,\n", code_bytes);
-  std::fprintf(out, "  \"pool_spawn_us\": {");
-  for (std::size_t i = 0; i < spawn_us.size(); ++i)
-    std::fprintf(out, "%s\"%zu\": %.2f", i ? ", " : "", spawn_us[i].first,
-                 spawn_us[i].second);
-  std::fprintf(out, "},\n  \"runs\": [\n");
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    const Run& r = runs[i];
-    std::fprintf(
-        out,
-        "    {\"threads\": %zu, \"transform_fwd_s\": %.6f, "
-        "\"transform_inv_s\": %.6f, \"transform_fwd_gbs\": %.4f, "
-        "\"transform_inv_gbs\": %.4f, \"szt_compress_s\": %.6f, "
-        "\"szt_decompress_s\": %.6f, \"chunked_compress_s\": %.6f, "
-        "\"chunked_decompress_s\": %.6f, \"chunked_total_s\": %.6f,\n"
-        "     \"stage_predict_s\": %.6f, \"stage_histogram_s\": %.6f, "
-        "\"stage_encode_s\": %.6f, \"stage_entropy_decode_s\": %.6f, "
-        "\"stage_reconstruct_s\": %.6f,\n"
-        "     \"entropy_encode_s\": %.6f, \"entropy_decode_s\": %.6f, "
-        "\"entropy_encode_gbs\": %.4f, \"entropy_decode_gbs\": %.4f}%s\n",
-        r.threads, r.transform_fwd_s, r.transform_inv_s,
-        gbs(bytes, r.transform_fwd_s), gbs(bytes, r.transform_inv_s),
-        r.szt_compress_s, r.szt_decompress_s, r.chunked_compress_s,
-        r.chunked_decompress_s, r.chunked_compress_s + r.chunked_decompress_s,
-        r.stages.predict_s, r.stages.histogram_s, r.stages.encode_s,
-        r.stages.entropy_decode_s, r.stages.reconstruct_s, r.entropy_encode_s,
-        r.entropy_decode_s, gbs(code_bytes, r.entropy_encode_s),
-        gbs(code_bytes, r.entropy_decode_s),
-        i + 1 < runs.size() ? "," : "");
-  }
-  std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
-  return 0;
+  return rc;
 }

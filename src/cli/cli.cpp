@@ -10,6 +10,7 @@
 #include "data/io.h"
 #include "core/temporal.h"
 #include "metrics/metrics.h"
+#include "obs/obs.h"
 #include "parallel/chunked.h"
 #include "store/archive.h"
 
@@ -369,6 +370,10 @@ const char* usage() {
       "                      [--threads N] ARCHIVE OUT\n"
       "  transpwr archive    verify ARCHIVE\n"
       "\n"
+      "Every command also accepts:\n"
+      "  --stats            dump per-stage span times and counters to stderr\n"
+      "  --stats-json PATH  write the same stats as transpwr-stats-v1 JSON\n"
+      "\n"
       "DIMS is Z x Y x X slowest-first, e.g. 512x512x512, 1800x3600, 1000000.\n"
       "SCHEME is one of SZ_T ZFP_T FPZIP SZ_PWR ZFP_P ISABELA SZ_ABS\n"
       "(default SZ_T). BOUND is the pointwise relative error bound\n"
@@ -462,6 +467,10 @@ Args parse_args(const std::vector<std::string>& argv) {
       a.seed = parse_u64(next(), "seed");
     } else if (arg == "-o" || arg == "--output") {
       a.output = next();
+    } else if (arg == "--stats") {
+      a.stats = true;
+    } else if (arg == "--stats-json") {
+      a.stats_json = next();
     } else if (!arg.empty() && arg[0] == '-') {
       throw ParamError("unknown option: " + arg);
     } else {
@@ -528,7 +537,9 @@ Args parse_args(const std::vector<std::string>& argv) {
   return a;
 }
 
-int run(const Args& a) {
+namespace {
+
+int dispatch(const Args& a) {
   if (a.command == "compress")
     return a.dtype == DataType::kFloat32 ? do_compress<float>(a)
                                          : do_compress<double>(a);
@@ -544,6 +555,28 @@ int run(const Args& a) {
   if (a.command == "unseries") return do_unseries(a);
   if (a.command == "archive") return do_archive(a);
   throw ParamError("unknown command: " + a.command);
+}
+
+}  // namespace
+
+int run(const Args& a) {
+  const bool want_stats = a.stats || !a.stats_json.empty();
+  if (!want_stats) return dispatch(a);
+
+  // Record the whole command; recording never changes compressed bytes.
+  obs::ScopedRecording rec;
+  obs::reset();
+  Timer wall;
+  int rc = dispatch(a);
+  obs::gauge_set("cli.wall_s", wall.seconds());
+
+  std::vector<std::pair<std::string, std::string>> meta = {
+      {"command", a.command},
+      {"scheme", scheme_name(a.scheme)},
+  };
+  if (a.stats) obs::print_stats(stderr);
+  if (!a.stats_json.empty()) obs::write_stats_json(a.stats_json, meta);
+  return rc;
 }
 
 int main_entry(int argc, const char* const* argv) {

@@ -35,6 +35,8 @@ struct Args {
   std::string workload;     // gen: hacc|cesm|nyx|hurricane
   std::string field;        // gen: field name within the workload
   std::uint64_t seed = 42;
+  bool stats = false;        // --stats: dump the obs registry to stderr
+  std::string stats_json;    // --stats-json PATH: write the registry as JSON
 };
 
 /// Throws ParamError with a usage-style message on malformed input.

@@ -1,21 +1,19 @@
 #include "common/decode_guard.h"
 
 #include <atomic>
-#include <cstdlib>
 #include <limits>
 #include <string>
 
+#include "common/env.h"
 #include "common/error.h"
+#include "obs/obs.h"
 
 namespace transpwr {
 namespace {
 
 std::size_t default_limit() {
-  if (const char* env = std::getenv("TRANSPWR_MAX_DECODE_BYTES")) {
-    char* end = nullptr;
-    unsigned long long v = std::strtoull(env, &end, 10);
-    if (end != env && v > 0) return static_cast<std::size_t>(v);
-  }
+  if (auto v = env::checked_u64("TRANSPWR_MAX_DECODE_BYTES", {}))
+    return static_cast<std::size_t>(*v);
   return std::size_t{1} << 34;  // 16 GiB
 }
 
@@ -51,12 +49,14 @@ void check_decode_alloc(std::size_t count, std::size_t elem_size,
   const std::size_t limit = max_decode_bytes();
   if (elem_size != 0 &&
       (count > std::numeric_limits<std::size_t>::max() / elem_size ||
-       count * elem_size > limit))
+       count * elem_size > limit)) {
+    obs::counter_add("decode_guard.rejections");
     throw StreamError(std::string(what) + ": declared size " +
                       std::to_string(count) + " x " +
                       std::to_string(elem_size) +
                       " bytes exceeds decode limit (" + std::to_string(limit) +
                       ")");
+  }
 }
 
 std::size_t checked_count(const Dims& dims, const char* what) {
@@ -64,10 +64,12 @@ std::size_t checked_count(const Dims& dims, const char* what) {
   std::size_t n = 1;
   for (int i = 0; i < dims.nd; ++i) {
     std::size_t di = dims[i];
-    if (di != 0 && n > std::numeric_limits<std::size_t>::max() / di)
+    if (di != 0 && n > std::numeric_limits<std::size_t>::max() / di) {
+      obs::counter_add("decode_guard.rejections");
       throw StreamError(std::string(what) +
                         ": element count overflows size_t (dims " +
                         dims.to_string() + ")");
+    }
     n *= di;
   }
   return n;

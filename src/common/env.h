@@ -1,0 +1,105 @@
+#ifndef TRANSPWR_COMMON_ENV_H
+#define TRANSPWR_COMMON_ENV_H
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "obs/obs.h"
+
+namespace transpwr {
+namespace env {
+
+/// Shared checked parser for the TRANSPWR_* environment knobs. The three
+/// historical call sites (TRANSPWR_THREADS, TRANSPWR_MAX_DECODE_BYTES,
+/// TRANSPWR_ENTROPY_BLOCK) each grew a slightly different ad-hoc strtoull
+/// loop — one silently dropped large values, one accepted trailing garbage,
+/// one was strict. This helper gives them one contract:
+///   - unset            -> nullopt (caller default)
+///   - malformed        -> warn once on stderr, count `env.malformed`,
+///                         nullopt (caller default)
+///   - out of range     -> clamp into range when `clamp`, else treated as
+///                         malformed; either way warn once
+/// "Malformed" means anything but a plain full-string unsigned decimal:
+/// empty, signs, trailing garbage, hex, overflow.
+
+struct U64Range {
+  std::uint64_t min = 1;
+  std::uint64_t max = UINT64_MAX;
+  bool clamp = false;
+};
+
+/// Pure full-string unsigned-decimal parser (unit-testable without touching
+/// the process environment). Rejects empty strings, signs, whitespace,
+/// trailing garbage, and values that overflow std::uint64_t.
+inline std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t v = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) return std::nullopt;
+    v = v * 10 + digit;
+  }
+  return v;
+}
+
+namespace detail {
+
+/// Warn at most once per variable name per process.
+inline void warn_once(const char* name, const std::string& message) {
+  static std::mutex mu;
+  static std::set<std::string>* warned = new std::set<std::string>;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!warned->insert(name).second) return;
+  }
+  std::fprintf(stderr, "transpwr: warning: %s\n", message.c_str());
+}
+
+}  // namespace detail
+
+/// Checked getenv: see the file comment for the contract.
+inline std::optional<std::uint64_t> checked_u64(const char* name,
+                                                U64Range range) {
+  const char* raw = std::getenv(name);
+  if (!raw) return std::nullopt;
+  auto parsed = parse_u64(raw);
+  if (!parsed) {
+    obs::counter_add("env.malformed");
+    detail::warn_once(name, std::string("ignoring malformed ") + name + "='" +
+                                raw + "' (expected an unsigned integer); "
+                                "using the built-in default");
+    return std::nullopt;
+  }
+  if (*parsed < range.min || *parsed > range.max) {
+    std::uint64_t clamped =
+        *parsed < range.min ? range.min : range.max;
+    if (range.clamp) {
+      detail::warn_once(
+          name, std::string(name) + "=" + std::string(raw) +
+                    " is outside [" + std::to_string(range.min) + ", " +
+                    std::to_string(range.max) + "]; clamping to " +
+                    std::to_string(clamped));
+      return clamped;
+    }
+    obs::counter_add("env.malformed");
+    detail::warn_once(
+        name, std::string("ignoring out-of-range ") + name + "=" + raw +
+                  " (allowed [" + std::to_string(range.min) + ", " +
+                  std::to_string(range.max) +
+                  "]); using the built-in default");
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+}  // namespace env
+}  // namespace transpwr
+
+#endif  // TRANSPWR_COMMON_ENV_H

@@ -3,21 +3,22 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
-#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/env.h"
+
 namespace transpwr {
 namespace {
 
 std::size_t pool_capacity() {
-  if (const char* env = std::getenv("TRANSPWR_THREADS")) {
-    char* end = nullptr;
-    unsigned long v = std::strtoul(env, &end, 10);
-    if (end != env && v > 0 && v < 4096) return static_cast<std::size_t>(v);
-  }
+  // Historically values >= 4096 were dropped without a word; the checked
+  // parser clamps into range and warns instead.
+  if (auto v = env::checked_u64("TRANSPWR_THREADS",
+                                {.min = 1, .max = 4095, .clamp = true}))
+    return static_cast<std::size_t>(*v);
   unsigned hc = std::thread::hardware_concurrency();
   return std::max<std::size_t>(hc ? hc : 2, 8);
 }

@@ -1,11 +1,13 @@
 #include <array>
 #include <cmath>
+#include <utility>
 
 #include "common/error.h"
 #include "core/compressor.h"
 #include "core/transformed.h"
 #include "fpzip/fpzip.h"
 #include "isabela/isabela.h"
+#include "obs/obs.h"
 #include "sz/sz.h"
 #include "zfp/zfp.h"
 
@@ -191,6 +193,79 @@ constexpr std::array<Scheme, 8> kAllSchemes = {
     Scheme::kSzAbs, Scheme::kSzPwr, Scheme::kSzT,     Scheme::kZfpP,
     Scheme::kZfpT,  Scheme::kFpzip, Scheme::kIsabela, Scheme::kSziT};
 
+/// Decorator around every registered scheme: roots a per-scheme span
+/// ("compress.SZ_T" / "decompress.SZ_T") over each call and feeds the
+/// codec byte counters, so the CLI and harness report uniformly without
+/// each scheme class carrying its own instrumentation.
+class InstrumentedCompressor final : public Compressor {
+ public:
+  explicit InstrumentedCompressor(std::unique_ptr<Compressor> inner)
+      : inner_(std::move(inner)),
+        compress_label_(std::string("compress.") +
+                        scheme_name(inner_->scheme())),
+        decompress_label_(std::string("decompress.") +
+                          scheme_name(inner_->scheme())) {}
+  Scheme scheme() const override { return inner_->scheme(); }
+
+  std::vector<std::uint8_t> compress(std::span<const float> d, Dims dims,
+                                     const CompressorParams& p) override {
+    obs::Span span(compress_label_);
+    auto out = inner_->compress(d, dims, p);
+    note_compressed(d.size_bytes(), out.size());
+    return out;
+  }
+  std::vector<std::uint8_t> compress(std::span<const double> d, Dims dims,
+                                     const CompressorParams& p) override {
+    obs::Span span(compress_label_);
+    auto out = inner_->compress(d, dims, p);
+    note_compressed(d.size_bytes(), out.size());
+    return out;
+  }
+  std::vector<float> decompress_f32(std::span<const std::uint8_t> s,
+                                    Dims* dims) override {
+    obs::Span span(decompress_label_);
+    return inner_->decompress_f32(s, dims);
+  }
+  std::vector<double> decompress_f64(std::span<const std::uint8_t> s,
+                                     Dims* dims) override {
+    obs::Span span(decompress_label_);
+    return inner_->decompress_f64(s, dims);
+  }
+
+ private:
+  static void note_compressed(std::size_t in_bytes, std::size_t out_bytes) {
+    obs::counter_add("codec.bytes_in", in_bytes);
+    obs::counter_add("codec.bytes_out", out_bytes);
+  }
+
+  std::unique_ptr<Compressor> inner_;
+  std::string compress_label_;
+  std::string decompress_label_;
+};
+
+std::unique_ptr<Compressor> make_plain_compressor(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kSzAbs:
+      return std::make_unique<SzCompressor>(sz::Mode::kAbs, Scheme::kSzAbs);
+    case Scheme::kSzPwr:
+      return std::make_unique<SzCompressor>(sz::Mode::kPwrBlock,
+                                            Scheme::kSzPwr);
+    case Scheme::kSzT:
+      return std::make_unique<TransformedCompressor>(InnerCodec::kSz);
+    case Scheme::kZfpP:
+      return std::make_unique<ZfpPrecisionCompressor>();
+    case Scheme::kZfpT:
+      return std::make_unique<TransformedCompressor>(InnerCodec::kZfp);
+    case Scheme::kFpzip:
+      return std::make_unique<FpzipCompressor>();
+    case Scheme::kIsabela:
+      return std::make_unique<IsabelaCompressor>();
+    case Scheme::kSziT:
+      return std::make_unique<TransformedCompressor>(InnerCodec::kSzInterp);
+  }
+  throw ParamError("make_compressor: unknown scheme");
+}
+
 }  // namespace
 
 const char* scheme_name(Scheme s) {
@@ -222,26 +297,8 @@ Scheme scheme_from_name(const std::string& name) {
 }
 
 std::unique_ptr<Compressor> make_compressor(Scheme scheme) {
-  switch (scheme) {
-    case Scheme::kSzAbs:
-      return std::make_unique<SzCompressor>(sz::Mode::kAbs, Scheme::kSzAbs);
-    case Scheme::kSzPwr:
-      return std::make_unique<SzCompressor>(sz::Mode::kPwrBlock,
-                                            Scheme::kSzPwr);
-    case Scheme::kSzT:
-      return std::make_unique<TransformedCompressor>(InnerCodec::kSz);
-    case Scheme::kZfpP:
-      return std::make_unique<ZfpPrecisionCompressor>();
-    case Scheme::kZfpT:
-      return std::make_unique<TransformedCompressor>(InnerCodec::kZfp);
-    case Scheme::kFpzip:
-      return std::make_unique<FpzipCompressor>();
-    case Scheme::kIsabela:
-      return std::make_unique<IsabelaCompressor>();
-    case Scheme::kSziT:
-      return std::make_unique<TransformedCompressor>(InnerCodec::kSzInterp);
-  }
-  throw ParamError("make_compressor: unknown scheme");
+  return std::make_unique<InstrumentedCompressor>(
+      make_plain_compressor(scheme));
 }
 
 std::span<const Scheme> all_schemes() { return kAllSchemes; }

@@ -5,8 +5,8 @@
 #include "common/bitstream.h"
 #include "common/bytestream.h"
 #include "common/error.h"
-#include "common/timer.h"
 #include "lossless/lossless.h"
+#include "obs/obs.h"
 #include "lossless/rle.h"
 #include "sz/interp.h"
 #include "sz/sz.h"
@@ -28,40 +28,46 @@ std::vector<std::uint8_t> transformed_compress(std::span<const T> data,
   if (data.size() != dims.count())
     throw ParamError("transformed: data size does not match dims");
 
+  obs::Span root_span("transformed.compress");
+
   // --- preprocessing: log map + sign compression (Algorithm 1 lines 1-17).
-  Timer pre;
-  TransformResult<T> tr =
-      log_forward<T>(data, p.rel_bound, p.log_base, p.threads);
+  TransformResult<T> tr;
   std::vector<std::uint8_t> sign_bytes;
-  if (!tr.negative.empty()) {
-    BitWriter bw;
-    rle::encode_bits(tr.negative, bw);
-    auto raw = bw.take();
-    sign_bytes = lossless::compress(raw, p.threads);
+  {
+    obs::Span pre_span("pre", times ? &times->pre_seconds : nullptr);
+    tr = log_forward<T>(data, p.rel_bound, p.log_base, p.threads);
+    if (!tr.negative.empty()) {
+      BitWriter bw;
+      rle::encode_bits(tr.negative, bw);
+      auto raw = bw.take();
+      sign_bytes = lossless::compress(raw, p.threads);
+    }
   }
-  double pre_s = pre.seconds();
 
   // --- inner absolute-error-bounded compression (line 18).
   std::vector<std::uint8_t> inner;
-  if (codec == InnerCodec::kSz) {
-    sz::Params sp;
-    sp.mode = sz::Mode::kAbs;
-    sp.bound = tr.adjusted_abs_bound;
-    sp.quant_intervals = p.quant_intervals;
-    sp.threads = p.threads;
-    inner = sz::compress<T>(tr.mapped, dims, sp,
-                            times ? &times->inner : nullptr);
-  } else if (codec == InnerCodec::kSzInterp) {
-    sz_interp::Params ip;
-    ip.bound = tr.adjusted_abs_bound;
-    ip.quant_intervals = p.quant_intervals;
-    ip.threads = p.threads;
-    inner = sz_interp::compress<T>(tr.mapped, dims, ip);
-  } else {
-    zfp::Params zp;
-    zp.mode = zfp::Mode::kAccuracy;
-    zp.tolerance = tr.adjusted_abs_bound;
-    inner = zfp::compress<T>(tr.mapped, dims, zp);
+  {
+    obs::Span inner_span("inner");
+    if (codec == InnerCodec::kSz) {
+      sz::Params sp;
+      sp.mode = sz::Mode::kAbs;
+      sp.bound = tr.adjusted_abs_bound;
+      sp.quant_intervals = p.quant_intervals;
+      sp.threads = p.threads;
+      inner = sz::compress<T>(tr.mapped, dims, sp,
+                              times ? &times->inner : nullptr);
+    } else if (codec == InnerCodec::kSzInterp) {
+      sz_interp::Params ip;
+      ip.bound = tr.adjusted_abs_bound;
+      ip.quant_intervals = p.quant_intervals;
+      ip.threads = p.threads;
+      inner = sz_interp::compress<T>(tr.mapped, dims, ip);
+    } else {
+      zfp::Params zp;
+      zp.mode = zfp::Mode::kAccuracy;
+      zp.tolerance = tr.adjusted_abs_bound;
+      inner = zfp::compress<T>(tr.mapped, dims, zp);
+    }
   }
 
   ByteWriter out;
@@ -74,8 +80,6 @@ std::vector<std::uint8_t> transformed_compress(std::span<const T> data,
   out.put(tr.zero_threshold);
   out.put_sized(sign_bytes);
   out.put_sized(inner);
-
-  if (times) times->pre_seconds = pre_s;
   return out.take();
 }
 
@@ -83,6 +87,7 @@ template <typename T>
 std::vector<T> transformed_decompress(std::span<const std::uint8_t> stream,
                                       Dims* dims_out, StageTimes* times,
                                       std::size_t threads) {
+  obs::Span root_span("transformed.decompress");
   ByteReader in(stream);
   if (in.get<std::uint32_t>() != kMagic)
     throw StreamError("transformed: bad magic");
@@ -106,26 +111,27 @@ std::vector<T> transformed_decompress(std::span<const std::uint8_t> stream,
 
   Dims dims;
   std::vector<T> mapped;
-  if (codec == InnerCodec::kSz)
-    mapped = sz::decompress<T>(inner, &dims, threads,
-                               times ? &times->inner : nullptr);
-  else if (codec == InnerCodec::kSzInterp)
-    mapped = sz_interp::decompress<T>(inner, &dims, threads);
-  else
-    mapped = zfp::decompress<T>(inner, &dims);
+  {
+    obs::Span inner_span("inner");
+    if (codec == InnerCodec::kSz)
+      mapped = sz::decompress<T>(inner, &dims, threads,
+                                 times ? &times->inner : nullptr);
+    else if (codec == InnerCodec::kSzInterp)
+      mapped = sz_interp::decompress<T>(inner, &dims, threads);
+    else
+      mapped = zfp::decompress<T>(inner, &dims);
+  }
   if (dims_out) *dims_out = dims;
 
   // --- postprocessing: sign decompression + inverse map.
-  Timer post;
+  obs::Span post_span("post", times ? &times->post_seconds : nullptr);
   Bitmap negative;
   if (has_signs) {
     auto raw = lossless::decompress(sign_bytes, threads);
     BitReader br(raw);
     negative = rle::decode_bits(br);
   }
-  auto out = log_inverse<T>(mapped, negative, base, zero_threshold, threads);
-  if (times) times->post_seconds = post.seconds();
-  return out;
+  return log_inverse<T>(mapped, negative, base, zero_threshold, threads);
 }
 
 template std::vector<std::uint8_t> transformed_compress<float>(

@@ -13,6 +13,7 @@
 #include "common/numeric.h"
 #include "lossless/huffman.h"
 #include "lossless/range_coder.h"
+#include "obs/obs.h"
 
 namespace transpwr {
 namespace fpzip {
@@ -171,6 +172,7 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims dims,
   dims.validate();
   if (data.size() != dims.count())
     throw ParamError("fpzip: data size does not match dims");
+  obs::Span compress_span("fpzip.compress");
 
   using Bits = typename Traits<T>::Bits;
   Geometry g(dims);
@@ -251,6 +253,7 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims dims,
 template <typename T>
 std::vector<T> decompress(std::span<const std::uint8_t> stream,
                           Dims* dims_out) {
+  obs::Span decompress_span("fpzip.decompress");
   ByteReader in(stream);
   if (in.get<std::uint32_t>() != kMagic) throw StreamError("fpzip: bad magic");
   auto dtype = static_cast<DataType>(in.get<std::uint8_t>());

@@ -13,6 +13,7 @@
 #include "common/numeric.h"
 #include "lossless/huffman.h"
 #include "lossless/lossless.h"
+#include "obs/obs.h"
 
 namespace transpwr {
 namespace isabela {
@@ -77,6 +78,7 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims dims,
   dims.validate();
   if (data.size() != dims.count())
     throw ParamError("isabela: data size does not match dims");
+  obs::Span compress_span("isabela.compress");
 
   const std::size_t n = data.size();
   const std::size_t W = params.window;
@@ -177,6 +179,7 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims dims,
 template <typename T>
 std::vector<T> decompress(std::span<const std::uint8_t> stream,
                           Dims* dims_out) {
+  obs::Span decompress_span("isabela.decompress");
   ByteReader in(stream);
   if (in.get<std::uint32_t>() != kMagic)
     throw StreamError("isabela: bad magic");

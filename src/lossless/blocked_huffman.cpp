@@ -7,10 +7,11 @@
 #include "common/bitstream.h"
 #include "common/bytestream.h"
 #include "common/decode_guard.h"
+#include "common/env.h"
 #include "common/error.h"
 #include "common/parallel.h"
-#include "common/timer.h"
 #include "lossless/huffman.h"
+#include "obs/obs.h"
 
 namespace transpwr {
 namespace lossless {
@@ -26,13 +27,10 @@ std::size_t block_count_for(std::size_t count, std::size_t block) {
 
 std::size_t entropy_block_symbols() {
   static const std::size_t cached = [] {
-    if (const char* env = std::getenv("TRANSPWR_ENTROPY_BLOCK")) {
-      char* end = nullptr;
-      long long v = std::strtoll(env, &end, 10);
-      if (end != env && *end == '\0' && v > 0)
-        return std::clamp<std::size_t>(static_cast<std::size_t>(v), 4096,
-                                       std::size_t{1} << 24);
-    }
+    if (auto v = env::checked_u64(
+            "TRANSPWR_ENTROPY_BLOCK",
+            {.min = 4096, .max = std::size_t{1} << 24, .clamp = true}))
+      return static_cast<std::size_t>(*v);
     return std::size_t{1} << 17;
   }();
   return cached;
@@ -45,43 +43,47 @@ std::vector<std::uint8_t> blocked_encode(std::span<const std::uint32_t> symbols,
   const std::size_t block = entropy_block_symbols();
   const std::size_t nblocks = block_count_for(symbols.size(), block);
 
-  Timer hist_timer;
   HuffmanCoder huff;
-  huff.build_from(symbols, alphabet, threads);
-  BitWriter table_bw;
-  huff.write_table(table_bw);
-  std::vector<std::uint8_t> table = table_bw.take();
-  if (stats) stats->histogram_s = hist_timer.seconds();
-
-  Timer enc_timer;
-  std::vector<std::vector<std::uint8_t>> subs(nblocks);
-  ParallelOptions opts;
-  opts.max_threads = threads;
-  opts.grain = 1;
-  parallel_for(
-      nblocks,
-      [&](std::size_t begin, std::size_t end) {
-        for (std::size_t b = begin; b < end; ++b) {
-          BitWriter bw;
-          huff.encode_all(
-              symbols.subspan(b * block,
-                              std::min(block, symbols.size() - b * block)),
-              bw);
-          subs[b] = bw.take();
-        }
-      },
-      opts);
+  std::vector<std::uint8_t> table;
+  {
+    obs::Span hist_span("histogram", stats ? &stats->histogram_s : nullptr);
+    huff.build_from(symbols, alphabet, threads);
+    BitWriter table_bw;
+    huff.write_table(table_bw);
+    table = table_bw.take();
+  }
+  obs::counter_add("entropy.table_builds");
 
   ByteWriter out;
-  out.put(kMagic);
-  out.put(static_cast<std::uint64_t>(symbols.size()));
-  out.put(alphabet);
-  out.put(static_cast<std::uint32_t>(block));
-  out.put(static_cast<std::uint32_t>(nblocks));
-  out.put_sized(table);
-  for (const auto& s : subs) out.put(static_cast<std::uint64_t>(s.size()));
-  for (const auto& s : subs) out.put_bytes(s);
-  if (stats) stats->encode_s = enc_timer.seconds();
+  {
+    obs::Span enc_span("encode", stats ? &stats->encode_s : nullptr);
+    std::vector<std::vector<std::uint8_t>> subs(nblocks);
+    ParallelOptions opts;
+    opts.max_threads = threads;
+    opts.grain = 1;
+    parallel_for(
+        nblocks,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t b = begin; b < end; ++b) {
+            BitWriter bw;
+            huff.encode_all(
+                symbols.subspan(b * block,
+                                std::min(block, symbols.size() - b * block)),
+                bw);
+            subs[b] = bw.take();
+          }
+        },
+        opts);
+
+    out.put(kMagic);
+    out.put(static_cast<std::uint64_t>(symbols.size()));
+    out.put(alphabet);
+    out.put(static_cast<std::uint32_t>(block));
+    out.put(static_cast<std::uint32_t>(nblocks));
+    out.put_sized(table);
+    for (const auto& s : subs) out.put(static_cast<std::uint64_t>(s.size()));
+    for (const auto& s : subs) out.put_bytes(s);
+  }
   return out.take();
 }
 

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/error.h"
+#include "obs/obs.h"
 
 namespace transpwr {
 namespace {
@@ -52,11 +53,19 @@ ErrorStats compute_impl(std::span<const T> orig, std::span<const T> dec) {
   s.avg_abs = sum_abs / n;
   s.avg_rel = rel_count ? sum_rel / static_cast<double>(rel_count) : 0.0;
 
+  // PSNR peak: the value range when the field has one, else the magnitude
+  // of the (constant) value — a constant-but-distorted field must not fall
+  // into the "perfect" +inf branch. A distorted all-zero field has no
+  // meaningful peak at all and reports -inf; +inf is reserved for mse == 0.
   double range = vmax - vmin;
   double mse = sum_sq / n;
-  s.psnr = mse > 0 && range > 0
-               ? 20.0 * std::log10(range) - 10.0 * std::log10(mse)
-               : std::numeric_limits<double>::infinity();
+  if (mse > 0) {
+    double peak = range > 0 ? range : std::max(std::abs(vmin), std::abs(vmax));
+    s.psnr = peak > 0 ? 20.0 * std::log10(peak) - 10.0 * std::log10(mse)
+                      : -std::numeric_limits<double>::infinity();
+  } else {
+    s.psnr = std::numeric_limits<double>::infinity();
+  }
   double rel_mse =
       rel_count ? sum_rel_sq / static_cast<double>(rel_count) : 0.0;
   s.rel_psnr = rel_mse > 0 ? -10.0 * std::log10(rel_mse)
@@ -123,10 +132,20 @@ AngleSkew angle_skew(std::span<const float> vx, std::span<const float> vy,
     double na = std::sqrt(ax * ax + ay * ay + az * az);
     double nb = std::sqrt(bx * bx + by * by + bz * bz);
     double theta = 0.0;
-    if (na > 0 && nb > 0) {
+    if (std::isnan(na) || std::isnan(nb)) {
+      // A NaN component failed both the na > 0 && nb > 0 and na != nb tests
+      // and used to score as 0° skew; count it as fully skewed instead.
+      theta = 90.0;
+      ++out.nan_vectors;
+    } else if (na > 0 && nb > 0) {
       double c = (ax * bx + ay * by + az * bz) / (na * nb);
-      c = std::clamp(c, -1.0, 1.0);
-      theta = std::acos(c) * kRadToDeg;
+      if (std::isnan(c)) {  // inf norms: inf/inf
+        theta = 90.0;
+        ++out.nan_vectors;
+      } else {
+        c = std::clamp(c, -1.0, 1.0);
+        theta = std::acos(c) * kRadToDeg;
+      }
     } else if (na != nb) {
       theta = 90.0;  // one vector vanished entirely
     }
@@ -141,6 +160,7 @@ AngleSkew angle_skew(std::span<const float> vx, std::span<const float> vy,
   for (std::size_t b = 0; b < num_blocks; ++b)
     if (block_n[b]) out.block_mean_deg[b] /= static_cast<double>(block_n[b]);
   out.overall_mean_deg = n ? sum / static_cast<double>(n) : 0.0;
+  if (out.nan_vectors) obs::counter_add("metrics.nan_vectors", out.nan_vectors);
   return out;
 }
 

@@ -17,7 +17,10 @@ struct ErrorStats {
   double avg_abs = 0;       ///< mean |x - xd|
   double max_rel = 0;       ///< max |x - xd| / |x| over x != 0
   double avg_rel = 0;       ///< mean pointwise relative error over x != 0
-  double psnr = 0;          ///< classic PSNR w.r.t. original value range
+  /// Classic PSNR w.r.t. the original value range; constant fields use
+  /// |value| as the peak, a distorted all-zero field is -inf, and +inf
+  /// appears only for mse == 0 (never when max_abs > 0).
+  double psnr = 0;
   double rel_psnr = 0;      ///< PSNR of relative errors, value range := 1
   std::size_t modified_zeros = 0;  ///< points where x == 0 but xd != 0
   std::size_t count = 0;
@@ -53,6 +56,10 @@ struct AngleSkew {
   std::vector<double> block_mean_deg;
   double overall_mean_deg = 0;
   double overall_max_deg = 0;
+  /// Vectors whose skew is undefined (NaN components or inf norms); they
+  /// score as 90° and are also surfaced through the `metrics.nan_vectors`
+  /// obs counter.
+  std::size_t nan_vectors = 0;
 };
 AngleSkew angle_skew(std::span<const float> vx, std::span<const float> vy,
                      std::span<const float> vz, std::span<const float> dx,

@@ -9,6 +9,7 @@
 #include "common/decode_guard.h"
 #include "common/error.h"
 #include "common/parallel.h"
+#include "obs/obs.h"
 
 namespace transpwr {
 namespace chunked {
@@ -116,6 +117,8 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims dims,
   dims.validate();
   if (data.size() != dims.count())
     throw ParamError("chunked: data size does not match dims");
+  obs::Span root_span("chunked.compress");
+  obs::counter_add("chunked.bytes_in", data.size_bytes());
 
   const std::size_t threads = resolve_threads(params.threads);
   const std::size_t chunks =
@@ -140,15 +143,19 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims dims,
       },
       slab_options(threads));
 
+  obs::counter_add("chunked.slabs", slabs.size());
   std::vector<std::uint64_t> slab_rows;
   slab_rows.reserve(slabs.size());
   for (const auto& s : slabs) slab_rows.push_back(s.row_count);
-  return write_container<T>(dims, params.scheme, slab_rows, streams);
+  auto container = write_container<T>(dims, params.scheme, slab_rows, streams);
+  obs::counter_add("chunked.bytes_out", container.size());
+  return container;
 }
 
 template <typename T>
 std::vector<T> decompress(std::span<const std::uint8_t> stream,
                           Dims* dims_out, std::size_t threads) {
+  obs::Span root_span("chunked.decompress");
   ByteReader in(stream);
   if (in.get<std::uint32_t>() != kMagic)
     throw StreamError("chunked: bad magic");
@@ -219,6 +226,7 @@ template <typename T>
 std::vector<T> decompress_rows(std::span<const std::uint8_t> stream,
                                std::size_t row_begin, std::size_t row_end,
                                Dims* roi_dims_out, std::size_t threads) {
+  obs::Span root_span("chunked.decompress_rows");
   ByteReader in(stream);
   if (in.get<std::uint32_t>() != kMagic)
     throw StreamError("chunked: bad magic");

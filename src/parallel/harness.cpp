@@ -11,8 +11,8 @@
 
 #include "common/error.h"
 #include "common/parallel.h"
-#include "common/timer.h"
 #include "data/io.h"
+#include "obs/obs.h"
 #include "store/archive.h"
 
 namespace transpwr {
@@ -96,9 +96,12 @@ RunResult run(const RunConfig& cfg, const std::vector<Field<float>>& shards) {
 
       // --- dump: compress, then write (own file, or one shared archive).
       sync.arrive_and_wait();
-      Timer tc;
-      auto stream = comp->compress(shard.span(), shard.dims, cfg.params);
-      t.compress_s = tc.seconds();
+      std::vector<std::uint8_t> stream;
+      {
+        obs::Span sc("harness.compress");
+        stream = comp->compress(shard.span(), shard.dims, cfg.params);
+        t.compress_s = sc.seconds();
+      }
       t.compressed_bytes = stream.size();
 
       if (shared) streams[rank] = std::move(stream);
@@ -109,7 +112,7 @@ RunResult run(const RunConfig& cfg, const std::vector<Field<float>>& shards) {
         // rank's bandwidth share. The other ranks idle (their write_s
         // stays 0; the reported phase time is the max over ranks).
         if (rank == 0) {
-          Timer tw;
+          obs::Span sw("harness.write");
           std::size_t total = 0;
           {
             store::ArchiveWriter writer(archive_path);
@@ -122,17 +125,17 @@ RunResult run(const RunConfig& cfg, const std::vector<Field<float>>& shards) {
             }
             writer.finish();
           }
-          t.write_s = throttle_io(tw.seconds(), total, cfg.pfs_mbps_per_rank);
+          t.write_s = throttle_io(sw.seconds(), total, cfg.pfs_mbps_per_rank);
           for (auto& s : streams) {
             s.clear();
             s.shrink_to_fit();
           }
         }
       } else {
-        Timer tw;
+        obs::Span sw("harness.write");
         io::write_bytes(rank_path(cfg.dir, tag, rank), stream);
         t.write_s =
-            throttle_io(tw.seconds(), stream.size(), cfg.pfs_mbps_per_rank);
+            throttle_io(sw.seconds(), stream.size(), cfg.pfs_mbps_per_rank);
       }
 
       // --- load: read own file / seek into the shared archive, then
@@ -141,7 +144,7 @@ RunResult run(const RunConfig& cfg, const std::vector<Field<float>>& shards) {
       sync.arrive_and_wait();
       std::vector<std::uint8_t> loaded;
       {
-        Timer tr;
+        obs::Span sr("harness.read");
         if (shared) {
           store::ArchiveReader reader(archive_path);
           loaded = reader.read_chunk_bytes(rank_dataset(rank), 0);
@@ -149,13 +152,16 @@ RunResult run(const RunConfig& cfg, const std::vector<Field<float>>& shards) {
           loaded = io::read_bytes(rank_path(cfg.dir, tag, rank));
         }
         t.read_s =
-            throttle_io(tr.seconds(), loaded.size(), cfg.pfs_mbps_per_rank);
+            throttle_io(sr.seconds(), loaded.size(), cfg.pfs_mbps_per_rank);
       }
 
       sync.arrive_and_wait();
-      Timer td;
-      auto decomp = comp->decompress_f32(loaded);
-      t.decompress_s = td.seconds();
+      std::vector<float> decomp;
+      {
+        obs::Span sd("harness.decompress");
+        decomp = comp->decompress_f32(loaded);
+        t.decompress_s = sd.seconds();
+      }
 
       if (decomp.size() != shard.values.size()) t.ok = false;
       if (t.ok && cfg.verify_rel_bound > 0) {
@@ -226,14 +232,16 @@ RunResult run_raw_baseline(std::size_t ranks, const std::string& dir,
       const Field<float>& shard = shards[rank % shards.size()];
       RankTimes& t = times[rank];
       sync.arrive_and_wait();
-      Timer tw;
-      io::write_floats(rank_path(dir, tag, rank), shard.span());
-      t.write_s = throttle_io(tw.seconds(), shard.bytes(),
-                              pfs_mbps_per_rank);
+      {
+        obs::Span sw("harness.write");
+        io::write_floats(rank_path(dir, tag, rank), shard.span());
+        t.write_s = throttle_io(sw.seconds(), shard.bytes(),
+                                pfs_mbps_per_rank);
+      }
       sync.arrive_and_wait();
-      Timer tr;
+      obs::Span sr("harness.read");
       auto loaded = io::read_floats(rank_path(dir, tag, rank));
-      t.read_s = throttle_io(tr.seconds(), loaded.size() * sizeof(float),
+      t.read_s = throttle_io(sr.seconds(), loaded.size() * sizeof(float),
                              pfs_mbps_per_rank);
       t.compressed_bytes = loaded.size() * sizeof(float);
       if (loaded.size() != shard.values.size()) t.ok = false;

@@ -10,6 +10,7 @@
 #include "common/decode_guard.h"
 #include "common/error.h"
 #include "common/parallel.h"
+#include "obs/obs.h"
 
 namespace transpwr {
 namespace store {
@@ -199,6 +200,7 @@ void ArchiveWriter::add_dataset(const std::string& name,
   dims.validate();
   if (data.size() != dims.count())
     throw ParamError("archive: data size does not match dims");
+  obs::Span root_span("archive.add_dataset");
 
   const std::size_t rows = dims[0];
   const std::size_t row_elems = dims.count() / rows;
@@ -270,6 +272,8 @@ void ArchiveWriter::add_dataset(const std::string& name,
       write_err = std::current_exception();
       continue;
     }
+    obs::counter_add("archive.chunks_written");
+    obs::counter_add("archive.bytes_written", c.size);
     info.chunks.push_back(c);
   }
   if (err || write_err) {
@@ -314,6 +318,7 @@ void ArchiveWriter::add_compressed(const std::string& name, DataType dtype,
 
 void ArchiveWriter::finish() {
   require_usable("finish");
+  obs::Span root_span("archive.finish");
   auto footer = serialize_footer(directory_);
   ByteWriter trailer;
   trailer.put(fnv1a64(footer));
@@ -436,10 +441,13 @@ std::vector<std::uint8_t> ArchiveReader::read_chunk_bytes(
     throw ParamError("archive: chunk index out of range for " + name);
   const ChunkInfo& c = ds.chunks[chunk];
   auto bytes = read_at(c.offset, c.size, "chunk");
-  if (fnv1a64(bytes) != c.checksum)
+  if (fnv1a64(bytes) != c.checksum) {
+    obs::counter_add("archive.checksum_mismatches");
     throw StreamError("archive: dataset " + name + " chunk " +
                       std::to_string(chunk) +
                       " checksum mismatch (corrupt archive)");
+  }
+  obs::counter_add("archive.chunks_read");
   return bytes;
 }
 
@@ -473,6 +481,7 @@ std::vector<T> decode_chunk(const DatasetInfo& ds, std::size_t chunk,
 template <typename T>
 std::vector<T> ArchiveReader::load(const std::string& name, Dims* dims_out,
                                    std::size_t threads) {
+  obs::Span root_span("archive.load");
   const DatasetInfo& ds = dataset(name);
   if (ds.dtype != data_type_of<T>())
     throw StreamError("archive: dataset " + name +
@@ -529,6 +538,7 @@ std::vector<T> ArchiveReader::read_rows(const std::string& name,
                                         std::size_t row_end,
                                         Dims* roi_dims_out,
                                         std::size_t threads) {
+  obs::Span root_span("archive.read_rows");
   const DatasetInfo& ds = dataset(name);
   if (ds.dtype != data_type_of<T>())
     throw StreamError("archive: dataset " + name +
@@ -582,14 +592,17 @@ std::vector<T> ArchiveReader::read_rows(const std::string& name,
 }
 
 void ArchiveReader::verify() {
+  obs::Span root_span("archive.verify");
   for (const auto& ds : directory_) {
     for (std::size_t i = 0; i < ds.chunks.size(); ++i) {
       const ChunkInfo& c = ds.chunks[i];
       auto bytes = read_at(c.offset, c.size, "chunk");
-      if (fnv1a64(bytes) != c.checksum)
+      if (fnv1a64(bytes) != c.checksum) {
+        obs::counter_add("archive.checksum_mismatches");
         throw StreamError("archive: dataset " + ds.name + " chunk " +
                           std::to_string(i) +
                           " checksum mismatch (corrupt archive)");
+      }
     }
   }
 }

@@ -12,6 +12,7 @@
 #include "lossless/blocked_huffman.h"
 #include "lossless/huffman.h"
 #include "lossless/lossless.h"
+#include "obs/obs.h"
 #include "sz/outlier_coding.h"
 
 namespace transpwr {
@@ -117,6 +118,7 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims dims,
   validate(params, dims);
   if (data.size() != dims.count())
     throw ParamError("sz_interp: data size does not match dims");
+  obs::Span compress_span("sz_interp.compress");
 
   Grid g(dims);
   const std::uint32_t radius = params.quant_intervals / 2;
@@ -171,6 +173,7 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims dims,
 template <typename T>
 std::vector<T> decompress(std::span<const std::uint8_t> stream,
                           Dims* dims_out, std::size_t threads) {
+  obs::Span decompress_span("sz_interp.decompress");
   ByteReader in(stream);
   if (in.get<std::uint32_t>() != kMagic)
     throw StreamError("sz_interp: bad magic");

@@ -10,10 +10,10 @@
 #include "common/decode_guard.h"
 #include "common/error.h"
 #include "common/numeric.h"
-#include "common/timer.h"
 #include "lossless/blocked_huffman.h"
 #include "lossless/huffman.h"
 #include "lossless/lossless.h"
+#include "obs/obs.h"
 #include "sz/outlier_coding.h"
 
 namespace transpwr {
@@ -322,6 +322,7 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims dims,
   validate(params, dims);
   if (data.size() != dims.count())
     throw ParamError("sz: data size does not match dims");
+  obs::Span compress_span("sz.compress");
 
   Params p = params;
   if (p.mode == Mode::kPwrBlock && p.block_edge == 0)
@@ -345,7 +346,8 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims dims,
   const std::size_t ny = dims.nd >= 2 ? dims[dims.nd - 2] : 1;
   const std::size_t nx = dims[dims.nd - 1];
 
-  Timer predict_timer;
+  {
+  obs::Span predict_span("predict", stats ? &stats->predict_s : nullptr);
   std::size_t idx = 0;
   for (std::size_t z = 0; z < nz; ++z)
     for (std::size_t y = 0; y < ny; ++y)
@@ -379,21 +381,24 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims dims,
         outliers.push_back(data[idx]);
         recon[idx] = data[idx];
       }
-
-  if (stats) stats->predict_s = predict_timer.seconds();
+  }
+  obs::counter_add("sz.outliers", outliers.size());
 
   // Entropy stage: block-parallel Huffman over the quantization codes (the
   // v2 container), then optionally LZ over the coded bytes.
   lossless::BlockedStats bstats;
-  Timer encode_timer;
-  std::vector<std::uint8_t> coded =
-      lossless::blocked_encode(codes, p.quant_intervals, p.threads, &bstats);
+  std::vector<std::uint8_t> coded;
   std::uint8_t codes_format = kCodesBlocked;
-  if (sz_detail::maybe_lz(coded, p.lz_stage, p.threads))
-    codes_format |= kCodesLz;
-  if (stats) {
-    stats->histogram_s = bstats.histogram_s;
-    stats->encode_s = encode_timer.seconds() - bstats.histogram_s;
+  {
+    obs::Span entropy_span("entropy_encode");
+    coded =
+        lossless::blocked_encode(codes, p.quant_intervals, p.threads, &bstats);
+    if (sz_detail::maybe_lz(coded, p.lz_stage, p.threads))
+      codes_format |= kCodesLz;
+    if (stats) {
+      stats->histogram_s = bstats.histogram_s;
+      stats->encode_s = entropy_span.seconds() - bstats.histogram_s;
+    }
   }
 
   ByteWriter out;
@@ -435,6 +440,7 @@ template <typename T>
 std::vector<T> decompress(std::span<const std::uint8_t> stream,
                           Dims* dims_out, std::size_t threads,
                           StageStats* stats) {
+  obs::Span decompress_span("sz.decompress");
   ByteReader in(stream);
   if (in.get<std::uint32_t>() != kMagic)
     throw StreamError("sz: bad magic");
@@ -518,22 +524,24 @@ std::vector<T> decompress(std::span<const std::uint8_t> stream,
   // reconstruction allocation.
   if (n > coded_span.size() * 8)
     throw StreamError("sz: dims exceed coded stream capacity");
-  Timer entropy_timer;
   BitReader br(coded_span);
   HuffmanCoder huff;
   std::vector<std::uint32_t> decoded_codes;
-  if (blocked) {
-    // v2: fan the entropy blocks out in parallel up front; the
-    // reconstruction sweep below then reads plain indices.
-    decoded_codes = lossless::blocked_decode(coded_span, threads);
-    if (decoded_codes.size() != n)
-      throw StreamError("sz: blocked code count does not match dims");
-  } else {
-    huff.read_table(br);
+  {
+    obs::Span entropy_span("entropy_decode",
+                           stats ? &stats->entropy_decode_s : nullptr);
+    if (blocked) {
+      // v2: fan the entropy blocks out in parallel up front; the
+      // reconstruction sweep below then reads plain indices.
+      decoded_codes = lossless::blocked_decode(coded_span, threads);
+      if (decoded_codes.size() != n)
+        throw StreamError("sz: blocked code count does not match dims");
+    } else {
+      huff.read_table(br);
+    }
   }
-  if (stats) stats->entropy_decode_s = entropy_timer.seconds();
 
-  Timer recon_timer;
+  obs::Span recon_span("reconstruct", stats ? &stats->reconstruct_s : nullptr);
   const std::uint32_t radius = intervals / 2;
   std::vector<T> recon(n);
   const std::size_t nz = dims.nd == 3 ? dims[0] : 1;
@@ -568,7 +576,6 @@ std::vector<T> decompress(std::span<const std::uint8_t> stream,
       }
   if (outlier_next != outliers.size())
     throw StreamError("sz: trailing outliers in stream");
-  if (stats) stats->reconstruct_s = recon_timer.seconds();
   return recon;
 }
 

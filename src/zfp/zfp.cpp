@@ -11,6 +11,7 @@
 #include "common/decode_guard.h"
 #include "common/error.h"
 #include "common/numeric.h"
+#include "obs/obs.h"
 
 namespace transpwr {
 namespace zfp {
@@ -370,6 +371,7 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims dims,
   validate<T>(params, dims);
   if (data.size() != dims.count())
     throw ParamError("zfp: data size does not match dims");
+  obs::Span compress_span("zfp.compress");
 
   using Int = typename Traits<T>::Int;
   using UInt = typename Traits<T>::UInt;
@@ -476,6 +478,7 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims dims,
 template <typename T>
 std::vector<T> decompress(std::span<const std::uint8_t> stream,
                           Dims* dims_out) {
+  obs::Span decompress_span("zfp.decompress");
   ByteReader in(stream);
   if (in.get<std::uint32_t>() != kMagic) throw StreamError("zfp: bad magic");
   auto dtype = static_cast<DataType>(in.get<std::uint8_t>());

@@ -7,7 +7,9 @@
 #include <string>
 
 #include "common/error.h"
+#include "core/compressor.h"
 #include "data/io.h"
+#include "obs/obs.h"
 
 namespace transpwr {
 namespace {
@@ -263,6 +265,83 @@ TEST(CliEndToEnd, ArchiveCreateLsExtractVerify) {
     ASSERT_EQ(roi_vals[i], dec[4 * 144 + i]);
 
   for (const auto& p : {vx, vy, packed, out, roi}) std::remove(p.c_str());
+}
+
+TEST(CliParse, StatsFlags) {
+  auto a = cli::parse_args({"compress", "-d", "10", "--stats", "i", "o"});
+  EXPECT_TRUE(a.stats);
+  EXPECT_TRUE(a.stats_json.empty());
+  auto b = cli::parse_args({"compress", "-d", "10", "--stats-json",
+                            "stats.json", "i", "o"});
+  EXPECT_FALSE(b.stats);
+  EXPECT_EQ(b.stats_json, "stats.json");
+  EXPECT_THROW(cli::parse_args({"compress", "-d", "10", "--stats-json"}),
+               ParamError);  // missing path
+  // Defaults stay off.
+  auto d = cli::parse_args({"info", "x.tpz"});
+  EXPECT_FALSE(d.stats);
+  EXPECT_TRUE(d.stats_json.empty());
+}
+
+TEST(CliEndToEnd, StatsJsonEmitsPerStageSpansForEveryScheme) {
+  std::string raw = tmp("stats_field.bin");
+  ASSERT_EQ(cli::run(cli::parse_args({"gen", "-w", "nyx", "-d", "12x12x12",
+                                      "--seed", "9", "-o", raw})),
+            0);
+
+  for (Scheme scheme : all_schemes()) {
+    const std::string name = scheme_name(scheme);
+    std::string packed = tmp("stats_" + name + ".tpz");
+    std::string json_path = tmp("stats_" + name + ".json");
+    auto c = cli::parse_args({"compress", "-s", name, "-b", "1e-2", "-d",
+                              "12x12x12", "--stats-json", json_path, raw,
+                              packed});
+    ASSERT_EQ(cli::run(c), 0) << name;
+
+    std::string text;
+    {
+      auto bytes = io::read_bytes(json_path);
+      text.assign(bytes.begin(), bytes.end());
+    }
+    EXPECT_TRUE(obs::json_valid(text)) << name;
+    EXPECT_NE(text.find("\"schema\": \"transpwr-stats-v1\""),
+              std::string::npos)
+        << name;
+    // The registry decorator wraps every registered scheme, so each run
+    // must carry a per-scheme compress span (nested under the chunked
+    // pipeline when the slab runs on the calling thread) and the codec
+    // byte counters.
+    EXPECT_NE(text.find("compress." + name + "\""), std::string::npos)
+        << name;
+    EXPECT_NE(text.find("\"codec.bytes_in\""), std::string::npos) << name;
+    EXPECT_NE(text.find("\"cli.wall_s\""), std::string::npos) << name;
+    EXPECT_NE(text.find("\"scheme\": \"" + name + "\""), std::string::npos)
+        << name;
+
+    std::remove(packed.c_str());
+    std::remove(json_path.c_str());
+  }
+  std::remove(raw.c_str());
+}
+
+TEST(CliEndToEnd, StatsRunProducesIdenticalCompressedBytes) {
+  std::string raw = tmp("stats_identical.bin");
+  ASSERT_EQ(cli::run(cli::parse_args({"gen", "-w", "nyx", "-d", "12x12x12",
+                                      "--seed", "11", "-o", raw})),
+            0);
+  std::string plain = tmp("stats_plain.tpz");
+  std::string stats = tmp("stats_on.tpz");
+  std::string json_path = tmp("stats_identical.json");
+  ASSERT_EQ(cli::run(cli::parse_args({"compress", "-b", "1e-2", "-d",
+                                      "12x12x12", raw, plain})),
+            0);
+  ASSERT_EQ(cli::run(cli::parse_args({"compress", "-b", "1e-2", "-d",
+                                      "12x12x12", "--stats-json", json_path,
+                                      raw, stats})),
+            0);
+  EXPECT_EQ(io::read_bytes(plain), io::read_bytes(stats));
+  for (const auto& p : {raw, plain, stats, json_path})
+    std::remove(p.c_str());
 }
 
 TEST(CliEndToEnd, InfoRejectsGarbage) {

@@ -1,0 +1,127 @@
+#include "common/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace transpwr {
+namespace {
+
+TEST(ParseU64, AcceptTable) {
+  struct Case {
+    const char* text;
+    std::uint64_t value;
+  };
+  const Case cases[] = {
+      {"0", 0},
+      {"1", 1},
+      {"42", 42},
+      {"007", 7},  // leading zeros are just decimal digits
+      {"4294967296", 4294967296ull},
+      {"18446744073709551615", UINT64_MAX},
+  };
+  for (const Case& c : cases) {
+    auto got = env::parse_u64(c.text);
+    ASSERT_TRUE(got.has_value()) << c.text;
+    EXPECT_EQ(*got, c.value) << c.text;
+  }
+}
+
+TEST(ParseU64, RejectTable) {
+  const char* cases[] = {
+      "",                      // empty
+      " 1",                    // leading whitespace
+      "1 ",                    // trailing whitespace
+      "+1",                    // explicit sign
+      "-1",                    // negative
+      "12x",                   // trailing garbage
+      "x12",                   // leading garbage
+      "0x10",                  // hex
+      "1e3",                   // exponent
+      "3.5",                   // fraction
+      "18446744073709551616",  // UINT64_MAX + 1
+      "99999999999999999999",  // way past overflow
+  };
+  for (const char* c : cases)
+    EXPECT_FALSE(env::parse_u64(c).has_value()) << "'" << c << "'";
+}
+
+/// checked_u64 goes through getenv, so each case uses its own variable name
+/// — the warn-once set would otherwise swallow later warnings, and the
+/// value cache in some libcs could alias entries.
+class CheckedEnvTest : public ::testing::Test {
+ protected:
+  std::string var(const char* suffix) {
+    return std::string("TRANSPWR_ENV_TEST_") + suffix;
+  }
+  void set(const std::string& name, const char* value) {
+    ASSERT_EQ(::setenv(name.c_str(), value, 1), 0);
+  }
+  void TearDown() override { obs::set_enabled(false); }
+};
+
+TEST_F(CheckedEnvTest, UnsetYieldsNullopt) {
+  EXPECT_EQ(env::checked_u64("TRANSPWR_ENV_TEST_NEVER_SET", {}),
+            std::nullopt);
+}
+
+TEST_F(CheckedEnvTest, ValidValuePasses) {
+  auto name = var("VALID");
+  set(name, "17");
+  EXPECT_EQ(env::checked_u64(name.c_str(), {.min = 1, .max = 100}), 17u);
+}
+
+TEST_F(CheckedEnvTest, MalformedFallsBackAndCounts) {
+  obs::ScopedRecording rec;
+  obs::reset();
+  auto name = var("MALFORMED");
+  set(name, "8 threads");
+  EXPECT_EQ(env::checked_u64(name.c_str(), {}), std::nullopt);
+  EXPECT_EQ(obs::counter_value("env.malformed"), 1u);
+}
+
+TEST_F(CheckedEnvTest, OverflowFallsBack) {
+  auto name = var("OVERFLOW");
+  set(name, "99999999999999999999");
+  EXPECT_EQ(env::checked_u64(name.c_str(), {}), std::nullopt);
+}
+
+TEST_F(CheckedEnvTest, OutOfRangeClampsWhenAsked) {
+  auto low = var("CLAMP_LOW");
+  set(low, "0");
+  EXPECT_EQ(env::checked_u64(low.c_str(),
+                             {.min = 4, .max = 64, .clamp = true}),
+            4u);
+  auto high = var("CLAMP_HIGH");
+  set(high, "1000");
+  EXPECT_EQ(env::checked_u64(high.c_str(),
+                             {.min = 4, .max = 64, .clamp = true}),
+            64u);
+}
+
+TEST_F(CheckedEnvTest, OutOfRangeWithoutClampFallsBackAndCounts) {
+  obs::ScopedRecording rec;
+  obs::reset();
+  auto name = var("STRICT_RANGE");
+  set(name, "1000");
+  EXPECT_EQ(env::checked_u64(name.c_str(),
+                             {.min = 4, .max = 64, .clamp = false}),
+            std::nullopt);
+  EXPECT_EQ(obs::counter_value("env.malformed"), 1u);
+}
+
+TEST_F(CheckedEnvTest, WarnsAtMostOncePerVariable) {
+  // No crash / no second warning on repeat lookups; the value still falls
+  // back every time.
+  auto name = var("REPEAT");
+  set(name, "not-a-number");
+  EXPECT_EQ(env::checked_u64(name.c_str(), {}), std::nullopt);
+  EXPECT_EQ(env::checked_u64(name.c_str(), {}), std::nullopt);
+}
+
+}  // namespace
+}  // namespace transpwr

@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "obs/obs.h"
 
 namespace transpwr {
 namespace {
@@ -58,6 +60,41 @@ TEST(ErrorStats, PsnrMatchesHandComputation) {
   EXPECT_NEAR(s.psnr, expected, 1e-4);
 }
 
+// Regression: a constant-but-nonzero field has value range 0, and the old
+// PSNR formula divided by that range — reporting +inf "perfect" quality for
+// a visibly distorted reconstruction. The fix falls back to |value| as the
+// peak, so PSNR must come out finite whenever max_abs > 0.
+TEST(ErrorStats, ConstantDistortedFieldHasFinitePsnr) {
+  std::vector<float> orig(64, 5.0f);
+  std::vector<float> dec(64, 5.0f);
+  dec[3] = 5.5f;
+  dec[40] = 4.5f;
+  auto s = compute_error_stats(orig, dec);
+  EXPECT_GT(s.max_abs, 0.0);
+  EXPECT_TRUE(std::isfinite(s.psnr)) << "psnr = " << s.psnr;
+  // peak = |5|, mse = 2 * 0.25 / 64
+  double expected =
+      20.0 * std::log10(5.0) - 10.0 * std::log10(2.0 * 0.25 / 64.0);
+  EXPECT_NEAR(s.psnr, expected, 1e-6);
+}
+
+TEST(ErrorStats, ConstantUndistortedFieldIsPlusInfPsnr) {
+  std::vector<float> orig(16, 5.0f);
+  auto s = compute_error_stats(orig, orig);
+  EXPECT_TRUE(std::isinf(s.psnr));
+  EXPECT_GT(s.psnr, 0.0);
+}
+
+TEST(ErrorStats, AllZeroDistortedFieldIsMinusInfPsnr) {
+  // Peak is genuinely 0 here; any distortion means -inf, never +inf.
+  std::vector<float> orig(16, 0.0f);
+  std::vector<float> dec(16, 0.0f);
+  dec[7] = 1e-3f;
+  auto s = compute_error_stats(orig, dec);
+  EXPECT_TRUE(std::isinf(s.psnr));
+  EXPECT_LT(s.psnr, 0.0);
+}
+
 TEST(ErrorStats, SizeMismatchThrows) {
   std::vector<float> a = {1.0f};
   std::vector<float> b = {1.0f, 2.0f};
@@ -107,6 +144,34 @@ TEST(AngleSkewTest, VanishedVectorCounts90) {
   std::vector<float> zero = {0.0f};
   std::vector<std::uint32_t> blocks = {0};
   auto s = angle_skew(vx, vy, vz, zero, zero, zero, blocks, 1);
+  EXPECT_EQ(s.overall_max_deg, 90.0);
+}
+
+// Regression: a NaN component used to propagate NaN through the dot
+// product, and `NaN > best` comparisons silently scored the vector as a
+// perfect 0° match. Undefined skew must pessimize to 90° and be counted.
+TEST(AngleSkewTest, NanComponentScoresNinetyAndCounts) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  std::vector<float> vx = {1.0f, 1.0f}, vy = {0.0f, 0.0f}, vz = {0.0f, 0.0f};
+  std::vector<float> dx = {nan, 1.0f}, dy = {0.0f, 0.0f}, dz = {0.0f, 0.0f};
+  std::vector<std::uint32_t> blocks = {0, 0};
+  obs::ScopedRecording rec;
+  obs::reset();
+  auto s = angle_skew(vx, vy, vz, dx, dy, dz, blocks, 1);
+  EXPECT_EQ(s.nan_vectors, 1u);
+  EXPECT_NEAR(s.block_mean_deg[0], 45.0, 1e-9);  // (90 + 0) / 2
+  EXPECT_EQ(s.overall_max_deg, 90.0);
+  EXPECT_EQ(obs::counter_value("metrics.nan_vectors"), 1u);
+}
+
+TEST(AngleSkewTest, InfiniteNormScoresNinetyAndCounts) {
+  // inf/inf in the cosine is NaN even though neither norm is NaN.
+  const float inf = std::numeric_limits<float>::infinity();
+  std::vector<float> vx = {inf}, vy = {0.0f}, vz = {0.0f};
+  std::vector<float> dx = {inf}, dy = {0.0f}, dz = {0.0f};
+  std::vector<std::uint32_t> blocks = {0};
+  auto s = angle_skew(vx, vy, vz, dx, dy, dz, blocks, 1);
+  EXPECT_EQ(s.nan_vectors, 1u);
   EXPECT_EQ(s.overall_max_deg, 90.0);
 }
 

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.h"
 #include "testing/conformance.h"
 #include "testing/corpus.h"
 
@@ -102,8 +103,20 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    // Record throughout the run so a failing report can show how often the
+    // decode guards and checksum paths actually fired.
+    obs::ScopedRecording rec;
+    obs::reset();
     ConformanceReport report = run_conformance(config);
     std::cout << report.table();
+    if (!report.ok()) {
+      std::cerr << "conformance: decode-guard rejections: "
+                << obs::counter_value("decode_guard.rejections")
+                << ", archive checksum mismatches: "
+                << obs::counter_value("archive.checksum_mismatches")
+                << ", env parse failures: "
+                << obs::counter_value("env.malformed") << "\n";
+    }
     return report.ok() ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "conformance: " << e.what() << "\n";
