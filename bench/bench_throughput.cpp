@@ -1,13 +1,14 @@
 // Throughput trajectory bench: transform-only, SZ_T end-to-end (with
-// per-stage breakdown), chunked end-to-end, and the standalone block-parallel
-// entropy stage at 1/2/4/8 threads on a >= 64 MB field. Emits
-// machine-readable BENCH_PR5.json through the obs stats registry so future
-// PRs can diff against this PR's numbers (BENCH_PR3.json carries the
-// pre-registry layout), and self-checks that the per-stage span times are
-// consistent with the measured wall time.
+// per-stage breakdown), chunked end-to-end, the standalone block-parallel
+// entropy stage at 1/2/4/8 threads on a >= 64 MB field, and per-kernel
+// microbenches of the PR6 vectorized kernel layer. Emits machine-readable
+// BENCH_PR6.json through the obs stats registry so future PRs can diff
+// against this PR's numbers (BENCH_PR3.json carries the pre-registry
+// layout), and self-checks that the per-stage span times are consistent
+// with the measured wall time and that every kernel reports a nonzero rate.
 //
 // Usage: bench_throughput [out.json] [edge]
-//   out.json  output path (default BENCH_PR5.json)
+//   out.json  output path (default BENCH_PR6.json)
 //   edge      cubic field edge length (default 256 => 64 MB of float32)
 #include <algorithm>
 #include <cstdio>
@@ -23,6 +24,9 @@
 #include "core/log_transform.h"
 #include "core/transformed.h"
 #include "data/generators.h"
+#include "kernels/dispatch.h"
+#include "kernels/log_batch.h"
+#include "kernels/zfp_lift.h"
 #include "lossless/blocked_huffman.h"
 #include "obs/obs.h"
 #include "parallel/chunked.h"
@@ -72,11 +76,21 @@ struct Run {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_PR5.json";
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_PR6.json";
   const std::size_t edge =
       argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 256;
 
   bench::print_header("Throughput: transform / SZ_T / chunked / entropy");
+
+  // Pre-spawn the shared pool before anything timed: the global pool's
+  // workers are created lazily on first parallel_for, and in BENCH_PR3 that
+  // one-time spawn landed inside a timed transform rep (the anomalous
+  // 4-thread transform_fwd_gbs dip). One throwaway full-width region eats
+  // the cost here, so timed reps measure kernels, not thread creation.
+  parallel_for(
+      std::size_t{1} << 22, [](std::size_t, std::size_t) {},
+      ParallelOptions{});
+
   auto f = gen::nyx_dark_matter_density(Dims(edge, edge, edge), 42);
   const double bytes = static_cast<double>(f.bytes());
   std::printf("field: %s = %.1f MB\n", f.dims.to_string().c_str(),
@@ -171,6 +185,55 @@ int main(int argc, char** argv) {
                 spawn_us.back().second);
   }
 
+  // --- per-kernel rates (single-threaded): raw throughput of the PR6
+  // kernel layer under the active dispatch, independent of pipeline
+  // plumbing. predict_quant and huff_decode come from the t=1 pipeline
+  // stages (those stages run exactly the kernels over the whole field);
+  // the log and zfp kernels are timed directly on resident buffers.
+  struct KernelRates {
+    double log_fwd_gbs = 0, log_inv_gbs = 0, predict_quant_gbs = 0,
+           huff_decode_gbs = 0, zfp_lift_gbs = 0;
+  } kr;
+  {
+    const std::size_t kn =
+        std::min<std::size_t>(f.values.size(), std::size_t{1} << 22);
+    std::vector<double> kin(kn), kout(kn);
+    for (std::size_t i = 0; i < kn; ++i)
+      kin[i] = std::abs(static_cast<double>(f.values[i])) + 1e-30;
+    const double kbytes = static_cast<double>(kn) * sizeof(double);
+    kr.log_fwd_gbs = gbs(kbytes, best_seconds([&] {
+                           kernels::log2_scaled_batch(kin.data(), kout.data(),
+                                                      kn, 1.0);
+                         }));
+    kr.log_inv_gbs = gbs(kbytes, best_seconds([&] {
+                           kernels::exp2_scaled_batch(kout.data(), kin.data(),
+                                                      kn, 1.0);
+                         }));
+    kr.predict_quant_gbs = gbs(bytes, runs[0].stages.predict_s);
+    kr.huff_decode_gbs = gbs(code_bytes, runs[0].entropy_decode_s);
+
+    // Forward block transform over 4 MB of 3-D int32 blocks, coefficients
+    // within the intprec-2 bits valid encodes produce.
+    const std::size_t nblocks = std::size_t{1} << 14;
+    std::vector<std::int32_t> blocks(nblocks * 64);
+    std::mt19937_64 krng(7);
+    for (auto& v : blocks)
+      v = static_cast<std::int32_t>(
+              static_cast<std::uint32_t>(krng()) >> 2) -
+          (std::int32_t{1} << 29);
+    kr.zfp_lift_gbs =
+        gbs(static_cast<double>(blocks.size()) * sizeof(std::int32_t),
+            best_seconds([&] {
+              for (std::size_t b = 0; b < nblocks; ++b)
+                kernels::zfp_fwd_xform_block(blocks.data() + 64 * b, 3);
+            }));
+    std::printf(
+        "kernels (%s): log_fwd %.2f GB/s  log_inv %.2f GB/s  "
+        "predict_quant %.2f GB/s  huff_decode %.2f GB/s  zfp_lift %.2f GB/s\n",
+        kernels::name(kernels::active()), kr.log_fwd_gbs, kr.log_inv_gbs,
+        kr.predict_quant_gbs, kr.huff_decode_gbs, kr.zfp_lift_gbs);
+  }
+
   // --- stats consistency rep: one single-threaded SZ_T round trip with the
   // registry recording, then check the per-stage spans against the walls.
   // A stage accounting that drifts more than 10% from the measured wall
@@ -263,11 +326,30 @@ int main(int argc, char** argv) {
     obs::gauge_set("entropy_code_bytes", code_bytes);
     obs::gauge_set("field_bytes", bytes);
 
+    // Per-kernel rates; bench-smoke asserts every kernel reports a nonzero
+    // rate, so a silently-disabled kernel path fails the suite.
+    const std::pair<const char*, double> kernel_rates[] = {
+        {"kernel.log_fwd_gbs", kr.log_fwd_gbs},
+        {"kernel.log_inv_gbs", kr.log_inv_gbs},
+        {"kernel.predict_quant_gbs", kr.predict_quant_gbs},
+        {"kernel.huff_decode_gbs", kr.huff_decode_gbs},
+        {"kernel.zfp_lift_gbs", kr.zfp_lift_gbs},
+    };
+    for (const auto& [name, rate] : kernel_rates) {
+      obs::gauge_set(name, rate);
+      if (!(rate > 0)) {
+        std::fprintf(stderr, "kernel rate check failed: %s = %f\n", name,
+                     rate);
+        rc = 1;
+      }
+    }
+
     const std::vector<std::pair<std::string, std::string>> meta = {
         {"bench", "throughput"},
         {"field_dims", f.dims.to_string()},
         {"reps", std::to_string(kReps)},
         {"warmup_reps", "1"},
+        {"kernels", kernels::name(kernels::active())},
     };
     std::string text = obs::to_json(obs::snapshot(), meta);
     if (!obs::json_valid(text)) {

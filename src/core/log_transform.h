@@ -3,12 +3,34 @@
 
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "common/bitmap.h"
 #include "common/types.h"
 
 namespace transpwr {
+
+/// Which exp kernel log_inverse uses to leave the log domain.
+///
+/// Version-0 streams (and all double payloads) were produced against libm;
+/// decoding them with a different exponential would change reconstructed
+/// bits, so containers record the writer's kernel version in their header
+/// and pick the matching path here. kAuto resolves to the payload type's
+/// current writer kernel (fast for float, libm for double).
+enum class LogExpPath : std::uint8_t {
+  kAuto = 0,
+  kLegacyLibm = 1,  ///< LogKernel / libm — decodes version-0 streams
+  kFastKernel = 2,  ///< kernels::fast_exp2 — float payloads only
+};
+
+/// Log-kernel stream-format version a writer stamps for payload type T:
+/// 0 = libm LogKernel (still the double-payload path), 1 = the polynomial
+/// kernels::fast_log2/fast_exp2 pair (float payloads).
+template <typename T>
+constexpr std::uint8_t log_kernel_version() {
+  return std::is_same_v<T, float> ? 1 : 0;
+}
 
 /// The paper's transformation scheme (Sec. III).
 ///
@@ -46,7 +68,8 @@ TransformResult<T> log_forward(std::span<const T> data, double rel_bound,
 template <typename T>
 std::vector<T> log_inverse(std::span<const T> mapped, const Bitmap& negative,
                            double base, double zero_threshold,
-                           std::size_t threads = 0);
+                           std::size_t threads = 0,
+                           LogExpPath path = LogExpPath::kAuto);
 
 /// The error-bound mapping g of Theorem 2 (without the round-off guard):
 /// b_a = log_base(1 + b_r).

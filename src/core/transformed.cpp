@@ -75,7 +75,10 @@ std::vector<std::uint8_t> transformed_compress(std::span<const T> data,
   out.put(static_cast<std::uint8_t>(data_type_of<T>()));
   out.put(static_cast<std::uint8_t>(codec));
   out.put(static_cast<std::uint8_t>(tr.negative.empty() ? 0 : 1));
-  out.put(std::uint8_t{0});
+  // The byte that was reserved (always 0) through v1 now records which log
+  // kernel produced the mapped payload, so the decoder can exponentiate
+  // with the exact inverse: 0 = libm LogKernel, 1 = kernels::fast_*.
+  out.put(log_kernel_version<T>());
   out.put(p.log_base);
   out.put(tr.zero_threshold);
   out.put_sized(sign_bytes);
@@ -99,7 +102,9 @@ std::vector<T> transformed_decompress(std::span<const std::uint8_t> stream,
     throw StreamError("transformed: unknown inner codec byte");
   auto codec = static_cast<InnerCodec>(codec_byte);
   bool has_signs = in.get<std::uint8_t>() != 0;
-  in.get<std::uint8_t>();
+  std::uint8_t log_kernel = in.get<std::uint8_t>();
+  if (log_kernel > 1)
+    throw StreamError("transformed: unknown log kernel version");
   double base = in.get<double>();
   double zero_threshold = in.get<double>();
   // The base feeds the inverse exponential; the encoder only ever writes
@@ -131,7 +136,9 @@ std::vector<T> transformed_decompress(std::span<const std::uint8_t> stream,
     BitReader br(raw);
     negative = rle::decode_bits(br);
   }
-  return log_inverse<T>(mapped, negative, base, zero_threshold, threads);
+  return log_inverse<T>(mapped, negative, base, zero_threshold, threads,
+                        log_kernel == 1 ? LogExpPath::kFastKernel
+                                        : LogExpPath::kLegacyLibm);
 }
 
 template std::vector<std::uint8_t> transformed_compress<float>(

@@ -1,0 +1,47 @@
+#include "kernels/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/env.h"
+
+namespace transpwr {
+namespace kernels {
+namespace {
+
+// -1 = no override; otherwise the Dispatch value forced by tests.
+std::atomic<int> g_override{-1};
+
+Dispatch from_env() {
+  const char* raw = std::getenv("TRANSPWR_KERNELS");
+  if (!raw) return Dispatch::kNative;
+  if (std::strcmp(raw, "generic") == 0) return Dispatch::kGeneric;
+  if (std::strcmp(raw, "native") == 0) return Dispatch::kNative;
+  env::detail::warn_once("TRANSPWR_KERNELS",
+                         std::string("ignoring TRANSPWR_KERNELS='") + raw +
+                             "' (expected generic|native); using native");
+  return Dispatch::kNative;
+}
+
+}  // namespace
+
+Dispatch active() {
+  int o = g_override.load(std::memory_order_relaxed);
+  if (o >= 0) return static_cast<Dispatch>(o);
+  static const Dispatch env_choice = from_env();
+  return env_choice;
+}
+
+const char* name(Dispatch d) {
+  return d == Dispatch::kGeneric ? "generic" : "native";
+}
+
+void set_for_testing(Dispatch d) {
+  g_override.store(static_cast<int>(d), std::memory_order_relaxed);
+}
+
+void clear_for_testing() { g_override.store(-1, std::memory_order_relaxed); }
+
+}  // namespace kernels
+}  // namespace transpwr

@@ -1,0 +1,36 @@
+// Runtime selection between the two implementations every hot-path kernel
+// ships: kGeneric (straight reference loops) and kNative (unrolled /
+// cache-blocked / branch-free variants tuned for wide pipelines). Both run
+// the same per-element arithmetic in the same order, so the choice NEVER
+// changes produced bytes — only throughput. tests/kernels enforces that.
+#ifndef TRANSPWR_KERNELS_DISPATCH_H_
+#define TRANSPWR_KERNELS_DISPATCH_H_
+
+namespace transpwr {
+namespace kernels {
+
+enum class Dispatch { kGeneric = 0, kNative = 1 };
+
+// Process-wide choice: TRANSPWR_KERNELS=generic|native (default native;
+// unrecognized values warn once and fall back to the default). The env var
+// is read once, on first use.
+Dispatch active();
+
+const char* name(Dispatch d);
+
+// Test-only override, takes precedence over the environment.
+void set_for_testing(Dispatch d);
+void clear_for_testing();
+
+class ScopedDispatch {
+ public:
+  explicit ScopedDispatch(Dispatch d) { set_for_testing(d); }
+  ~ScopedDispatch() { clear_for_testing(); }
+  ScopedDispatch(const ScopedDispatch&) = delete;
+  ScopedDispatch& operator=(const ScopedDispatch&) = delete;
+};
+
+}  // namespace kernels
+}  // namespace transpwr
+
+#endif  // TRANSPWR_KERNELS_DISPATCH_H_

@@ -1,0 +1,142 @@
+// Scalar building blocks for the hot-path kernels: a polynomial log2/exp2
+// pair accurate to a few 1e-16 relative (used by the float-payload log
+// transform, stream-format log-kernel version 1), and an inline exact
+// replacement for std::llround over the quantizer's domain.
+//
+// Everything here is branch-free (or select-based) double arithmetic plus
+// integer bit manipulation, so the batch loops built on top of it
+// auto-vectorize under the baseline SSE2 target and wider under
+// TRANSPWR_NATIVE. No libm calls, no FP-environment dependence beyond the
+// default round-to-nearest-even mode; with contraction disabled build-wide
+// (-ffp-contract=off) results are bit-identical across compilers, ISAs and
+// unrolling choices.
+#ifndef TRANSPWR_KERNELS_FASTMATH_H_
+#define TRANSPWR_KERNELS_FASTMATH_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace transpwr {
+namespace kernels {
+
+// Accuracy contract (see docs/tuning.md "Kernel layer"): both functions stay
+// within ~4e-16 *relative* error — relative to the result for fast_log2
+// (the sqrt(2) split keeps the reduced exponent 0 near x = 1, so there is
+// no cancellation against the polynomial term), relative to the true 2^v
+// for fast_exp2. The Lemma 2 guard (max|log| * eps0_float) and bound shrink
+// (8 * eps0_float) in the float transform budget ~6e-8 and ~9.5e-7 for
+// these errors respectively, so the kernels sit three decades inside it.
+// Double payloads keep the libm LogKernel: their eps0 is 2^-52 and a
+// polynomial of this degree cannot undercut a correctly-rounded libm.
+
+// log2(x) for finite positive x (subnormals included). Exact on powers of
+// two and at x = 1. Garbage-in-garbage-out (but well-defined) for
+// non-positive / non-finite inputs; the forward transform feeds |x| or a
+// dummy 1.0 and rejects non-finite fields after the pass.
+inline double fast_log2(double x) {
+  constexpr std::uint64_t kMantMask = 0x000fffffffffffffULL;
+  constexpr std::uint64_t kOneBits = 0x3ff0000000000000ULL;
+  constexpr double kSqrt2 = 0x1.6a09e667f3bcdp+0;  // nearest double to sqrt 2
+
+  std::uint64_t bits = std::bit_cast<std::uint64_t>(x);
+  // Subnormals: renormalize with an exact 2^64 scale so the exponent field
+  // is usable. Select-based so the loop stays vectorizable.
+  const bool subnormal = (bits & 0x7ff0000000000000ULL) == 0;
+  const double xn = subnormal ? x * 0x1p64 : x;
+  bits = std::bit_cast<std::uint64_t>(xn);
+  std::int64_t e = static_cast<std::int64_t>(bits >> 52) - 1023 -
+                   (subnormal ? 64 : 0);
+  double m = std::bit_cast<double>((bits & kMantMask) | kOneBits);
+  // Reduce m into [sqrt2/2, sqrt2): e != 0 then implies |log2 x| >= 0.5, so
+  // adding the exponent never cancels the polynomial term and the result
+  // stays accurate relative to its own magnitude all the way into x -> 1.
+  const bool high = m >= kSqrt2;
+  m = high ? m * 0.5 : m;
+  e += high ? 1 : 0;
+
+  // log2(m) = (2/ln2) * atanh(s) with s = (m-1)/(m+1), |s| <= 0.1716.
+  // Ten odd terms put the series truncation near 2e-17 relative.
+  const double s = (m - 1.0) / (m + 1.0);
+  const double u = s * s;
+  double p = 1.0 / 19.0;
+  p = p * u + 1.0 / 17.0;
+  p = p * u + 1.0 / 15.0;
+  p = p * u + 1.0 / 13.0;
+  p = p * u + 1.0 / 11.0;
+  p = p * u + 1.0 / 9.0;
+  p = p * u + 1.0 / 7.0;
+  p = p * u + 1.0 / 5.0;
+  p = p * u + 1.0 / 3.0;
+  p = p * u + 1.0;
+  constexpr double kTwoOverLn2 = 0x1.71547652b82fep+1;
+  return static_cast<double>(e) + s * kTwoOverLn2 * p;
+}
+
+// 2^v for any double: NaN propagates, +/-inf and out-of-range magnitudes
+// saturate to +inf / 0 through the final scaling, subnormal results come
+// out via gradual underflow. Exact for integer v. Defined for arbitrary
+// input because the inverse transform runs it on attacker-controlled
+// (corrupt-stream) payloads.
+inline double fast_exp2(double v) {
+  const bool nan_in = v != v;
+  double vc = nan_in ? 0.0 : v;
+  // Clamp so the integer split below never casts an out-of-range double
+  // (UB). 2^-1075 underflows to 0 and 2^1025 overflows to inf anyway, so
+  // saturation preserves the limit values.
+  vc = vc < -1075.0 ? -1075.0 : vc;
+  vc = vc > 1025.0 ? 1025.0 : vc;
+
+  // Round-to-nearest-even integer split via the 1.5*2^52 shifter (exact for
+  // |vc| < 2^51, SSE2-friendly: no nearbyint libm call). f = vc - n is
+  // exact: either n == 0, or vc and n are within a factor of two
+  // (Sterbenz).
+  constexpr double kShifter = 0x1.8p52;
+  const double nd = (vc + kShifter) - kShifter;
+  const std::int64_t n = static_cast<std::int64_t>(nd);
+  const double f = vc - nd;  // in [-0.5, 0.5]
+
+  // 2^f = e^{f ln2}: degree-12 Taylor, truncation ~2.4e-16 relative at the
+  // |f| = 0.5 edge.
+  constexpr double kLn2 = 0x1.62e42fefa39efp-1;
+  const double t = f * kLn2;
+  double p = 1.0 / 479001600.0;
+  p = p * t + 1.0 / 39916800.0;
+  p = p * t + 1.0 / 3628800.0;
+  p = p * t + 1.0 / 362880.0;
+  p = p * t + 1.0 / 40320.0;
+  p = p * t + 1.0 / 5040.0;
+  p = p * t + 1.0 / 720.0;
+  p = p * t + 1.0 / 120.0;
+  p = p * t + 1.0 / 24.0;
+  p = p * t + 1.0 / 6.0;
+  p = p * t + 1.0 / 2.0;
+  p = p * t + 1.0;
+  p = p * t + 1.0;
+
+  // Scale by 2^n in two exact half-exponent factors so every n in
+  // [-1075, 1025] stays inside the normal exponent range of each factor;
+  // the final product handles gradual underflow / overflow in hardware.
+  const std::int64_t n1 = n >> 1;  // floor halves: n1 + n2 == n
+  const std::int64_t n2 = n - n1;
+  const double s1 = std::bit_cast<double>(
+      static_cast<std::uint64_t>(n1 + 1023) << 52);
+  const double s2 = std::bit_cast<double>(
+      static_cast<std::uint64_t>(n2 + 1023) << 52);
+  const double r = (p * s1) * s2;
+  return nan_in ? v : r;
+}
+
+// Exactly std::llround(x) — round to nearest, ties away from zero — for
+// |x| < 2^52, without the libm call that dominates the quantizer's
+// dependency chain. The decomposition x = i + frac is exact: (double)i is
+// exact below 2^52 and the subtraction is Sterbenz (or i == 0).
+inline std::int64_t llround_exact(double x) {
+  const std::int64_t i = static_cast<std::int64_t>(x);  // trunc toward zero
+  const double frac = x - static_cast<double>(i);
+  return i + (frac >= 0.5 ? 1 : 0) - (frac <= -0.5 ? 1 : 0);
+}
+
+}  // namespace kernels
+}  // namespace transpwr
+
+#endif  // TRANSPWR_KERNELS_FASTMATH_H_

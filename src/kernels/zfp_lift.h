@@ -1,0 +1,162 @@
+// ZFP block-transform kernels: the 4-point lift butterflies unrolled over
+// whole 4/16/64-element blocks, and the int<->negabinary map batched over a
+// block. All arithmetic is exact integer arithmetic, and the lifts within
+// one pass touch disjoint lanes, so the restructured (SoA) passes are
+// bit-identical to applying the scalar lift line by line — the native
+// dispatch just arranges the independent lanes contiguously so the
+// compiler vectorizes them.
+#ifndef TRANSPWR_KERNELS_ZFP_LIFT_H_
+#define TRANSPWR_KERNELS_ZFP_LIFT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace transpwr {
+namespace kernels {
+
+// ZFP's non-orthogonal forward 4-point lift over p[0], p[s], p[2s], p[3s].
+template <typename Int>
+inline void zfp_fwd_lift4(Int* p, std::size_t s) {
+  Int x = p[0 * s], y = p[1 * s], z = p[2 * s], w = p[3 * s];
+  x += w; x >>= 1; w -= x;
+  z += y; z >>= 1; y -= z;
+  x += z; x >>= 1; z -= x;
+  w += y; w >>= 1; y -= w;
+  w += y >> 1; y -= w >> 1;
+  p[0 * s] = x; p[1 * s] = y; p[2 * s] = z; p[3 * s] = w;
+}
+
+// Inverse lift; additive steps run in the unsigned domain so corrupt-stream
+// coefficients wrap instead of hitting signed-overflow UB. Valid streams
+// stay within intprec-2 bits, where wrapping and signed arithmetic agree.
+template <typename Int>
+inline void zfp_inv_lift4(Int* p, std::size_t s) {
+  using U = std::make_unsigned_t<Int>;
+  auto add = [](Int a, Int b) {
+    return static_cast<Int>(static_cast<U>(a) + static_cast<U>(b));
+  };
+  auto sub = [](Int a, Int b) {
+    return static_cast<Int>(static_cast<U>(a) - static_cast<U>(b));
+  };
+  auto shl1 = [](Int a) {
+    return static_cast<Int>(static_cast<U>(a) << 1);
+  };
+  Int x = p[0 * s], y = p[1 * s], z = p[2 * s], w = p[3 * s];
+  y = add(y, w >> 1); w = sub(w, y >> 1);
+  y = add(y, w); w = shl1(w); w = sub(w, y);
+  z = add(z, x); x = shl1(x); x = sub(x, z);
+  y = add(y, z); z = shl1(z); z = sub(z, y);
+  w = add(w, x); x = shl1(x); x = sub(x, w);
+  p[0 * s] = x; p[1 * s] = y; p[2 * s] = z; p[3 * s] = w;
+}
+
+namespace zfp_detail {
+
+// One strided pass applied to `lanes` adjacent lifts at once: lift i runs
+// over b[i], b[i+stride], b[i+2*stride], b[i+3*stride]. The lanes are
+// independent, so the i-loop vectorizes.
+template <typename Int>
+inline void fwd_pass(Int* b, std::size_t lanes, std::size_t stride) {
+  for (std::size_t i = 0; i < lanes; ++i) {
+    Int x = b[i], y = b[i + stride], z = b[i + 2 * stride],
+        w = b[i + 3 * stride];
+    x += w; x >>= 1; w -= x;
+    z += y; z >>= 1; y -= z;
+    x += z; x >>= 1; z -= x;
+    w += y; w >>= 1; y -= w;
+    w += y >> 1; y -= w >> 1;
+    b[i] = x; b[i + stride] = y; b[i + 2 * stride] = z;
+    b[i + 3 * stride] = w;
+  }
+}
+
+template <typename Int>
+inline void inv_pass(Int* b, std::size_t lanes, std::size_t stride) {
+  using U = std::make_unsigned_t<Int>;
+  auto add = [](Int a, Int c) {
+    return static_cast<Int>(static_cast<U>(a) + static_cast<U>(c));
+  };
+  auto sub = [](Int a, Int c) {
+    return static_cast<Int>(static_cast<U>(a) - static_cast<U>(c));
+  };
+  auto shl1 = [](Int a) {
+    return static_cast<Int>(static_cast<U>(a) << 1);
+  };
+  for (std::size_t i = 0; i < lanes; ++i) {
+    Int x = b[i], y = b[i + stride], z = b[i + 2 * stride],
+        w = b[i + 3 * stride];
+    y = add(y, w >> 1); w = sub(w, y >> 1);
+    y = add(y, w); w = shl1(w); w = sub(w, y);
+    z = add(z, x); x = shl1(x); x = sub(x, z);
+    y = add(y, z); z = shl1(z); z = sub(z, y);
+    w = add(w, x); x = shl1(x); x = sub(x, w);
+    b[i] = x; b[i + stride] = y; b[i + 2 * stride] = z;
+    b[i + 3 * stride] = w;
+  }
+}
+
+}  // namespace zfp_detail
+
+// Whole-block forward transform (4^nd elements): row lifts stay strided,
+// column/slab passes run lane-parallel across each plane.
+template <typename Int>
+inline void zfp_fwd_xform_block(Int* b, int nd) {
+  switch (nd) {
+    case 1:
+      zfp_fwd_lift4(b, 1);
+      break;
+    case 2:
+      for (int y = 0; y < 4; ++y) zfp_fwd_lift4(b + 4 * y, 1);
+      zfp_detail::fwd_pass(b, 4, 4);
+      break;
+    default:
+      for (int z = 0; z < 4; ++z)
+        for (int y = 0; y < 4; ++y) zfp_fwd_lift4(b + 16 * z + 4 * y, 1);
+      for (int z = 0; z < 4; ++z) zfp_detail::fwd_pass(b + 16 * z, 4, 4);
+      zfp_detail::fwd_pass(b, 16, 16);
+      break;
+  }
+}
+
+template <typename Int>
+inline void zfp_inv_xform_block(Int* b, int nd) {
+  switch (nd) {
+    case 1:
+      zfp_inv_lift4(b, 1);
+      break;
+    case 2:
+      zfp_detail::inv_pass(b, 4, 4);
+      for (int y = 0; y < 4; ++y) zfp_inv_lift4(b + 4 * y, 1);
+      break;
+    default:
+      zfp_detail::inv_pass(b, 16, 16);
+      for (int z = 0; z < 4; ++z) zfp_detail::inv_pass(b + 16 * z, 4, 4);
+      for (int z = 0; z < 4; ++z)
+        for (int y = 0; y < 4; ++y) zfp_inv_lift4(b + 16 * z + 4 * y, 1);
+      break;
+  }
+}
+
+// Batched negabinary maps over a whole block, fused with the coefficient
+// permutation gather/scatter the codec applies around them.
+template <typename Int, typename UInt>
+inline void zfp_int2uint_gather(const Int* in, UInt* out,
+                                const std::uint8_t* perm, unsigned n,
+                                UInt nbmask) {
+  for (unsigned i = 0; i < n; ++i)
+    out[i] = (static_cast<UInt>(in[perm[i]]) + nbmask) ^ nbmask;
+}
+
+template <typename Int, typename UInt>
+inline void zfp_uint2int_scatter(const UInt* in, Int* out,
+                                 const std::uint8_t* perm, unsigned n,
+                                 UInt nbmask) {
+  for (unsigned i = 0; i < n; ++i)
+    out[perm[i]] = static_cast<Int>((in[i] ^ nbmask) - nbmask);
+}
+
+}  // namespace kernels
+}  // namespace transpwr
+
+#endif  // TRANSPWR_KERNELS_ZFP_LIFT_H_

@@ -8,6 +8,7 @@
 #include "common/decode_guard.h"
 #include "common/error.h"
 #include "common/parallel.h"
+#include "kernels/dispatch.h"
 
 namespace transpwr {
 namespace {
@@ -253,6 +254,33 @@ void HuffmanCoder::read_table(BitReader& br) {
   if (kraft > (std::uint64_t{1} << kMaxCodeLen))
     throw StreamError("HuffmanCoder: oversubscribed code-length table");
   assign_canonical_codes();
+  build_pair_table();
+}
+
+void HuffmanCoder::build_pair_table() {
+  pair_table_.clear();
+  if (lengths_.size() > kPairAlphabetMax) return;
+  pair_table_.resize(std::size_t{1} << kFastBits);
+  for (std::uint32_t idx = 0; idx < (1u << kFastBits); ++idx) {
+    const FastEntry& e1 = fast_table_[idx];
+    if (!e1.length) continue;
+    PairEntry& p = pair_table_[idx];
+    p.sym1 = static_cast<std::uint16_t>(e1.symbol);
+    p.len1 = e1.length;
+    p.len12 = e1.length;
+    p.count = 1;
+    // The second code starts at bit len1 of the probe; it is only decidable
+    // from this probe alone if it fits in the remaining bits. fast_table_ at
+    // the shifted index resolves exactly that: its low `e2.length` bits are
+    // genuine stream bits iff e2.length <= rem.
+    const unsigned rem = kFastBits - e1.length;
+    const FastEntry& e2 = fast_table_[idx >> e1.length];
+    if (e2.length && e2.length <= rem) {
+      p.sym2 = static_cast<std::uint16_t>(e2.symbol);
+      p.len12 = static_cast<std::uint8_t>(e1.length + e2.length);
+      p.count = 2;
+    }
+  }
 }
 
 void HuffmanCoder::encode(std::uint32_t symbol, BitWriter& bw) const {
@@ -296,12 +324,50 @@ void HuffmanCoder::decode_all(BitReader& br,
                               std::span<std::uint32_t> out) const {
   const std::uint8_t* data = br.data();
   const std::size_t nbytes = br.size_bytes();
-  const FastEntry* fast = fast_table_.data();
   std::size_t pos = br.bit_pos();
   // Positions from which a full 8-byte load stays in bounds; past it (or on
   // a fast-table miss) fall back to the bounds-checked scalar decode.
   const std::size_t word_safe_bits = nbytes >= 8 ? (nbytes - 8) * 8 + 1 : 0;
-  for (std::size_t i = 0; i < out.size(); ++i) {
+  const std::size_t n = out.size();
+
+  // Native path: one probe resolves up to two symbols. The second symbol of
+  // a pair entry reads the same stream bits the one-at-a-time path would
+  // re-probe for, so the symbol sequence is identical by construction (on
+  // corrupt streams too — both paths consume exactly the canonical code
+  // lengths).
+  if (!pair_table_.empty() &&
+      kernels::active() == kernels::Dispatch::kNative) {
+    const PairEntry* pair = pair_table_.data();
+    std::size_t i = 0;
+    while (i < n) {
+      if (pos < word_safe_bits) {
+        std::uint64_t w;
+        std::memcpy(&w, data + (pos >> 3), 8);
+        const PairEntry& e =
+            pair[(w >> (pos & 7)) & ((1u << kFastBits) - 1)];
+        if (e.count == 2 && n - i >= 2) {
+          out[i] = e.sym1;
+          out[i + 1] = e.sym2;
+          pos += e.len12;
+          i += 2;
+          continue;
+        }
+        if (e.count) {
+          out[i++] = e.sym1;
+          pos += e.len1;
+          continue;
+        }
+      }
+      br.seek(pos);
+      out[i++] = decode(br);
+      pos = br.bit_pos();
+    }
+    br.seek(pos);
+    return;
+  }
+
+  const FastEntry* fast = fast_table_.data();
+  for (std::size_t i = 0; i < n; ++i) {
     if (pos < word_safe_bits) {
       std::uint64_t w;
       std::memcpy(&w, data + (pos >> 3), 8);

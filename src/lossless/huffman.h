@@ -71,6 +71,24 @@ class HuffmanCoder {
     std::uint8_t length = 0;  // 0 => code longer than kFastBits
   };
   std::vector<FastEntry> fast_table_;
+
+  // Pair decode table (decode side, alphabets <= 2^16): the same 12-bit
+  // probe, but when two complete codes fit in it the entry carries both, so
+  // decode_all emits two symbols per table hit. Derived from fast_table_; a
+  // pair entry exists iff len(code1) + len(code2) <= kFastBits, which makes
+  // the emitted symbol sequence identical to the one-at-a-time path by
+  // prefix-code uniqueness. Built once in read_table (before blocked decode
+  // fans out across threads); empty when the alphabet is too wide.
+  struct PairEntry {
+    std::uint16_t sym1 = 0;
+    std::uint16_t sym2 = 0;
+    std::uint8_t len1 = 0;   // bits consumed by sym1
+    std::uint8_t len12 = 0;  // bits consumed by sym1 + sym2 (count == 2)
+    std::uint8_t count = 0;  // symbols this probe resolves: 0, 1, or 2
+  };
+  static constexpr std::size_t kPairAlphabetMax = std::size_t{1} << 16;
+  void build_pair_table();
+  std::vector<PairEntry> pair_table_;
 };
 
 }  // namespace transpwr

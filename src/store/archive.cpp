@@ -397,7 +397,7 @@ std::vector<std::uint8_t> ArchiveReader::read_at(std::uint64_t offset,
         (!out.empty() &&
          std::fread(out.data(), 1, out.size(), file_) != out.size()))
       throw StreamError(std::string("archive: short read of ") + what);
-  } else {
+  } else if (!out.empty()) {
     std::memcpy(out.data(), mem_.data() + offset, out.size());
   }
   return out;

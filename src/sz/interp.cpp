@@ -9,6 +9,7 @@
 #include "common/decode_guard.h"
 #include "common/error.h"
 #include "common/numeric.h"
+#include "kernels/lorenzo.h"
 #include "lossless/blocked_huffman.h"
 #include "lossless/huffman.h"
 #include "lossless/lossless.h"
@@ -130,22 +131,16 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims dims,
   codes.reserve(data.size());
   std::vector<T> outliers;
 
+  // The quantizer step is the kernel-layer helper shared with sz — one
+  // definition of the accept/outlier arithmetic for both codecs.
+  const double two_eb = 2.0 * eb;
+  const auto radius_i = static_cast<std::int64_t>(radius);
   traverse<T>(g, recon, params.cubic, [&](std::size_t idx, double pred) {
-    const double v = static_cast<double>(data[idx]);
-    const double diff = v - pred;
-    if (std::abs(diff) < threshold) {  // false for NaN too
-      auto q = static_cast<std::int64_t>(std::llround(diff / (2.0 * eb)));
-      T r = narrow_to<T>(pred + 2.0 * eb * static_cast<double>(q));
-      if (std::abs(static_cast<double>(r) - v) <= eb) {
-        codes.push_back(static_cast<std::uint32_t>(
-            static_cast<std::int64_t>(radius) + q));
-        recon[idx] = r;
-        return;
-      }
-    }
-    codes.push_back(0);
-    outliers.push_back(data[idx]);
-    recon[idx] = data[idx];
+    const auto qs = kernels::quantize_point<T>(data[idx], pred, eb, two_eb,
+                                               threshold, radius_i);
+    codes.push_back(qs.code);
+    recon[idx] = qs.recon;
+    if (qs.code == 0) outliers.push_back(data[idx]);
   });
 
   std::vector<std::uint8_t> coded = lossless::blocked_encode(
@@ -234,9 +229,9 @@ std::vector<T> decompress(std::span<const std::uint8_t> stream,
       recon[idx] = outliers[outlier_next++];
       return;
     }
-    auto q = static_cast<std::int64_t>(code) -
-             static_cast<std::int64_t>(radius);
-    recon[idx] = narrow_to<T>(pred + 2.0 * eb * static_cast<double>(q));
+    recon[idx] = kernels::dequantize_point<T>(
+        pred, 2.0 * eb,
+        static_cast<std::int64_t>(code) - static_cast<std::int64_t>(radius));
   });
   if (outlier_next != outliers.size())
     throw StreamError("sz_interp: trailing outliers in stream");

@@ -10,6 +10,8 @@
 #include "common/decode_guard.h"
 #include "common/error.h"
 #include "common/numeric.h"
+#include "kernels/dispatch.h"
+#include "kernels/lorenzo.h"
 #include "lossless/blocked_huffman.h"
 #include "lossless/huffman.h"
 #include "lossless/lossless.h"
@@ -88,34 +90,14 @@ struct Geometry {
   }
 };
 
-/// Lorenzo predictor over the reconstructed-value buffer. Out-of-range
-/// neighbors contribute 0.
+/// Lorenzo predictor over the reconstructed-value buffer; the stencil
+/// itself lives in the kernel layer (shared with interp and the native
+/// run kernels). Out-of-range neighbors contribute 0.
 template <typename T>
 double lorenzo_predict(const T* r, const Geometry& g, std::size_t z,
                        std::size_t y, std::size_t x, std::size_t idx) {
-  auto at = [&](std::size_t i) { return static_cast<double>(r[i]); };
-  switch (g.dims.nd) {
-    case 1:
-      return x > 0 ? at(idx - 1) : 0.0;
-    case 2: {
-      double a = x > 0 ? at(idx - 1) : 0.0;
-      double b = y > 0 ? at(idx - g.stride_y) : 0.0;
-      double ab = (x > 0 && y > 0) ? at(idx - g.stride_y - 1) : 0.0;
-      return a + b - ab;
-    }
-    default: {
-      double c100 = z > 0 ? at(idx - g.stride_z) : 0.0;
-      double c010 = y > 0 ? at(idx - g.stride_y) : 0.0;
-      double c001 = x > 0 ? at(idx - 1) : 0.0;
-      double c110 = (z > 0 && y > 0) ? at(idx - g.stride_z - g.stride_y) : 0.0;
-      double c101 = (z > 0 && x > 0) ? at(idx - g.stride_z - 1) : 0.0;
-      double c011 = (y > 0 && x > 0) ? at(idx - g.stride_y - 1) : 0.0;
-      double c111 = (z > 0 && y > 0 && x > 0)
-                        ? at(idx - g.stride_z - g.stride_y - 1)
-                        : 0.0;
-      return c100 + c010 + c001 - c110 - c101 - c011 + c111;
-    }
-  }
+  return kernels::lorenzo_predict(r, g.dims.nd, g.stride_y, g.stride_z, z, y,
+                                  x, idx);
 }
 
 /// Per-block exponent of the minimum nonzero |x| (PWR mode). Blocks with no
@@ -314,6 +296,195 @@ RegPlan<T> build_regression_plan(std::span<const T> data, const Geometry& g) {
   return plan;
 }
 
+/// Interior rows advanced together by the 3-D wavefront sweep. Four lanes
+/// cover the quantizer's div+round+narrow latency chain on current cores;
+/// wider fronts spill the sliding stencil state out of registers.
+constexpr int kWavefrontRows = 4;
+
+/// Native-dispatch encode sweep for the pure-Lorenzo path. Rows are cut
+/// into constant-bound runs (whole row in kAbs mode, block-edge-aligned
+/// segments in PWR mode) whose interior points run the branch-free kernel
+/// with hoisted bound constants and sliding stencil loads; x == 0 and
+/// reduced-stencil boundary rows (first row of a plane, first plane) keep
+/// the checked per-point path. Every point evaluates the same expressions
+/// as the generic sweep, so codes and recon are bit-identical. Outlier
+/// VALUES are not pushed here — the caller gathers codes[i] == 0 positions
+/// afterwards, which preserves the raster emission order.
+template <typename T>
+void encode_sweep_tiled(std::span<const T> data, const Geometry& g, Mode mode,
+                        double bound, const std::vector<std::int16_t>& exps,
+                        std::uint32_t radius, std::uint32_t* codes, T* recon) {
+  const int nd = g.dims.nd;
+  const std::size_t nz = nd == 3 ? g.dims[0] : 1;
+  const std::size_t ny = nd >= 2 ? g.dims[nd - 2] : 1;
+  const std::size_t nx = g.dims[nd - 1];
+  const bool pwr = mode == Mode::kPwrBlock;
+  const double rad2 = (static_cast<double>(radius) - 0.5) * 2.0;
+  const auto radius_i = static_cast<std::int64_t>(radius);
+
+  // kAbs 3-D fields take the wavefront specialization: W interior rows
+  // advance in a staggered front (lane l trails lane l-1 by one column), so
+  // W independent reconstructed-value recurrences are in flight instead of
+  // one latency chain. Each point still evaluates the exact per-point
+  // expressions in an order that respects every data dependency, so codes
+  // and recon are bit-identical to the row-at-a-time sweep.
+  if (nd == 3 && !pwr && nx >= kWavefrontRows) {
+    constexpr int W = kWavefrontRows;
+    const double eb = bound;
+    const double two_eb = 2.0 * eb;
+    const double threshold = rad2 * eb;
+    const auto point_row = [&](std::size_t z, std::size_t y) {
+      const std::size_t row = z * g.stride_z + y * g.stride_y;
+      for (std::size_t xs = 0; xs < nx; ++xs) {
+        const std::size_t i = row + xs;
+        const double pred = kernels::lorenzo_predict(
+            recon, nd, g.stride_y, g.stride_z, z, y, xs, i);
+        const auto qs = kernels::quantize_point<T>(data[i], pred, eb, two_eb,
+                                                   threshold, radius_i);
+        codes[i] = qs.code;
+        recon[i] = qs.recon;
+      }
+    };
+    for (std::size_t y = 0; y < ny; ++y) point_row(0, y);  // boundary plane
+    for (std::size_t z = 1; z < nz; ++z) {
+      point_row(z, 0);  // boundary row of the plane
+      std::size_t y = 1;
+      for (; y + W <= ny; y += W)
+        kernels::lorenzo_quant_wavefront3<T, W>(
+            data.data(), recon, codes, z * g.stride_z + y * g.stride_y, nx,
+            g.stride_y, g.stride_z, eb, two_eb, threshold, radius_i);
+      for (; y < ny; ++y) {  // remainder rows: x == 0 point + interior run
+        const std::size_t i0 = z * g.stride_z + y * g.stride_y;
+        const double pred = kernels::lorenzo_predict(
+            recon, nd, g.stride_y, g.stride_z, z, y, 0, i0);
+        const auto qs = kernels::quantize_point<T>(data[i0], pred, eb,
+                                                   two_eb, threshold,
+                                                   radius_i);
+        codes[i0] = qs.code;
+        recon[i0] = qs.recon;
+        if (nx > 1)
+          kernels::lorenzo_quant_run<3>(data.data(), recon, codes, i0 + 1,
+                                        nx - 1, g.stride_y, g.stride_z, eb,
+                                        two_eb, threshold, radius_i);
+      }
+    }
+    return;
+  }
+
+  std::size_t idx = 0;
+  for (std::size_t z = 0; z < nz; ++z)
+    for (std::size_t y = 0; y < ny; ++y, idx += nx) {
+      const bool boundary_row = (nd >= 2 && y == 0) || (nd == 3 && z == 0);
+      std::size_t x = 0;
+      while (x < nx) {
+        const std::size_t xe =
+            pwr ? std::min(nx, (x / g.edge + 1) * g.edge) : nx;
+        const double eb =
+            pwr ? block_bound(bound, exps[g.block_of(z, y, x)]) : bound;
+        const double two_eb = 2.0 * eb;
+        const double threshold = rad2 * eb;
+        std::size_t xs = x;
+        const std::size_t run_start =
+            boundary_row ? xe : std::max<std::size_t>(xs, 1);
+        for (; xs < run_start; ++xs) {
+          const std::size_t i = idx + xs;
+          const double pred = kernels::lorenzo_predict(
+              recon, nd, g.stride_y, g.stride_z, z, y, xs, i);
+          const auto qs = kernels::quantize_point<T>(data[i], pred, eb,
+                                                     two_eb, threshold,
+                                                     radius_i);
+          codes[i] = qs.code;
+          recon[i] = qs.recon;
+        }
+        if (xs < xe) {
+          const std::size_t i0 = idx + xs;
+          const std::size_t len = xe - xs;
+          if (nd == 1)
+            kernels::lorenzo_quant_run<1>(data.data(), recon, codes, i0, len,
+                                          g.stride_y, g.stride_z, eb, two_eb,
+                                          threshold, radius_i);
+          else if (nd == 2)
+            kernels::lorenzo_quant_run<2>(data.data(), recon, codes, i0, len,
+                                          g.stride_y, g.stride_z, eb, two_eb,
+                                          threshold, radius_i);
+          else
+            kernels::lorenzo_quant_run<3>(data.data(), recon, codes, i0, len,
+                                          g.stride_y, g.stride_z, eb, two_eb,
+                                          threshold, radius_i);
+        }
+        x = xe;
+      }
+    }
+}
+
+/// Decode mirror of encode_sweep_tiled. Returns the number of outliers
+/// consumed (the caller checks the stream is fully drained).
+template <typename T>
+std::size_t decode_sweep_tiled(const std::uint32_t* codes, const Geometry& g,
+                               Mode mode, double bound,
+                               const std::vector<std::int16_t>& exps,
+                               std::uint32_t radius,
+                               const std::vector<T>& outliers, T* recon) {
+  const int nd = g.dims.nd;
+  const std::size_t nz = nd == 3 ? g.dims[0] : 1;
+  const std::size_t ny = nd >= 2 ? g.dims[nd - 2] : 1;
+  const std::size_t nx = g.dims[nd - 1];
+  const bool pwr = mode == Mode::kPwrBlock;
+  const auto radius_i = static_cast<std::int64_t>(radius);
+  std::size_t outlier_next = 0;
+  std::size_t idx = 0;
+  for (std::size_t z = 0; z < nz; ++z)
+    for (std::size_t y = 0; y < ny; ++y, idx += nx) {
+      const bool boundary_row = (nd >= 2 && y == 0) || (nd == 3 && z == 0);
+      std::size_t x = 0;
+      while (x < nx) {
+        const std::size_t xe =
+            pwr ? std::min(nx, (x / g.edge + 1) * g.edge) : nx;
+        const double eb =
+            pwr ? block_bound(bound, exps[g.block_of(z, y, x)]) : bound;
+        const double two_eb = 2.0 * eb;
+        std::size_t xs = x;
+        const std::size_t run_start =
+            boundary_row ? xe : std::max<std::size_t>(xs, 1);
+        for (; xs < run_start; ++xs) {
+          const std::size_t i = idx + xs;
+          const std::uint32_t code = codes[i];
+          if (code == 0) {
+            if (outlier_next >= outliers.size())
+              throw StreamError("sz: outlier stream exhausted");
+            recon[i] = outliers[outlier_next++];
+            continue;
+          }
+          const double pred = kernels::lorenzo_predict(
+              recon, nd, g.stride_y, g.stride_z, z, y, xs, i);
+          recon[i] = kernels::dequantize_point<T>(
+              pred, two_eb, static_cast<std::int64_t>(code) - radius_i);
+        }
+        if (xs < xe) {
+          const std::size_t i0 = idx + xs;
+          const std::size_t len = xe - xs;
+          if (nd == 1)
+            kernels::lorenzo_recon_run<1>(codes, recon, outliers.data(),
+                                          outliers.size(), outlier_next, i0,
+                                          len, g.stride_y, g.stride_z, two_eb,
+                                          radius_i);
+          else if (nd == 2)
+            kernels::lorenzo_recon_run<2>(codes, recon, outliers.data(),
+                                          outliers.size(), outlier_next, i0,
+                                          len, g.stride_y, g.stride_z, two_eb,
+                                          radius_i);
+          else
+            kernels::lorenzo_recon_run<3>(codes, recon, outliers.data(),
+                                          outliers.size(), outlier_next, i0,
+                                          len, g.stride_y, g.stride_z, two_eb,
+                                          radius_i);
+        }
+        x = xe;
+      }
+    }
+  return outlier_next;
+}
+
 }  // namespace
 
 template <typename T>
@@ -348,6 +519,14 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims dims,
 
   {
   obs::Span predict_span("predict", stats ? &stats->predict_s : nullptr);
+  if (!hybrid && kernels::active() == kernels::Dispatch::kNative) {
+    encode_sweep_tiled<T>(data, g, p.mode, p.bound, exps, radius,
+                          codes.data(), recon.data());
+    // The sweep only marks outliers; gather their values in the same raster
+    // order the per-point path pushes them.
+    for (std::size_t i = 0; i < codes.size(); ++i)
+      if (codes[i] == 0) outliers.push_back(data[i]);
+  } else {
   std::size_t idx = 0;
   for (std::size_t z = 0; z < nz; ++z)
     for (std::size_t y = 0; y < ny; ++y)
@@ -355,7 +534,6 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims dims,
         const double eb = p.mode == Mode::kPwrBlock
                               ? block_bound(p.bound, exps[g.block_of(z, y, x)])
                               : p.bound;
-        const double v = static_cast<double>(data[idx]);
         double pred;
         std::size_t rb = 0;
         if (hybrid && (rb = rg.block_of(z, y, x), reg.regression_for(rb)))
@@ -363,24 +541,15 @@ std::vector<std::uint8_t> compress(std::span<const T> data, Dims dims,
                              x % rg.edge);
         else
           pred = lorenzo_predict(recon.data(), g, z, y, x, idx);
-        const double diff = v - pred;
-        const double threshold =
-            (static_cast<double>(radius) - 0.5) * 2.0 * eb;
-        bool predictable = std::abs(diff) < threshold;  // false for NaN too
-        if (predictable) {
-          auto q = static_cast<std::int64_t>(std::llround(diff / (2.0 * eb)));
-          T r = narrow_to<T>(pred + 2.0 * eb * static_cast<double>(q));
-          if (std::abs(static_cast<double>(r) - v) <= eb) {
-            codes[idx] = static_cast<std::uint32_t>(
-                static_cast<std::int64_t>(radius) + q);
-            recon[idx] = r;
-            continue;
-          }
-        }
-        codes[idx] = 0;  // outlier marker
-        outliers.push_back(data[idx]);
-        recon[idx] = data[idx];
+        const auto qs = kernels::quantize_point<T>(
+            data[idx], pred, eb, 2.0 * eb,
+            (static_cast<double>(radius) - 0.5) * 2.0 * eb,
+            static_cast<std::int64_t>(radius));
+        codes[idx] = qs.code;
+        recon[idx] = qs.recon;
+        if (qs.code == 0) outliers.push_back(data[idx]);
       }
+  }
   }
   obs::counter_add("sz.outliers", outliers.size());
 
@@ -548,6 +717,12 @@ std::vector<T> decompress(std::span<const std::uint8_t> stream,
   const std::size_t ny = dims.nd >= 2 ? dims[dims.nd - 2] : 1;
   const std::size_t nx = dims[dims.nd - 1];
   std::size_t outlier_next = 0;
+  if (!hybrid && blocked &&
+      kernels::active() == kernels::Dispatch::kNative) {
+    outlier_next = decode_sweep_tiled<T>(decoded_codes.data(), g, mode, bound,
+                                         exps, radius, outliers,
+                                         recon.data());
+  } else {
   std::size_t idx = 0;
   for (std::size_t z = 0; z < nz; ++z)
     for (std::size_t y = 0; y < ny; ++y)
@@ -569,11 +744,12 @@ std::vector<T> decompress(std::span<const std::uint8_t> stream,
                              x % rg.edge);
         else
           pred = lorenzo_predict(recon.data(), g, z, y, x, idx);
-        auto q = static_cast<std::int64_t>(code) -
-                 static_cast<std::int64_t>(radius);
-        recon[idx] =
-            narrow_to<T>(pred + 2.0 * eb * static_cast<double>(q));
+        recon[idx] = kernels::dequantize_point<T>(
+            pred, 2.0 * eb,
+            static_cast<std::int64_t>(code) -
+                static_cast<std::int64_t>(radius));
       }
+  }
   if (outlier_next != outliers.size())
     throw StreamError("sz: trailing outliers in stream");
   return recon;

@@ -1,0 +1,344 @@
+// Bit-identity and accuracy contracts of the kernel layer (ISSUE PR6):
+// generic and native dispatches must produce byte-identical results on
+// every input class the codecs can feed them — denormals, signed zeros,
+// NaN/Inf, FLT_MAX-scale magnitudes, values near the log singularity — and
+// the scalar building blocks must meet the accuracy bounds the transform's
+// error budget assumes.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "kernels/dispatch.h"
+#include "kernels/fastmath.h"
+#include "kernels/log_batch.h"
+#include "kernels/lorenzo.h"
+#include "kernels/zfp_lift.h"
+
+namespace transpwr {
+namespace kernels {
+namespace {
+
+double rel_err(double got, double want) {
+  if (want == 0.0) return std::abs(got);
+  return std::abs(got - want) / std::abs(want);
+}
+
+// Inputs covering every edge class the forward transform can feed the log
+// kernel (it passes |x| or a dummy 1.0, never <= 0 or non-finite).
+std::vector<double> log_edge_inputs() {
+  std::vector<double> in = {
+      1.0,
+      1.0 + 0x1p-52,            // one ulp above the zero of log
+      1.0 - 0x1p-53,            // one ulp below
+      0x1.6a09e667f3bcdp+0,     // the sqrt(2) split point
+      0x1.6a09e667f3bccp+0,     // just below it
+      2.0, 0.5, 4.0, 0x1p100, 0x1p-100,
+      static_cast<double>(std::numeric_limits<float>::max()),
+      static_cast<double>(std::numeric_limits<float>::min()),
+      static_cast<double>(std::numeric_limits<float>::denorm_min()),
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::min(),
+      std::numeric_limits<double>::max(),
+      0x1.fffffffffffffp-1,     // largest double < 1
+      3.0, 10.0, 1e-300, 1e300, 0.7071067811865476,
+  };
+  Rng rng(12345);
+  for (int i = 0; i < 4000; ++i) {
+    // Log-uniform over the full float exponent range plus a dense band
+    // around 1 where the series does the work.
+    double e = (static_cast<double>(rng.next() >> 40) * 0x1p-24 - 0.5) * 250.0;
+    in.push_back(std::exp2(e));
+    double near1 =
+        1.0 + (static_cast<double>(rng.next() >> 40) * 0x1p-24 - 0.5) * 0.01;
+    in.push_back(near1);
+  }
+  return in;
+}
+
+TEST(FastLog2, MatchesLibmWithinBudget) {
+  for (double x : log_edge_inputs()) {
+    const double got = fast_log2(x);
+    const double want = std::log2(x);
+    // Budget from the transform's Lemma 2 guard is ~6e-8 relative; the
+    // kernel is contracted to a few 1e-16.
+    EXPECT_LE(rel_err(got, want), 5e-15) << "x = " << x;
+  }
+}
+
+TEST(FastLog2, ExactOnPowersOfTwoAndOne) {
+  EXPECT_EQ(fast_log2(1.0), 0.0);
+  for (int e = -1074; e <= 1023; e += 7)
+    EXPECT_EQ(fast_log2(std::ldexp(1.0, e)), static_cast<double>(e)) << e;
+}
+
+TEST(FastExp2, MatchesLibmWithinBudget) {
+  Rng rng(777);
+  std::vector<double> in = {0.0, -0.0, 0.5, -0.5, 1.0 / 3.0, -149.5,
+                            127.5, -1074.0, 1023.5, -1022.7};
+  for (int i = 0; i < 4000; ++i)
+    in.push_back((static_cast<double>(rng.next() >> 40) * 0x1p-24 - 0.5) *
+                 2090.0);
+  for (double v : in) {
+    const double got = fast_exp2(v);
+    const double want = std::exp2(v);
+    if (!std::isfinite(want)) {  // overflow: both must saturate to +inf
+      EXPECT_EQ(got, want) << v;
+      continue;
+    }
+    if (want == 0.0 || want < std::numeric_limits<double>::min()) {
+      // Underflow region: same limit behavior, up to one unit in the last
+      // (denormal) place.
+      EXPECT_NEAR(got, want, std::numeric_limits<double>::denorm_min() * 2)
+          << v;
+      continue;
+    }
+    EXPECT_LE(rel_err(got, want), 5e-15) << "v = " << v;
+  }
+}
+
+TEST(FastExp2, ExactOnIntegersAndEdges) {
+  for (int e = -1074; e <= 1023; e += 5)
+    EXPECT_EQ(fast_exp2(static_cast<double>(e)), std::ldexp(1.0, e)) << e;
+  EXPECT_EQ(fast_exp2(0.0), 1.0);
+  EXPECT_TRUE(std::isnan(fast_exp2(std::numeric_limits<double>::quiet_NaN())));
+  EXPECT_EQ(fast_exp2(std::numeric_limits<double>::infinity()),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(fast_exp2(-std::numeric_limits<double>::infinity()), 0.0);
+  EXPECT_EQ(fast_exp2(-5000.0), 0.0);
+  EXPECT_EQ(fast_exp2(5000.0), std::numeric_limits<double>::infinity());
+}
+
+TEST(LlroundExact, MatchesLibmOnQuantizerDomain) {
+  std::vector<double> in = {0.0,  -0.0, 0.5,  -0.5, 1.5,  -1.5, 2.5,
+                            -2.5, 0.49999999999999994,  // largest < 0.5
+                            -0.49999999999999994, 1e15, -1e15,
+                            2147483646.5, -2147483646.5};
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) {
+    double v = (static_cast<double>(rng.next() >> 12) * 0x1p-52 - 0.5) *
+               0x1p33;
+    in.push_back(v);
+    in.push_back(std::floor(v) + 0.5);  // exact tie
+  }
+  for (double v : in)
+    EXPECT_EQ(llround_exact(v), std::llround(v)) << v;
+}
+
+TEST(LogBatch, GenericAndNativeAreBitIdentical) {
+  auto in = log_edge_inputs();
+  // Odd length exercises the native loop's scalar tail.
+  in.resize(in.size() - (in.size() % 4) + 3);
+  for (double scale : {1.0, 1.0 / std::log2(10.0), 1.0 / std::log2(2.7)}) {
+    std::vector<double> a(in.size()), b(in.size());
+    {
+      ScopedDispatch d(Dispatch::kGeneric);
+      log2_scaled_batch(in.data(), a.data(), in.size(), scale);
+    }
+    {
+      ScopedDispatch d(Dispatch::kNative);
+      log2_scaled_batch(in.data(), b.data(), in.size(), scale);
+    }
+    EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(double)));
+
+    // exp batch over the log outputs (plus NaN/inf, which corrupt streams
+    // can inject) must agree too.
+    std::vector<double> ein = a;
+    ein.push_back(std::numeric_limits<double>::quiet_NaN());
+    ein.push_back(std::numeric_limits<double>::infinity());
+    ein.push_back(-std::numeric_limits<double>::infinity());
+    std::vector<double> ea(ein.size()), eb(ein.size());
+    {
+      ScopedDispatch d(Dispatch::kGeneric);
+      exp2_scaled_batch(ein.data(), ea.data(), ein.size(), 1.0 / scale);
+    }
+    {
+      ScopedDispatch d(Dispatch::kNative);
+      exp2_scaled_batch(ein.data(), eb.data(), ein.size(), 1.0 / scale);
+    }
+    EXPECT_EQ(0, std::memcmp(ea.data(), eb.data(), ea.size() * sizeof(double)));
+  }
+}
+
+TEST(QuantizePoint, MatchesReferenceQuantizer) {
+  // Reference: the historical inline quantizer, std::llround and all.
+  auto reference = [](float orig, double pred, double eb,
+                      std::int64_t radius) {
+    const double v = static_cast<double>(orig);
+    const double diff = v - pred;
+    const double threshold =
+        (static_cast<double>(radius) - 0.5) * 2.0 * eb;
+    if (std::abs(diff) < threshold) {
+      const std::int64_t q = std::llround(diff / (2.0 * eb));
+      const float r = narrow_to<float>(pred + 2.0 * eb * static_cast<double>(q));
+      if (std::abs(static_cast<double>(r) - v) <= eb)
+        return QuantStep<float>{static_cast<std::uint32_t>(radius + q), r};
+    }
+    return QuantStep<float>{0, orig};
+  };
+  Rng rng(99);
+  const double eb = 1e-4;
+  const std::int64_t radius = 32768;
+  const double two_eb = 2.0 * eb;
+  const double threshold = (static_cast<double>(radius) - 0.5) * two_eb;
+  std::vector<std::pair<float, double>> cases = {
+      {0.0f, 0.0}, {-0.0f, 0.0}, {1.0f, 1.0 + eb}, {1.0f, 1.0 - 0.5 * eb},
+      {std::numeric_limits<float>::max(), 0.0},
+      {std::numeric_limits<float>::denorm_min(), 0.0},
+      {1.0f, 1.0 + (static_cast<double>(radius) - 1.0) * two_eb},
+      {1.0f, 1.0 + static_cast<double>(radius) * two_eb},
+  };
+  for (int i = 0; i < 20000; ++i) {
+    float v = static_cast<float>(
+        (static_cast<double>(rng.next() >> 40) * 0x1p-24 - 0.5) * 4.0);
+    double pred = static_cast<double>(v) +
+                  (static_cast<double>(rng.next() >> 40) * 0x1p-24 - 0.5) *
+                      20.0 * eb;
+    cases.emplace_back(v, pred);
+  }
+  for (auto [v, pred] : cases) {
+    auto got = quantize_point<float>(v, pred, eb, two_eb, threshold, radius);
+    auto want = reference(v, pred, eb, radius);
+    EXPECT_EQ(got.code, want.code) << v << " " << pred;
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(got.recon),
+              std::bit_cast<std::uint32_t>(want.recon))
+        << v << " " << pred;
+  }
+}
+
+// Reference scalar lifts (copies of the codec's historical loops).
+template <typename Int>
+void ref_fwd_lift(Int* p, std::size_t s) {
+  Int x = p[0 * s], y = p[1 * s], z = p[2 * s], w = p[3 * s];
+  x += w; x >>= 1; w -= x;
+  z += y; z >>= 1; y -= z;
+  x += z; x >>= 1; z -= x;
+  w += y; w >>= 1; y -= w;
+  w += y >> 1; y -= w >> 1;
+  p[0 * s] = x; p[1 * s] = y; p[2 * s] = z; p[3 * s] = w;
+}
+
+template <typename Int>
+void ref_inv_lift(Int* p, std::size_t s) {
+  using U = std::make_unsigned_t<Int>;
+  auto add = [](Int a, Int b) {
+    return static_cast<Int>(static_cast<U>(a) + static_cast<U>(b));
+  };
+  auto sub = [](Int a, Int b) {
+    return static_cast<Int>(static_cast<U>(a) - static_cast<U>(b));
+  };
+  auto shl1 = [](Int a) {
+    return static_cast<Int>(static_cast<U>(a) << 1);
+  };
+  Int x = p[0 * s], y = p[1 * s], z = p[2 * s], w = p[3 * s];
+  y = add(y, w >> 1); w = sub(w, y >> 1);
+  y = add(y, w); w = shl1(w); w = sub(w, y);
+  z = add(z, x); x = shl1(x); x = sub(x, z);
+  y = add(y, z); z = shl1(z); z = sub(z, y);
+  w = add(w, x); x = shl1(x); x = sub(x, w);
+  p[0 * s] = x; p[1 * s] = y; p[2 * s] = z; p[3 * s] = w;
+}
+
+template <typename Int>
+void ref_fwd_xform(Int* b, int nd) {
+  switch (nd) {
+    case 1: ref_fwd_lift(b, 1); break;
+    case 2:
+      for (int y = 0; y < 4; ++y) ref_fwd_lift(b + 4 * y, 1);
+      for (int x = 0; x < 4; ++x) ref_fwd_lift(b + x, 4);
+      break;
+    default:
+      for (int z = 0; z < 4; ++z)
+        for (int y = 0; y < 4; ++y) ref_fwd_lift(b + 16 * z + 4 * y, 1);
+      for (int z = 0; z < 4; ++z)
+        for (int x = 0; x < 4; ++x) ref_fwd_lift(b + 16 * z + x, 4);
+      for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 4; ++x) ref_fwd_lift(b + 4 * y + x, 16);
+      break;
+  }
+}
+
+template <typename Int>
+void ref_inv_xform(Int* b, int nd) {
+  switch (nd) {
+    case 1: ref_inv_lift(b, 1); break;
+    case 2:
+      for (int x = 0; x < 4; ++x) ref_inv_lift(b + x, 4);
+      for (int y = 0; y < 4; ++y) ref_inv_lift(b + 4 * y, 1);
+      break;
+    default:
+      for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 4; ++x) ref_inv_lift(b + 4 * y + x, 16);
+      for (int z = 0; z < 4; ++z)
+        for (int x = 0; x < 4; ++x) ref_inv_lift(b + 16 * z + x, 4);
+      for (int z = 0; z < 4; ++z)
+        for (int y = 0; y < 4; ++y) ref_inv_lift(b + 16 * z + 4 * y, 1);
+      break;
+  }
+}
+
+TEST(ZfpLift, BlockXformMatchesScalarLifts) {
+  Rng rng(4242);
+  for (int nd = 1; nd <= 3; ++nd) {
+    const unsigned bsize = 1u << (2 * nd);
+    for (int rep = 0; rep < 200; ++rep) {
+      std::vector<std::int64_t> a(bsize), b(bsize);
+      for (unsigned i = 0; i < bsize; ++i) {
+        // Coefficients within intprec-2 bits plus adversarial full-range
+        // values (the inverse must be wrap-defined on corrupt streams).
+        a[i] = rep < 150 ? static_cast<std::int64_t>(rng.next() >> 3) -
+                               (std::int64_t{1} << 60)
+                         : static_cast<std::int64_t>(rng.next());
+        b[i] = a[i];
+      }
+      ref_fwd_xform(a.data(), nd);
+      zfp_fwd_xform_block(b.data(), nd);
+      EXPECT_EQ(a, b) << "nd = " << nd;
+
+      // The inverse block xform must match the scalar inverse bit-for-bit
+      // on arbitrary (corrupt-stream) coefficients too. The transform is
+      // only invertible up to rounding, so the reference is the scalar
+      // inverse, not the original block.
+      ref_inv_xform(a.data(), nd);
+      zfp_inv_xform_block(b.data(), nd);
+      EXPECT_EQ(a, b) << "nd = " << nd;
+    }
+  }
+}
+
+TEST(ZfpLift, NegabinaryBatchMatchesScalar) {
+  constexpr std::uint64_t nbmask = 0xaaaaaaaaaaaaaaaaULL;
+  std::uint8_t perm[64];
+  for (unsigned i = 0; i < 64; ++i) perm[i] = static_cast<std::uint8_t>(
+      (i * 29) % 64);  // an arbitrary permutation
+  Rng rng(9);
+  std::vector<std::int64_t> in(64);
+  for (auto& v : in) v = static_cast<std::int64_t>(rng.next());
+  in[0] = 0;
+  in[1] = std::numeric_limits<std::int64_t>::min();
+  in[2] = std::numeric_limits<std::int64_t>::max();
+  in[3] = -1;
+
+  std::vector<std::uint64_t> got(64), want(64);
+  zfp_int2uint_gather(in.data(), got.data(), perm, 64, nbmask);
+  for (unsigned i = 0; i < 64; ++i)
+    want[i] = (static_cast<std::uint64_t>(in[perm[i]]) + nbmask) ^ nbmask;
+  EXPECT_EQ(got, want);
+
+  std::vector<std::int64_t> back(64), back_want(64);
+  zfp_uint2int_scatter(got.data(), back.data(), perm, 64, nbmask);
+  for (unsigned i = 0; i < 64; ++i)
+    back_want[perm[i]] =
+        static_cast<std::int64_t>((got[i] ^ nbmask) - nbmask);
+  EXPECT_EQ(back, back_want);
+  EXPECT_EQ(back, in);  // round trip
+}
+
+}  // namespace
+}  // namespace kernels
+}  // namespace transpwr

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Tier-1 verification flow (see ROADMAP.md). Since the kernel layer ships
+# dispatch-selected variants whose streams must be identical in every build
+# flavor, tier-1 builds and tests BOTH TRANSPWR_NATIVE configurations, then
+# runs the decoder-robustness fuzz targets under ASan+UBSan with the native
+# kernels forced on.
+#
+# Usage: tools/ci/tier1.sh [build-root]   (default: ci-build under the repo)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/../.." && pwd)"
+root="${1:-$repo/ci-build}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_config() {
+  local name="$1"; shift
+  local dir="$root/$name"
+  echo "=== tier-1 [$name]: configure + build + ctest ==="
+  cmake -B "$dir" -S "$repo" "$@"
+  cmake --build "$dir" -j "$jobs"
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+# Both dispatch build flavors: the portable baseline every artifact ships
+# as, and the host-tuned build the native kernels are written for. The
+# kernels ctest label inside each run pins generic-vs-native bit identity.
+run_config baseline
+run_config native -DTRANSPWR_NATIVE=ON
+
+# ASan+UBSan fuzz soak against the native kernels: every decoder fed
+# mutated streams with the fast paths (pair-table Huffman, tiled Lorenzo,
+# batched zfp lifts) active. Iteration count overridable for quick local runs.
+echo "=== tier-1 [asan-ubsan]: fuzz soak, native kernels ==="
+asan="$root/asan-ubsan"
+iters="${TRANSPWR_CI_FUZZ_ITERS:-10000}"
+cmake -B "$asan" -S "$repo" -DTRANSPWR_SANITIZE=address,undefined
+cmake --build "$asan" --target fuzz_decode -j "$jobs"
+TRANSPWR_KERNELS=native "$asan/tools/conformance/fuzz_decode" --iters "$iters"
+
+echo "tier-1: all configurations green"
