@@ -44,6 +44,9 @@ struct Violation {
 };
 
 struct ConformanceReport {
+  /// The seed the run actually used: TRANSPWR_SEED when set, else the
+  /// config seed. Printed by table() so CI logs are replayable.
+  std::uint64_t effective_seed = 0;
   std::size_t cases_run = 0;
   std::size_t points_checked = 0;
   std::size_t clean_rejections = 0;  ///< non-finite inputs refused cleanly

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/env.h"
 #include "common/error.h"
 #include "common/rng.h"
 
@@ -240,6 +241,12 @@ template std::vector<float> make_field<float>(Family, std::size_t,
                                               std::uint64_t);
 template std::vector<double> make_field<double>(Family, std::size_t,
                                                 std::uint64_t);
+
+std::uint64_t effective_seed(std::uint64_t fallback) {
+  env::U64Range any;
+  any.min = 0;
+  return env::checked_u64("TRANSPWR_SEED", any).value_or(fallback);
+}
 
 }  // namespace testing
 }  // namespace transpwr

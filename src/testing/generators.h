@@ -47,6 +47,13 @@ bool family_is_finite(Family f);
 template <typename T>
 std::vector<T> make_field(Family family, std::size_t n, std::uint64_t seed);
 
+/// The root seed a harness run should use: TRANSPWR_SEED when set in the
+/// environment (checked parse via common/env.h; malformed values warn once
+/// and fall back), else `fallback`. Every harness prints the seed it
+/// actually used in its report, so a CI log line is enough to replay a
+/// failing hunt locally: TRANSPWR_SEED=<seed> <same command>.
+std::uint64_t effective_seed(std::uint64_t fallback);
+
 }  // namespace testing
 }  // namespace transpwr
 

@@ -1,0 +1,149 @@
+#ifndef TRANSPWR_TESTING_HUNTER_H
+#define TRANSPWR_TESTING_HUNTER_H
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/compressor.h"
+
+namespace transpwr {
+namespace testing {
+
+/// Adversarial bound-violation hunter: a directed search engine over the
+/// guarantee surface. Where the conformance harness answers "does every
+/// scheme hold its advertised contract on adversarial-but-representative
+/// data", the hunter attacks the edges of float space where such
+/// guarantees historically fail (denormals, the log singularity,
+/// FLT_MAX/DBL_MAX-adjacent magnitudes, bounds near quantizer resolution)
+/// and reduces anything it breaks to a minimal replayable reproducer.
+///
+/// Three engines compose:
+///  1. round-trip hunting: edge-case fields x every scheme x precision x a
+///     bound sweep, judged per point by the shared oracle
+///     (testing/oracle.h), with a worst-observed-margin ledger per triple;
+///  2. a ULP-level audit of the round-off-safe bound adjustment in
+///     core/log_transform.cpp: the mapped data is perturbed by exactly
+///     +/- b'_a (the worst any conforming inner codec can legally do) and
+///     the reconstruction is checked point-wise — under both the generic
+///     and native kernel dispatches, so the AVX2/AVX512 fastmath paths are
+///     held to the same bound as scalar;
+///  3. shrinking: a violating field is ddmin-reduced to a minimal field
+///     that still violates, serialized as a `hunter_*.bin` reproducer
+///     (tests/data/corpus/) that the regression test replays forever.
+
+/// Edge-case input families beyond the PR 2 conformance set. Each targets
+/// a region of float space where the relative-bound guarantee is most
+/// fragile; all values are finite by construction.
+enum class EdgeFamily : std::uint8_t {
+  kDenormalBoundary = 0,  ///< ulp ladders straddling the denormal/normal line
+  kLogSingularity,        ///< +/- tiny magnitudes around 0, sign-map stress
+  kMaxMagnitude,          ///< FLT_MAX / DBL_MAX-adjacent values, mixed sign
+  kExtremeDynamicRange,   ///< denorm_min .. max in one mixed-sign field
+  kUlpNeighbors,          ///< ulp ladders around 1, powers of two, sqrt2 split
+  kZeroSentinelStress,    ///< exact zeros interleaved with smallest denormals
+};
+
+const char* edge_family_name(EdgeFamily f);
+EdgeFamily edge_family_from_name(const std::string& name);
+std::span<const EdgeFamily> all_edge_families();
+
+/// Deterministic edge-case field: same (family, n, seed, T) => same values.
+template <typename T>
+std::vector<T> make_edge_field(EdgeFamily family, std::size_t n,
+                               std::uint64_t seed);
+
+struct HunterConfig {
+  std::uint64_t seed = 20260809;  ///< TRANSPWR_SEED overrides (checked env)
+  std::size_t iters = 1;          ///< sweep repetitions with derived seeds
+  std::size_t max_points = 1024;  ///< elements per generated field
+  std::vector<Scheme> schemes;         ///< empty => all registered schemes
+  std::vector<EdgeFamily> families;    ///< empty => all edge families
+  /// Swept from friendly down to (and past) quantizer-resolution limits;
+  /// bounds too tight for a precision must be *cleanly* refused, never
+  /// silently violated. 2.5e-5 sits inside the float guard window where
+  /// b'_a is positive but of the same magnitude as the round-off guard.
+  std::vector<double> bounds = {1e-1, 1e-2, 1e-3, 1e-4, 2.5e-5, 1e-5, 1e-6};
+  bool check_double = true;  ///< run float64 cases too
+  bool minimize = true;      ///< shrink violating fields to reproducers
+  bool ulp_audit = true;     ///< run the transform-level worst-case audit
+  std::size_t minimize_budget = 600;  ///< max round trips per minimization
+};
+
+struct HunterViolation {
+  std::string scheme;     ///< scheme name, or "log_transform" for audits
+  std::string family;
+  std::string precision;  ///< "float32" | "float64"
+  std::string kind;       ///< rel_bound | zero_not_exact | audit_* | ...
+  std::string detail;     ///< human-readable specifics incl. replay seed
+  double bound = 0;
+  std::uint64_t seed = 0;
+  std::size_t index = 0;      ///< offending element, when applicable
+  std::vector<double> reproducer;  ///< minimized field (when minimize on)
+};
+
+/// Worst observed error margin for one scheme x precision x bound triple:
+/// the max over all checked points of observed_error / allowed_envelope.
+/// 1.0 is the contract line; anything above it is a violation.
+struct WorstMargin {
+  std::string key;  ///< "SCHEME/precision/bound=B"
+  double margin = 0;
+  double input = 0;    ///< x at the worst point
+  double output = 0;   ///< x' at the worst point
+  std::string family;  ///< family that produced it
+};
+
+struct HunterReport {
+  std::uint64_t effective_seed = 0;
+  std::size_t cases_run = 0;
+  std::size_t points_checked = 0;
+  std::size_t clean_rejections = 0;  ///< too-tight bounds refused cleanly
+  std::size_t audits_run = 0;
+  std::vector<WorstMargin> worst;  ///< one entry per triple, sorted by key
+  /// Every refused triple, once: "SCHEME/precision/bound=B" -> refusal
+  /// message. A bound a precision cannot honor must be refused *visibly*;
+  /// this ledger is how the report proves no case silently vanished.
+  std::vector<std::pair<std::string, std::string>> rejections;
+  std::vector<HunterViolation> violations;
+
+  bool ok() const { return violations.empty(); }
+
+  /// Summary + worst-margin ledger + the first few violation details.
+  std::string table() const;
+};
+
+HunterReport run_hunt(const HunterConfig& config);
+
+/// Greedy ddmin: removes chunks (halving granularity), then simplifies
+/// surviving elements toward 1 and 0, while `still_violates` keeps
+/// returning true. `budget` caps predicate evaluations.
+template <typename T>
+std::vector<T> minimize_field(
+    std::vector<T> field,
+    const std::function<bool(std::span<const T>)>& still_violates,
+    std::size_t budget);
+
+/// Minimal replayable reproducer ("THR1" files, tests/data/corpus/
+/// hunter_*.bin): enough to re-run one violating round trip forever.
+struct Reproducer {
+  Scheme scheme = Scheme::kSzT;
+  DataType dtype = DataType::kFloat32;
+  double bound = 0;
+  std::vector<double> values;  ///< exact (float values round-trip exactly)
+};
+
+std::vector<std::uint8_t> encode_reproducer(const Reproducer& r);
+Reproducer decode_reproducer(std::span<const std::uint8_t> bytes);
+
+/// Re-run a reproducer's round trip against the shared oracle. Returns ""
+/// when the guarantee now holds (the regression stays fixed), else a
+/// violation description.
+std::string replay_reproducer(const Reproducer& r);
+
+}  // namespace testing
+}  // namespace transpwr
+
+#endif  // TRANSPWR_TESTING_HUNTER_H

@@ -165,6 +165,151 @@ TEST(LogBatch, GenericAndNativeAreBitIdentical) {
   }
 }
 
+// Assert the process is NOT running with FTZ/DAZ (flush-to-zero /
+// denormals-are-zero): the guarantee math treats subnormal inputs as real
+// values with real logs, and the build must not enable -ffast-math-style
+// MXCSR modes behind the library's back. `volatile` keeps the compiler
+// from folding the subnormal arithmetic at translation time, so these
+// operations hit the FPU with whatever mode the process actually runs.
+TEST(LogForwardF32Block, FtzDazAreOff) {
+  volatile float nmin = std::numeric_limits<float>::min();
+  volatile float quarter = nmin / 4.0f;  // subnormal unless FTZ flushes it
+  EXPECT_GT(quarter, 0.0f) << "FTZ is enabled: subnormal results flush";
+  EXPECT_LT(quarter, std::numeric_limits<float>::min());
+
+  volatile float dmin = std::numeric_limits<float>::denorm_min();
+  volatile float doubled = dmin + dmin;  // 2*denorm_min unless DAZ zeroes in
+  EXPECT_EQ(doubled, 2.0f * std::numeric_limits<float>::denorm_min())
+      << "DAZ is enabled: subnormal inputs read as zero";
+
+  // With denormals live, the fused forward block must map float
+  // denorm_min to its true log2 (-149), not to log2(0).
+  const float in = std::numeric_limits<float>::denorm_min();
+  float mapped = 0;
+  std::uint64_t sign_word = 0, zero_word = 0;
+  double max_abs_log = 0;
+  LogFwdFlags flags;
+  log_forward_f32_block(&in, &mapped, 1, 1.0, &sign_word, &zero_word,
+                        &max_abs_log, &flags);
+  EXPECT_EQ(mapped, -149.0f);
+  EXPECT_EQ(zero_word, 0u);
+  EXPECT_FALSE(flags.has_zeros);
+}
+
+// The fused float forward pass (the AVX2/AVX-512 fast path of
+// log_forward) on every edge class: denormal ladders, +/-0 in both word
+// positions, near-min-normal, FLT_MAX-adjacent, ulp neighbors of 1.
+// Generic and native must agree bit-for-bit on mapped values, packed
+// sign/zero words, the max|log| reduction, and the OR-ed flags.
+TEST(LogForwardF32Block, GenericAndNativeBitIdenticalOnEdgeInputs) {
+  std::vector<float> in;
+  const float dmin = std::numeric_limits<float>::denorm_min();
+  const float nmin = std::numeric_limits<float>::min();
+  const float fmax = std::numeric_limits<float>::max();
+  // Ulp ladders straddling the denormal/normal boundary, both signs.
+  for (int k = -4; k <= 4; ++k) {
+    float v = nmin;
+    for (int i = 0; i < (k < 0 ? -k : k); ++i)
+      v = std::nextafter(v, k < 0 ? 0.0f : 1.0f);
+    in.push_back(v);
+    in.push_back(-v);
+  }
+  for (int k = 1; k <= 4; ++k) {
+    in.push_back(dmin * static_cast<float>(k));
+    in.push_back(-dmin * static_cast<float>(k));
+  }
+  // Signed zeros scattered so both packed words carry zero bits.
+  in.push_back(0.0f);
+  in.push_back(-0.0f);
+  // FLT_MAX-adjacent and near-1 ulp neighbors.
+  for (int k = 0; k <= 4; ++k) {
+    float v = fmax;
+    for (int i = 0; i < k; ++i) v = std::nextafter(v, 0.0f);
+    in.push_back(v);
+    in.push_back(-v);
+    in.push_back(std::nextafter(1.0f, 2.0f * static_cast<float>(k + 1)));
+    in.push_back(std::nextafter(1.0f, 0.5f / static_cast<float>(k + 1)));
+  }
+  Rng rng(606);
+  while (in.size() < 131)  // 2 whole words + a partial tail word
+    in.push_back(static_cast<float>(rng.uniform(-1e3, 1e3)));
+  in[64] = 0.0f;   // a zero in the second word
+  in[130] = -0.0f; // and one in the partial tail
+
+  const std::size_t n = in.size();
+  const std::size_t words = (n + 63) / 64;
+  for (double scale : {1.0, 1.0 / std::log2(10.0)}) {
+    std::vector<float> ma(n), mb(n);
+    std::vector<std::uint64_t> sa(words, ~0ull), sb(words, ~0ull);
+    std::vector<std::uint64_t> za(words, ~0ull), zb(words, ~0ull);
+    double la = 0, lb = 0;
+    LogFwdFlags fa, fb;
+    {
+      ScopedDispatch d(Dispatch::kGeneric);
+      log_forward_f32_block(in.data(), ma.data(), n, scale, sa.data(),
+                            za.data(), &la, &fa);
+    }
+    {
+      ScopedDispatch d(Dispatch::kNative);
+      log_forward_f32_block(in.data(), mb.data(), n, scale, sb.data(),
+                            zb.data(), &lb, &fb);
+    }
+    EXPECT_EQ(0, std::memcmp(ma.data(), mb.data(), n * sizeof(float)));
+    EXPECT_EQ(sa, sb);
+    EXPECT_EQ(za, zb);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(la),
+              std::bit_cast<std::uint64_t>(lb));
+    EXPECT_EQ(fa.any_negative, fb.any_negative);
+    EXPECT_EQ(fa.has_zeros, fb.has_zeros);
+    EXPECT_EQ(fa.non_finite, fb.non_finite);
+
+    // Semantic spot checks on the shared result: zeros marked where
+    // planted, bits beyond n clear in the tail word, signs where planted.
+    EXPECT_TRUE(fa.has_zeros);
+    EXPECT_TRUE(fa.any_negative);
+    EXPECT_FALSE(fa.non_finite);
+    EXPECT_NE(za[1] & 1u, 0u) << "zero at index 64 not packed";
+    EXPECT_NE(za[2] & (1ull << (130 % 64)), 0u)
+        << "zero at index 130 not packed";
+    EXPECT_EQ(za[words - 1] >> (n % 64), 0u)
+        << "tail word has bits set beyond n";
+    EXPECT_EQ(sa[words - 1] >> (n % 64), 0u);
+  }
+}
+
+// exp2 over inputs whose outputs land in the subnormal range: the
+// reconstruction path for the smallest magnitudes the transform round
+// trips. Identity across dispatches must hold down there too — a native
+// path that flushed denormal outputs would break the smallest values'
+// error bound silently.
+TEST(LogBatch, Exp2DenormalRangeOutputsAreBitIdentical) {
+  std::vector<double> in;
+  Rng rng(808);
+  for (int i = 0; i < 512; ++i) {
+    in.push_back(rng.uniform(-1074.9, -1022.0));  // double-subnormal range
+    in.push_back(rng.uniform(-150.0, -126.0));    // float-subnormal logs
+  }
+  in.push_back(-1074.0);  // exactly denorm_min
+  in.push_back(-1074.5);  // below: rounds to 0 or denorm_min, same both ways
+  in.push_back(-1023.0);
+  std::vector<double> a(in.size()), b(in.size());
+  {
+    ScopedDispatch d(Dispatch::kGeneric);
+    exp2_scaled_batch(in.data(), a.data(), in.size(), 1.0);
+  }
+  {
+    ScopedDispatch d(Dispatch::kNative);
+    exp2_scaled_batch(in.data(), b.data(), in.size(), 1.0);
+  }
+  EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(double)));
+  bool saw_subnormal = false;
+  for (double v : a)
+    if (v != 0.0 && v < std::numeric_limits<double>::min())
+      saw_subnormal = true;
+  EXPECT_TRUE(saw_subnormal)
+      << "no output landed subnormal; the range above regressed";
+}
+
 TEST(QuantizePoint, MatchesReferenceQuantizer) {
   // Reference: the historical inline quantizer, std::llround and all.
   auto reference = [](float orig, double pred, double eb,

@@ -1,0 +1,138 @@
+// Property test: a region-of-interest read through ArchiveReader::read_rows
+// preserves the compression-time error bound. Random multi-chunk datasets
+// (relative-bound SZ_T and absolute-bound SZ_ABS, both precisions,
+// edge-case values included) are written to an in-memory TPAR archive,
+// then random [row_begin, row_end) windows are read back and every point
+// judged against the same per-point oracle the conformance harness and
+// the hunter use. ROI rows must also be bit-identical to the
+// corresponding rows of a full load — a partial read may not reconstruct
+// different values than a whole one.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "store/archive.h"
+#include "testing/generators.h"
+#include "testing/hunter.h"
+#include "testing/oracle.h"
+
+namespace transpwr {
+namespace store {
+namespace {
+
+using testing::Envelope;
+using testing::PointClass;
+using testing::point_envelope;
+
+template <typename T>
+void check_roi_against_oracle(Scheme scheme, double bound,
+                              std::span<const T> in, std::span<const T> roi,
+                              std::size_t row_begin, std::size_t row_stride) {
+  for (std::size_t i = 0; i < roi.size(); ++i) {
+    const std::size_t src = row_begin * row_stride + i;
+    const double x = static_cast<double>(in[src]);
+    const double y = static_cast<double>(roi[i]);
+    ASSERT_TRUE(std::isfinite(y)) << "non-finite at roi index " << i;
+    const Envelope env = point_envelope<T>(scheme, bound, x);
+    switch (env.cls) {
+      case PointClass::kUnchecked:
+        break;
+      case PointClass::kExact:
+        ASSERT_EQ(y, x) << "zero not exact at roi index " << i;
+        break;
+      case PointClass::kBounded:
+        ASSERT_LE(std::abs(y - x), env.allowed)
+            << "bound violated at roi index " << i << ": x=" << x
+            << " x'=" << y;
+        break;
+    }
+  }
+}
+
+template <typename T>
+void run_property(Scheme scheme, double bound, std::uint64_t seed) {
+  SCOPED_TRACE(std::string(scheme_name(scheme)) + " bound=" +
+               std::to_string(bound) + " seed=" + std::to_string(seed));
+  Rng rng(seed);
+
+  // 2-D fields with enough rows for several chunks; mix a smooth family
+  // with the hunter's edge populations so ROI reads cross zero runs,
+  // subnormals, and sign flips — not just friendly data.
+  const std::size_t rows = 48 + rng.below(48);
+  const std::size_t cols = 16 + rng.below(16);
+  Dims dims(rows, cols);
+  std::vector<T> data;
+  switch (rng.below(3)) {
+    case 0:
+      data = testing::make_field<T>(testing::Family::kSparseZeros,
+                                    rows * cols, seed);
+      break;
+    case 1:
+      data = testing::make_edge_field<T>(
+          testing::EdgeFamily::kZeroSentinelStress, rows * cols, seed);
+      break;
+    default:
+      data = testing::make_edge_field<T>(testing::EdgeFamily::kUlpNeighbors,
+                                         rows * cols, seed);
+      break;
+  }
+
+  std::vector<std::uint8_t> buf;
+  {
+    ArchiveWriter writer(&buf);
+    DatasetOptions opts;
+    opts.scheme = scheme;
+    opts.params.bound = bound;
+    opts.rows_per_chunk = 7 + rng.below(9);  // force multiple chunks
+    writer.add_dataset<T>("field", data, dims, opts);
+    writer.finish();
+  }
+
+  ArchiveReader reader(buf);
+  Dims full_dims;
+  auto full = reader.load<T>("field", &full_dims);
+  ASSERT_TRUE(full_dims == dims);
+
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t b = rng.below(rows);
+    const std::size_t e = b + 1 + rng.below(rows - b);
+    Dims roi_dims;
+    auto roi = reader.read_rows<T>("field", b, e, &roi_dims);
+    ASSERT_EQ(roi_dims.nd, 2);
+    ASSERT_EQ(roi_dims[0], e - b);
+    ASSERT_EQ(roi_dims[1], cols);
+    ASSERT_EQ(roi.size(), (e - b) * cols);
+
+    check_roi_against_oracle<T>(scheme, bound, data, roi, b, cols);
+
+    // ROI rows must equal the same rows of the full reconstruction
+    // bit-for-bit: partial decode may not change values.
+    ASSERT_EQ(0, std::memcmp(roi.data(), full.data() + b * cols,
+                             roi.size() * sizeof(T)))
+        << "rows [" << b << ", " << e << ") differ from full load";
+  }
+}
+
+TEST(ArchiveRoiBound, RelativeBoundSurvivesRowReads) {
+  const std::uint64_t seed = testing::effective_seed(20260809);
+  for (int rep = 0; rep < 4; ++rep) {
+    run_property<float>(Scheme::kSzT, 1e-3, seed + 10 * rep);
+    run_property<double>(Scheme::kSzT, 1e-5, seed + 10 * rep + 1);
+  }
+}
+
+TEST(ArchiveRoiBound, AbsoluteBoundSurvivesRowReads) {
+  const std::uint64_t seed = testing::effective_seed(20260811);
+  for (int rep = 0; rep < 4; ++rep) {
+    run_property<float>(Scheme::kSzAbs, 1e-2, seed + 10 * rep);
+    run_property<double>(Scheme::kSzAbs, 1e-4, seed + 10 * rep + 1);
+  }
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace transpwr

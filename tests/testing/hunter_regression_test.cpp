@@ -1,0 +1,60 @@
+// Replays every committed hunter reproducer (tests/data/corpus/
+// hunter_*.bin, THR1 format): minimized fields that once violated a
+// scheme's advertised bound. Each must now satisfy the guarantee — or be
+// refused with a clean ParamError — forever. Passes trivially (and
+// loudly) when no hunter reproducers are committed.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "testing/hunter.h"
+
+namespace transpwr {
+namespace testing {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::uint8_t> read_file(const fs::path& p) {
+  std::ifstream f(p, std::ios::binary);
+  EXPECT_TRUE(f.good()) << "cannot open " << p;
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(f),
+                                   std::istreambuf_iterator<char>());
+}
+
+TEST(HunterRegression, EveryCommittedReproducerStaysFixed) {
+  const fs::path dir = TRANSPWR_CORPUS_DIR;
+  ASSERT_TRUE(fs::exists(dir)) << dir << " missing";
+
+  std::vector<fs::path> repros;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("hunter_", 0) == 0 && name.size() > 4 &&
+        name.substr(name.size() - 4) == ".bin")
+      repros.push_back(entry.path());
+  }
+  std::sort(repros.begin(), repros.end());
+
+  if (repros.empty()) {
+    GTEST_SKIP() << "no hunter reproducers committed yet — the hunt has "
+                    "not broken anything that needed pinning";
+  }
+
+  for (const auto& path : repros) {
+    SCOPED_TRACE(path.string());
+    Reproducer r = decode_reproducer(read_file(path));
+    const std::string verdict = replay_reproducer(r);
+    EXPECT_EQ(verdict, "")
+        << "regression reopened: " << path.filename().string() << ": "
+        << verdict;
+  }
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace transpwr

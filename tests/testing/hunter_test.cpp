@@ -1,0 +1,270 @@
+// The adversarial bound-violation hunter's own contract: bounded smoke
+// sweep over every scheme at the edges of float space (the tier-1 `hunter`
+// label), determinism, the TRANSPWR_SEED override, edge-field generators,
+// ddmin minimization, and the THR1 reproducer codec.
+
+#include "testing/hunter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "common/error.h"
+
+namespace transpwr {
+namespace testing {
+namespace {
+
+/// Small enough to stay well under the tier-1 budget, broad enough to
+/// cover every scheme x family x precision with a friendly, a mid, and a
+/// guard-window bound.
+HunterConfig smoke_config() {
+  HunterConfig config;
+  config.max_points = 192;
+  config.bounds = {1e-2, 1e-4, 2.5e-5};
+  config.minimize_budget = 200;
+  return config;
+}
+
+TEST(HunterSmoke, AllSchemesHoldAtTheEdges) {
+  HunterReport report = run_hunt(smoke_config());
+  EXPECT_TRUE(report.ok()) << report.table();
+  // The sweep must actually cover the surface it claims: all 8 schemes x
+  // 6 families x 3 bounds x 2 precisions, plus the ULP audits.
+  EXPECT_EQ(report.cases_run, 8u * 6u * 3u * 2u);
+  EXPECT_GT(report.audits_run, 0u);
+  EXPECT_GT(report.points_checked, 10000u);
+  // The guard-window bound must be refused *cleanly* where float cannot
+  // honor it — a silent pass there would mean the sweep never reached it.
+  EXPECT_GT(report.clean_rejections, 0u);
+  bool tight_refused = false;
+  for (const auto& [key, msg] : report.rejections)
+    if (key.find("float32") != std::string::npos &&
+        msg.find("too tight") != std::string::npos)
+      tight_refused = true;
+  EXPECT_TRUE(tight_refused)
+      << "no float32 triple refused a too-tight bound; the sweep did not "
+         "reach the quantizer-resolution limit";
+}
+
+TEST(HunterSmoke, WorstMarginsNeverExceedTheContractLine) {
+  HunterReport report = run_hunt(smoke_config());
+  for (const auto& w : report.worst)
+    EXPECT_LE(w.margin, 1.0) << w.key << " at x=" << w.input << " -> "
+                             << w.output << " [" << w.family << "]";
+}
+
+TEST(HunterDeterminism, SameSeedSameReport) {
+  HunterConfig config = smoke_config();
+  config.schemes = {Scheme::kSzT, Scheme::kSzAbs};
+  config.families = {EdgeFamily::kExtremeDynamicRange,
+                     EdgeFamily::kZeroSentinelStress};
+  config.ulp_audit = false;
+  HunterReport a = run_hunt(config);
+  HunterReport b = run_hunt(config);
+  EXPECT_EQ(a.cases_run, b.cases_run);
+  EXPECT_EQ(a.points_checked, b.points_checked);
+  EXPECT_EQ(a.clean_rejections, b.clean_rejections);
+  EXPECT_EQ(a.violations.size(), b.violations.size());
+  ASSERT_EQ(a.worst.size(), b.worst.size());
+  for (std::size_t i = 0; i < a.worst.size(); ++i) {
+    EXPECT_EQ(a.worst[i].key, b.worst[i].key);
+    EXPECT_EQ(a.worst[i].margin, b.worst[i].margin);
+    EXPECT_EQ(a.worst[i].input, b.worst[i].input);
+  }
+}
+
+TEST(HunterDeterminism, EnvSeedOverridesConfigAndIsReported) {
+  HunterConfig config = smoke_config();
+  config.schemes = {Scheme::kSzAbs};
+  config.families = {EdgeFamily::kUlpNeighbors};
+  config.bounds = {1e-2};
+  config.ulp_audit = false;
+  ASSERT_EQ(setenv("TRANSPWR_SEED", "424242", 1), 0);
+  HunterReport report = run_hunt(config);
+  unsetenv("TRANSPWR_SEED");
+  EXPECT_EQ(report.effective_seed, 424242u);
+  HunterReport fallback = run_hunt(config);
+  EXPECT_EQ(fallback.effective_seed, config.seed);
+}
+
+template <typename T>
+void expect_family_well_formed(EdgeFamily family) {
+  auto a = make_edge_field<T>(family, 257, 99);
+  auto b = make_edge_field<T>(family, 257, 99);
+  auto c = make_edge_field<T>(family, 257, 100);
+  ASSERT_EQ(a.size(), 257u);
+  EXPECT_EQ(a, b) << edge_family_name(family) << ": not deterministic";
+  EXPECT_NE(a, c) << edge_family_name(family) << ": seed has no effect";
+  for (T v : a)
+    ASSERT_TRUE(std::isfinite(static_cast<double>(v)))
+        << edge_family_name(family) << " produced a non-finite value";
+}
+
+TEST(EdgeFields, DeterministicFiniteAndSeedSensitive) {
+  for (EdgeFamily f : all_edge_families()) {
+    expect_family_well_formed<float>(f);
+    expect_family_well_formed<double>(f);
+  }
+}
+
+TEST(EdgeFields, FamiliesReachTheirTargetRegions) {
+  auto denorm = make_edge_field<float>(EdgeFamily::kDenormalBoundary, 512, 7);
+  bool saw_subnormal = false;
+  for (float v : denorm) {
+    EXPECT_NE(v, 0.0f);
+    if (v != 0.0f && std::abs(v) < std::numeric_limits<float>::min())
+      saw_subnormal = true;
+  }
+  EXPECT_TRUE(saw_subnormal);
+
+  auto huge = make_edge_field<double>(EdgeFamily::kMaxMagnitude, 512, 7);
+  bool saw_max_adjacent = false;
+  for (double v : huge)
+    if (std::abs(v) > std::numeric_limits<double>::max() / 2)
+      saw_max_adjacent = true;
+  EXPECT_TRUE(saw_max_adjacent);
+
+  auto zeros =
+      make_edge_field<float>(EdgeFamily::kZeroSentinelStress, 512, 7);
+  std::size_t zero_count = 0;
+  for (float v : zeros)
+    if (v == 0.0f) zero_count++;
+  EXPECT_GT(zero_count, 32u);
+  EXPECT_LT(zero_count, 512u);
+
+  auto range =
+      make_edge_field<double>(EdgeFamily::kExtremeDynamicRange, 512, 7);
+  EXPECT_GT(std::abs(range[0]), std::numeric_limits<double>::max() / 2);
+  EXPECT_LT(std::abs(range[1]), std::numeric_limits<double>::min());
+}
+
+TEST(EdgeFields, NamesRoundTrip) {
+  for (EdgeFamily f : all_edge_families())
+    EXPECT_EQ(edge_family_from_name(edge_family_name(f)), f);
+  EXPECT_THROW(edge_family_from_name("no_such_family"), ParamError);
+}
+
+TEST(MinimizeField, ShrinksToTheCulpritAndSimplifiesTheRest) {
+  std::vector<double> field(300, 0.5);
+  field[137] = 1e200;  // the "bug" the predicate detects
+  std::size_t calls = 0;
+  auto pred = [&](std::span<const double> f) {
+    ++calls;
+    for (double v : f)
+      if (std::abs(v) > 1e100) return true;
+    return false;
+  };
+  auto minimized = minimize_field<double>(
+      field, std::function<bool(std::span<const double>)>(pred), 500);
+  ASSERT_EQ(minimized.size(), 1u);
+  EXPECT_EQ(minimized[0], 1e200);
+  EXPECT_LE(calls, 500u);
+}
+
+TEST(MinimizeField, RespectsTheBudget) {
+  std::vector<double> field(64, 2.0);
+  auto pred = [](std::span<const double> f) { return !f.empty(); };
+  auto minimized = minimize_field<double>(
+      field, std::function<bool(std::span<const double>)>(pred), 3);
+  // 3 predicate calls cannot take 64 elements to 1; it must stop early,
+  // not loop forever.
+  EXPECT_GE(minimized.size(), 1u);
+}
+
+TEST(Reproducer, CodecRoundTripsExactly) {
+  Reproducer r;
+  r.scheme = Scheme::kZfpT;
+  r.dtype = DataType::kFloat32;
+  r.bound = 2.5e-5;
+  r.values = {0.0, 1.0, -3.4e38, 1.1754944e-38, -0.0};
+  auto bytes = encode_reproducer(r);
+  Reproducer d = decode_reproducer(bytes);
+  EXPECT_EQ(d.scheme, r.scheme);
+  EXPECT_EQ(d.dtype, r.dtype);
+  EXPECT_EQ(d.bound, r.bound);
+  EXPECT_EQ(d.values, r.values);
+}
+
+TEST(Reproducer, RejectsMalformedStreams) {
+  Reproducer r;
+  r.scheme = Scheme::kSzT;
+  r.dtype = DataType::kFloat64;
+  r.bound = 1e-3;
+  r.values = {1.0, 2.0};
+  auto bytes = encode_reproducer(r);
+
+  auto bad_magic = bytes;
+  bad_magic[0] ^= 0xff;
+  EXPECT_THROW(decode_reproducer(bad_magic), StreamError);
+
+  auto truncated = bytes;
+  truncated.resize(truncated.size() - 4);
+  EXPECT_THROW(decode_reproducer(truncated), StreamError);
+
+  auto bad_scheme = bytes;
+  bad_scheme[4] = 200;
+  EXPECT_THROW(decode_reproducer(bad_scheme), StreamError);
+}
+
+TEST(Reproducer, ReplayHoldsOnConformingData) {
+  Reproducer r;
+  r.scheme = Scheme::kSzT;
+  r.dtype = DataType::kFloat32;
+  r.bound = 1e-3;
+  r.values = {1.0, 2.5, -0.125, 0.0, 1024.0};
+  EXPECT_EQ(replay_reproducer(r), "");
+}
+
+TEST(Reproducer, CleanRefusalCountsAsFixed) {
+  // A bound float32 cannot honor must be refused with ParamError; a
+  // once-violating reproducer whose fix was "reject up front" replays
+  // green.
+  Reproducer r;
+  r.scheme = Scheme::kSzT;
+  r.dtype = DataType::kFloat32;
+  r.bound = 1e-7;
+  r.values = {1.0, 2.0, 3.0};
+  EXPECT_EQ(replay_reproducer(r), "");
+}
+
+TEST(UlpAudit, RunsBothDispatchesAndBases) {
+  HunterConfig config;
+  config.max_points = 128;
+  config.schemes = {Scheme::kSzAbs};  // keep the round-trip part minimal
+  config.families = {EdgeFamily::kZeroSentinelStress,
+                     EdgeFamily::kExtremeDynamicRange};
+  config.bounds = {1e-2};
+  config.minimize = false;
+  HunterReport report = run_hunt(config);
+  EXPECT_TRUE(report.ok()) << report.table();
+  // 2 families x 1 bound x 2 bases x 2 dispatches x 2 precisions.
+  EXPECT_EQ(report.audits_run, 2u * 1u * 2u * 2u * 2u);
+  bool saw_generic = false, saw_native = false;
+  for (const auto& w : report.worst) {
+    if (w.key.find("generic") != std::string::npos) saw_generic = true;
+    if (w.key.find("native") != std::string::npos) saw_native = true;
+  }
+  EXPECT_TRUE(saw_generic);
+  EXPECT_TRUE(saw_native);
+}
+
+TEST(HunterReport, TableMentionsSeedAndMargins) {
+  HunterConfig config;
+  config.max_points = 64;
+  config.schemes = {Scheme::kSzT};
+  config.families = {EdgeFamily::kUlpNeighbors};
+  config.bounds = {1e-2};
+  config.ulp_audit = false;
+  config.seed = 31337;
+  HunterReport report = run_hunt(config);
+  std::string table = report.table();
+  EXPECT_NE(table.find("seed=31337"), std::string::npos);
+  EXPECT_NE(table.find("worst margins"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace transpwr

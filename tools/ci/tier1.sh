@@ -37,4 +37,15 @@ cmake -B "$asan" -S "$repo" -DTRANSPWR_SANITIZE=address,undefined
 cmake --build "$asan" --target fuzz_decode -j "$jobs"
 TRANSPWR_KERNELS=native "$asan/tools/conformance/fuzz_decode" --iters "$iters"
 
+# Hunter smoke under the same sanitizers: a bounded sweep of the
+# adversarial bound-violation hunter (fixed seed, every scheme x edge
+# family) with the native kernels on, so guarantee-surface arithmetic runs
+# once per CI with UB detection armed. The unsanitized smoke already ran
+# twice above via `ctest` (label: hunter). The deep soak is
+# tools/ci/hunter_soak.sh.
+echo "=== tier-1 [asan-ubsan]: hunter smoke, native kernels ==="
+cmake --build "$asan" --target hunter -j "$jobs"
+TRANSPWR_KERNELS=native "$asan/tools/hunter/hunter" \
+  --max-points 256 --bound 1e-2 --bound 1e-4 --bound 2.5e-5
+
 echo "tier-1: all configurations green"

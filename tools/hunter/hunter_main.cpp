@@ -1,0 +1,154 @@
+// Adversarial bound-violation hunter: directed search over the guarantee
+// surface at the edges of float space (denormals, the log singularity,
+// FLT_MAX/DBL_MAX-adjacent magnitudes, quantizer-resolution bounds), with a
+// ULP-level audit of the log transform's round-off-safe bound adjustment
+// under both kernel dispatches, and ddmin minimization of anything broken
+// into replayable THR1 reproducers.
+//
+//   hunter [--seed N] [--iters M] [--max-points N] [--codec A,B,...]
+//          [--families F,G,...] [--bound B ...] [--no-double]
+//          [--no-minimize] [--no-audit] [--emit-repro DIR] [--list]
+//
+// Exit code 0 when every guarantee holds, 1 on violations, 2 on usage or
+// internal errors. TRANSPWR_SEED overrides --seed; the effective seed is
+// printed so any CI log line is enough to replay the hunt.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+#include "testing/hunter.h"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+void usage() {
+  std::cerr << "usage: hunter [--seed N] [--iters M] [--max-points N]\n"
+               "              [--codec A,B,...] [--families F,G,...]\n"
+               "              [--bound B ...] [--no-double] [--no-minimize]\n"
+               "              [--no-audit] [--emit-repro DIR] [--list]\n";
+}
+
+/// Write each minimized violation as a THR1 reproducer the regression test
+/// replays. Returns the number of files written.
+std::size_t emit_reproducers(const transpwr::testing::HunterReport& report,
+                             const std::string& dir) {
+  using namespace transpwr;
+  std::size_t written = 0;
+  for (const auto& v : report.violations) {
+    if (v.reproducer.empty()) continue;
+    testing::Reproducer r;
+    r.scheme = scheme_from_name(v.scheme);
+    r.dtype = v.precision == "float32" ? DataType::kFloat32
+                                       : DataType::kFloat64;
+    r.bound = v.bound;
+    r.values = v.reproducer;
+    auto bytes = testing::encode_reproducer(r);
+    std::ostringstream name;
+    name << dir << "/hunter_" << v.scheme << "_" << v.kind << "_"
+         << v.precision << "_" << written << ".bin";
+    std::ofstream f(name.str(), std::ios::binary | std::ios::trunc);
+    if (!f) throw std::runtime_error("cannot write " + name.str());
+    f.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+    std::cout << "reproducer: " << name.str() << " (" << r.values.size()
+              << " elements)\n";
+    written++;
+  }
+  return written;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace transpwr;
+  using namespace transpwr::testing;
+
+  HunterConfig config;
+  std::vector<double> bounds;
+  std::string emit_dir;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc)
+          throw std::runtime_error("missing value for " + arg);
+        return argv[++i];
+      };
+      if (arg == "--seed") {
+        config.seed = std::stoull(next());
+      } else if (arg == "--iters") {
+        config.iters = std::stoull(next());
+      } else if (arg == "--max-points") {
+        config.max_points = std::stoull(next());
+      } else if (arg == "--codec") {
+        for (const auto& name : split_csv(next()))
+          config.schemes.push_back(scheme_from_name(name));
+      } else if (arg == "--families") {
+        for (const auto& name : split_csv(next()))
+          config.families.push_back(edge_family_from_name(name));
+      } else if (arg == "--bound") {
+        bounds.push_back(std::stod(next()));
+      } else if (arg == "--no-double") {
+        config.check_double = false;
+      } else if (arg == "--no-minimize") {
+        config.minimize = false;
+      } else if (arg == "--no-audit") {
+        config.ulp_audit = false;
+      } else if (arg == "--emit-repro") {
+        emit_dir = next();
+      } else if (arg == "--list") {
+        std::cout << "schemes:";
+        for (Scheme s : all_schemes()) std::cout << " " << scheme_name(s);
+        std::cout << "\nfamilies:";
+        for (EdgeFamily f : all_edge_families())
+          std::cout << " " << edge_family_name(f);
+        std::cout << "\n";
+        return 0;
+      } else if (arg == "--help" || arg == "-h") {
+        usage();
+        return 0;
+      } else {
+        usage();
+        return 2;
+      }
+    }
+    if (!bounds.empty()) config.bounds = bounds;
+
+    // Record throughout so the summary can report how much ground the hunt
+    // actually covered (hunter.cases / hunter.points / hunter.violations).
+    obs::ScopedRecording rec;
+    obs::reset();
+    HunterReport report = run_hunt(config);
+    std::cout << report.table();
+    std::cout << "hunter: counters: cases="
+              << obs::counter_value("hunter.cases")
+              << " points=" << obs::counter_value("hunter.points")
+              << " audits=" << obs::counter_value("hunter.audits")
+              << " violations=" << obs::counter_value("hunter.violations")
+              << "\n";
+
+    if (!emit_dir.empty() && !report.violations.empty()) {
+      std::size_t n = emit_reproducers(report, emit_dir);
+      std::cout << "hunter: " << n << " reproducer(s) written to "
+                << emit_dir << "\n";
+    }
+    return report.ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "hunter: " << e.what() << "\n";
+    return 2;
+  }
+}
