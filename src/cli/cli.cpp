@@ -237,7 +237,8 @@ int do_archive_ls(const Args& a) {
                 static_cast<unsigned long long>(compressed),
                 compression_ratio(raw, compressed));
   }
-  std::printf("%zu dataset(s)\n", reader.datasets().size());
+  std::printf("%zu dataset(s), %s transport\n", reader.datasets().size(),
+              reader.mapped() ? "mmap" : "buffered");
   return 0;
 }
 

@@ -1,0 +1,97 @@
+#include "common/mapped_file.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/error.h"
+
+namespace transpwr {
+
+MappedFile::MappedFile(const std::string& path, bool allow_map) {
+  fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd_ < 0) throw StreamError("mapped_file: cannot open " + path);
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw StreamError("mapped_file: cannot stat " + path);
+  }
+  size_ = static_cast<std::uint64_t>(st.st_size);
+  device_ = static_cast<std::uint64_t>(st.st_dev);
+  inode_ = static_cast<std::uint64_t>(st.st_ino);
+  mtime_ns_ = static_cast<std::uint64_t>(st.st_mtim.tv_sec) * 1000000000ull +
+              static_cast<std::uint64_t>(st.st_mtim.tv_nsec);
+  if (!allow_map || size_ == 0) return;
+  void* base = ::mmap(nullptr, static_cast<std::size_t>(size_), PROT_READ,
+                      MAP_PRIVATE, fd_, 0);
+  if (base == MAP_FAILED) return;  // graceful: consumers pread instead
+  base_ = static_cast<const std::uint8_t*>(base);
+  // Chunk lookups jump around the payload; telling the kernel not to
+  // read ahead keeps cold ROI reads from paging in neighboring chunks.
+  ::madvise(base, static_cast<std::size_t>(size_), MADV_RANDOM);
+}
+
+MappedFile::~MappedFile() { close(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      base_(std::exchange(other.base_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      device_(std::exchange(other.device_, 0)),
+      inode_(std::exchange(other.inode_, 0)),
+      mtime_ns_(std::exchange(other.mtime_ns_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    base_ = std::exchange(other.base_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    device_ = std::exchange(other.device_, 0);
+    inode_ = std::exchange(other.inode_, 0);
+    mtime_ns_ = std::exchange(other.mtime_ns_, 0);
+  }
+  return *this;
+}
+
+void MappedFile::read_at(std::uint64_t offset, std::span<std::uint8_t> out,
+                         const char* what) const {
+  if (offset > size_ || out.size() > size_ - offset)
+    throw StreamError(std::string("mapped_file: ") + what +
+                      " extends past the end of the file");
+  if (out.empty()) return;
+  if (mapped()) {
+    std::memcpy(out.data(), base_ + offset, out.size());
+    return;
+  }
+  std::size_t got = 0;
+  while (got < out.size()) {
+    ssize_t n = ::pread(fd_, out.data() + got, out.size() - got,
+                        static_cast<off_t>(offset + got));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0)
+      throw StreamError(std::string("mapped_file: short read of ") + what);
+    got += static_cast<std::size_t>(n);
+  }
+}
+
+void MappedFile::close() {
+  if (base_) {
+    ::munmap(const_cast<std::uint8_t*>(base_),
+             static_cast<std::size_t>(size_));
+    base_ = nullptr;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  size_ = device_ = inode_ = mtime_ns_ = 0;
+}
+
+}  // namespace transpwr

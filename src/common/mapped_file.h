@@ -1,0 +1,82 @@
+#ifndef TRANSPWR_COMMON_MAPPED_FILE_H
+#define TRANSPWR_COMMON_MAPPED_FILE_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace transpwr {
+
+/// Read-only view of a file, memory-mapped when the platform allows it and
+/// served by positional reads (`pread`) otherwise.
+///
+/// The TPAR read path wants two things from its I/O layer: zero-copy chunk
+/// access (hand decoders spans straight into the page cache instead of
+/// buffering every chunk through `fread`) and contention-free concurrent
+/// reads (parallel chunk decode must not serialize on one shared seek
+/// position). `MappedFile` provides both: `view()` exposes the whole file
+/// as a span when the mapping succeeded, and `read_at()` is a positional
+/// read that never moves a file offset, so any number of threads can call
+/// it on one instance without locking.
+///
+/// Mapping failure is graceful, not fatal — an empty file, a filesystem
+/// without mmap support, or address-space exhaustion simply leaves
+/// `mapped()` false and every consumer falls back to `read_at`. Only
+/// failing to open or stat the file throws.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  /// Open `path` read-only and try to map it (unless `allow_map` is
+  /// false, which forces the pread fallback — the benchmarking and test
+  /// hook behind TRANSPWR_ARCHIVE_MMAP=0). Throws StreamError when the
+  /// file cannot be opened or stat'ed.
+  explicit MappedFile(const std::string& path, bool allow_map = true);
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  bool is_open() const { return fd_ >= 0; }
+  bool mapped() const { return base_ != nullptr; }
+  std::uint64_t size() const { return size_; }
+
+  /// The whole file as a span; empty when not mapped. Pages fault in on
+  /// first touch — the mapping is advised for random access, the TPAR
+  /// chunk-lookup pattern.
+  std::span<const std::uint8_t> view() const {
+    return mapped() ? std::span<const std::uint8_t>(
+                          base_, static_cast<std::size_t>(size_))
+                    : std::span<const std::uint8_t>();
+  }
+
+  /// Positional read of exactly `out.size()` bytes at `offset`; copies
+  /// from the mapping when present, `pread`s otherwise. Thread-safe —
+  /// no shared file offset is involved. Throws StreamError (naming
+  /// `what`) on out-of-range requests or short reads.
+  void read_at(std::uint64_t offset, std::span<std::uint8_t> out,
+               const char* what) const;
+
+  /// Stable identity of the underlying inode, for keying shared caches:
+  /// two opens of the same unmodified file agree, a rewritten file does
+  /// not (size and mtime are part of the identity).
+  std::uint64_t device() const { return device_; }
+  std::uint64_t inode() const { return inode_; }
+  std::uint64_t mtime_ns() const { return mtime_ns_; }
+
+  /// Unmap and close; the object returns to the default-constructed state.
+  void close();
+
+ private:
+  int fd_ = -1;
+  const std::uint8_t* base_ = nullptr;
+  std::uint64_t size_ = 0;
+  std::uint64_t device_ = 0;
+  std::uint64_t inode_ = 0;
+  std::uint64_t mtime_ns_ = 0;
+};
+
+}  // namespace transpwr
+
+#endif  // TRANSPWR_COMMON_MAPPED_FILE_H

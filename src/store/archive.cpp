@@ -4,13 +4,16 @@
 #include <condition_variable>
 #include <cstring>
 #include <exception>
+#include <mutex>
 
 #include "common/bytestream.h"
 #include "common/checksum.h"
 #include "common/decode_guard.h"
+#include "common/env.h"
 #include "common/error.h"
 #include "common/parallel.h"
 #include "obs/obs.h"
+#include "store/chunk_cache.h"
 
 namespace transpwr {
 namespace store {
@@ -354,66 +357,81 @@ template void ArchiveWriter::add_dataset<double>(const std::string&,
 
 // --- ArchiveReader ----------------------------------------------------------
 
+namespace {
+
+/// Running total of bytes this process has mmap'ed for TPAR archives,
+/// mirrored into the `archive.mapped_bytes` gauge on every open/close.
+std::atomic<std::uint64_t> g_mapped_bytes{0};
+
+bool mmap_allowed() {
+  return env::checked_u64("TRANSPWR_ARCHIVE_MMAP",
+                          {/*min=*/0, /*max=*/1, /*clamp=*/false})
+             .value_or(1) != 0;
+}
+
+}  // namespace
+
 ArchiveReader::ArchiveReader(const std::string& path) {
-  file_ = std::fopen(path.c_str(), "rb");
-  if (!file_) throw StreamError("archive: cannot open " + path);
-  std::fseek(file_, 0, SEEK_END);
-  long size = std::ftell(file_);
-  if (size < 0) {
-    std::fclose(file_);
-    file_ = nullptr;
-    throw StreamError("archive: cannot stat " + path);
-  }
-  size_ = static_cast<std::uint64_t>(size);
   try {
-    parse_footer();
-  } catch (...) {
-    std::fclose(file_);
-    file_ = nullptr;
-    throw;
+    file_ = MappedFile(path, mmap_allowed());
+  } catch (const StreamError&) {
+    throw StreamError("archive: cannot open " + path);
+  }
+  size_ = file_.size();
+  view_ = file_.view();
+  parse_footer();
+  cache_id_ = file_archive_id(file_.device(), file_.inode(), size_,
+                              file_.mtime_ns());
+  if (file_.mapped()) {
+    obs::gauge_set("archive.mapped_bytes",
+                   static_cast<double>(g_mapped_bytes.fetch_add(
+                                           size_, std::memory_order_relaxed) +
+                                       size_));
   }
 }
 
 ArchiveReader::ArchiveReader(std::span<const std::uint8_t> bytes)
-    : mem_(bytes), size_(bytes.size()) {
+    : view_(bytes), size_(bytes.size()), cache_id_(memory_archive_id()) {
   parse_footer();
 }
 
 ArchiveReader::~ArchiveReader() {
-  if (file_) std::fclose(file_);
-}
-
-std::vector<std::uint8_t> ArchiveReader::read_at(std::uint64_t offset,
-                                                 std::uint64_t size,
-                                                 const char* what) {
-  if (offset > size_ || size > size_ - offset)
-    throw StreamError(std::string("archive: ") + what +
-                      " extends past the end of the archive");
-  check_decode_alloc(static_cast<std::size_t>(size), 1, "archive");
-  std::vector<std::uint8_t> out(static_cast<std::size_t>(size));
-  if (file_) {
-    std::lock_guard<std::mutex> lock(io_mu_);
-    if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0 ||
-        (!out.empty() &&
-         std::fread(out.data(), 1, out.size(), file_) != out.size()))
-      throw StreamError(std::string("archive: short read of ") + what);
-  } else if (!out.empty()) {
-    std::memcpy(out.data(), mem_.data() + offset, out.size());
+  if (file_.mapped()) {
+    obs::gauge_set("archive.mapped_bytes",
+                   static_cast<double>(g_mapped_bytes.fetch_sub(
+                                           size_, std::memory_order_relaxed) -
+                                       size_));
   }
-  return out;
 }
 
 void ArchiveReader::parse_footer() {
   if (size_ < kHeadSize + kTrailerSize)
     throw StreamError("archive: file too small to be a TPAR archive");
-  auto head = read_at(0, kHeadSize, "header");
+
+  // Zero-copy modes parse head/trailer/footer in place; the pread
+  // fallback copies just those framing regions (never the payload).
+  std::vector<std::uint8_t> head_buf, trailer_buf, footer_buf;
+  auto fetch = [&](std::uint64_t offset, std::uint64_t len,
+                   std::vector<std::uint8_t>& buf,
+                   const char* what) -> std::span<const std::uint8_t> {
+    if (!view_.empty())
+      return view_.subspan(static_cast<std::size_t>(offset),
+                           static_cast<std::size_t>(len));
+    check_decode_alloc(static_cast<std::size_t>(len), 1, "archive");
+    buf.resize(static_cast<std::size_t>(len));
+    file_.read_at(offset, buf, what);
+    return buf;
+  };
+
+  auto head = fetch(0, kHeadSize, head_buf, "header");
   ByteReader hin(head);
   if (hin.get<std::uint32_t>() != kMagic)
     throw StreamError("archive: bad magic (not a TPAR archive)");
   if (hin.get<std::uint32_t>() != kVersion)
     throw StreamError("archive: unsupported version");
 
-  auto trailer = read_at(size_ - kTrailerSize, kTrailerSize, "trailer");
+  auto trailer = fetch(size_ - kTrailerSize, kTrailerSize, trailer_buf,
+                       "trailer");
   ByteReader tin(trailer);
   auto footer_sum = tin.get<std::uint64_t>();
   auto footer_size = tin.get<std::uint64_t>();
@@ -422,38 +440,94 @@ void ArchiveReader::parse_footer() {
   if (footer_size > size_ - kHeadSize - kTrailerSize)
     throw StreamError("archive: footer size exceeds the file");
   const std::uint64_t footer_start = size_ - kTrailerSize - footer_size;
-  auto footer = read_at(footer_start, footer_size, "footer");
+  auto footer = fetch(footer_start, footer_size, footer_buf, "footer");
   if (fnv1a64(footer) != footer_sum)
     throw StreamError("archive: footer checksum mismatch (corrupt archive)");
   directory_ = parse_directory(footer, footer_start);
+
+  // Lay out the lazy-verification bitmap: one bit per chunk, flattened in
+  // directory order. All bits start unverified; chunk counts were already
+  // bounded by the footer size, so this allocation is footer-sized at
+  // worst.
+  chunk_bit_base_.clear();
+  chunk_bit_base_.reserve(directory_.size());
+  std::size_t total_chunks = 0;
+  for (const auto& ds : directory_) {
+    chunk_bit_base_.push_back(total_chunks);
+    total_chunks += ds.chunks.size();
+  }
+  verified_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      (total_chunks + 63) / 64);
+}
+
+bool ArchiveReader::chunk_verified(std::size_t flat_index) const {
+  return (verified_[flat_index / 64].load(std::memory_order_acquire) >>
+          (flat_index % 64)) &
+         1u;
+}
+
+void ArchiveReader::mark_chunk_verified(std::size_t flat_index) {
+  verified_[flat_index / 64].fetch_or(std::uint64_t{1} << (flat_index % 64),
+                                      std::memory_order_release);
+}
+
+std::size_t ArchiveReader::dataset_index(const std::string& name) const {
+  for (std::size_t d = 0; d < directory_.size(); ++d)
+    if (directory_[d].name == name) return d;
+  throw ParamError("archive: no dataset named " + name);
 }
 
 const DatasetInfo& ArchiveReader::dataset(const std::string& name) const {
-  for (const auto& ds : directory_)
-    if (ds.name == name) return ds;
-  throw ParamError("archive: no dataset named " + name);
+  return directory_[dataset_index(name)];
+}
+
+ArchiveReader::ChunkBytes ArchiveReader::chunk_bytes(std::size_t ds_index,
+                                                     std::size_t chunk) {
+  const DatasetInfo& ds = directory_[ds_index];
+  const ChunkInfo& c = ds.chunks[chunk];
+  ChunkBytes out;
+  if (!view_.empty()) {
+    // Extents were validated to tile [head, footer) at open, so this
+    // subspan cannot run off the mapping.
+    out.bytes = view_.subspan(static_cast<std::size_t>(c.offset),
+                              static_cast<std::size_t>(c.size));
+  } else {
+    check_decode_alloc(static_cast<std::size_t>(c.size), 1, "archive");
+    out.owned.resize(static_cast<std::size_t>(c.size));
+    file_.read_at(c.offset, out.owned, "chunk");
+    out.bytes = out.owned;
+  }
+  const std::size_t flat = chunk_bit_base_[ds_index] + chunk;
+  if (chunk_verified(flat)) {
+    obs::counter_add("archive.verify_skips");
+  } else {
+    // First touch: verify now, remember only success — a corrupt chunk
+    // must fail on every touch, so a failed verdict is never recorded.
+    if (fnv1a64(out.bytes) != c.checksum) {
+      obs::counter_add("archive.checksum_mismatches");
+      throw StreamError("archive: dataset " + ds.name + " chunk " +
+                        std::to_string(chunk) +
+                        " checksum mismatch (corrupt archive)");
+    }
+    obs::counter_add("archive.lazy_verifies");
+    mark_chunk_verified(flat);
+  }
+  obs::counter_add("archive.chunks_read");
+  return out;
 }
 
 std::vector<std::uint8_t> ArchiveReader::read_chunk_bytes(
     const std::string& name, std::size_t chunk) {
-  const DatasetInfo& ds = dataset(name);
-  if (chunk >= ds.chunks.size())
+  const std::size_t di = dataset_index(name);
+  if (chunk >= directory_[di].chunks.size())
     throw ParamError("archive: chunk index out of range for " + name);
-  const ChunkInfo& c = ds.chunks[chunk];
-  auto bytes = read_at(c.offset, c.size, "chunk");
-  if (fnv1a64(bytes) != c.checksum) {
-    obs::counter_add("archive.checksum_mismatches");
-    throw StreamError("archive: dataset " + name + " chunk " +
-                      std::to_string(chunk) +
-                      " checksum mismatch (corrupt archive)");
-  }
-  obs::counter_add("archive.chunks_read");
-  return bytes;
+  auto cb = chunk_bytes(di, chunk);
+  return std::vector<std::uint8_t>(cb.bytes.begin(), cb.bytes.end());
 }
 
 namespace {
 
-/// Decode one checksummed chunk stream and verify its shape against the
+/// Decode one verified chunk stream and check its shape against the
 /// directory row count.
 template <typename T>
 std::vector<T> decode_chunk(const DatasetInfo& ds, std::size_t chunk,
@@ -479,10 +553,35 @@ std::vector<T> decode_chunk(const DatasetInfo& ds, std::size_t chunk,
 }  // namespace
 
 template <typename T>
+void ArchiveReader::copy_chunk_elems(std::size_t ds_index, std::size_t chunk,
+                                     std::size_t elem_begin,
+                                     std::size_t elem_count, T* dst) {
+  const DatasetInfo& ds = directory_[ds_index];
+  const ChunkInfo& c = ds.chunks[chunk];
+  ChunkCache& cache = ChunkCache::instance();
+  const ChunkKey key{cache_id_, static_cast<std::uint32_t>(ds_index),
+                     static_cast<std::uint32_t>(chunk), c.checksum};
+  if (auto hit = cache.get(key)) {
+    std::memcpy(dst, hit->data() + elem_begin * sizeof(T),
+                elem_count * sizeof(T));
+    return;
+  }
+  auto cb = chunk_bytes(ds_index, chunk);
+  auto data = decode_chunk<T>(ds, chunk, cb.bytes, nullptr);
+  std::memcpy(dst, data.data() + elem_begin, elem_count * sizeof(T));
+  if (cache.capacity() != 0) {
+    const auto* raw = reinterpret_cast<const std::uint8_t*>(data.data());
+    cache.put(key, std::make_shared<std::vector<std::uint8_t>>(
+                       raw, raw + data.size() * sizeof(T)));
+  }
+}
+
+template <typename T>
 std::vector<T> ArchiveReader::load(const std::string& name, Dims* dims_out,
                                    std::size_t threads) {
   obs::Span root_span("archive.load");
-  const DatasetInfo& ds = dataset(name);
+  const std::size_t di = dataset_index(name);
+  const DatasetInfo& ds = directory_[di];
   if (ds.dtype != data_type_of<T>())
     throw StreamError("archive: dataset " + name +
                       " data type does not match");
@@ -491,11 +590,6 @@ std::vector<T> ArchiveReader::load(const std::string& name, Dims* dims_out,
   if (dims_out) *dims_out = ds.dims;
   const std::size_t row_elems = n / ds.dims[0];
 
-  // Sequential I/O (checksummed), then parallel decode into place.
-  std::vector<std::vector<std::uint8_t>> raw(ds.chunks.size());
-  for (std::size_t i = 0; i < ds.chunks.size(); ++i)
-    raw[i] = read_chunk_bytes(name, i);
-
   std::vector<std::uint64_t> row_begin(ds.chunks.size());
   std::uint64_t at = 0;
   for (std::size_t i = 0; i < ds.chunks.size(); ++i) {
@@ -503,6 +597,9 @@ std::vector<T> ArchiveReader::load(const std::string& name, Dims* dims_out,
     at += ds.chunks[i].rows;
   }
 
+  // I/O, verification, and decode all happen inside the workers: chunk
+  // bytes come from the mapping (or positional reads) with no shared
+  // seek position, so nothing below serializes.
   std::vector<T> out(n);
   ParallelOptions opts;
   opts.max_threads = resolve_threads(threads);
@@ -511,9 +608,10 @@ std::vector<T> ArchiveReader::load(const std::string& name, Dims* dims_out,
       ds.chunks.size(),
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
-          auto data = decode_chunk<T>(ds, i, raw[i], nullptr);
-          std::memcpy(out.data() + row_begin[i] * row_elems, data.data(),
-                      data.size() * sizeof(T));
+          const std::size_t elems =
+              static_cast<std::size_t>(ds.chunks[i].rows) * row_elems;
+          copy_chunk_elems<T>(di, i, 0, elems,
+                              out.data() + row_begin[i] * row_elems);
         }
       },
       opts);
@@ -524,12 +622,20 @@ template <typename T>
 std::vector<T> ArchiveReader::load_chunk(const std::string& name,
                                          std::size_t chunk,
                                          Dims* chunk_dims_out) {
-  const DatasetInfo& ds = dataset(name);
+  const std::size_t di = dataset_index(name);
+  const DatasetInfo& ds = directory_[di];
   if (ds.dtype != data_type_of<T>())
     throw StreamError("archive: dataset " + name +
                       " data type does not match");
-  auto bytes = read_chunk_bytes(name, chunk);
-  return decode_chunk<T>(ds, chunk, bytes, chunk_dims_out);
+  if (chunk >= ds.chunks.size())
+    throw ParamError("archive: chunk index out of range for " + name);
+  Dims cdims = ds.dims;
+  cdims.d[0] = static_cast<std::size_t>(ds.chunks[chunk].rows);
+  check_decode_alloc(cdims.count(), sizeof(T), "archive");
+  std::vector<T> out(cdims.count());
+  copy_chunk_elems<T>(di, chunk, 0, out.size(), out.data());
+  if (chunk_dims_out) *chunk_dims_out = cdims;
+  return out;
 }
 
 template <typename T>
@@ -539,7 +645,8 @@ std::vector<T> ArchiveReader::read_rows(const std::string& name,
                                         Dims* roi_dims_out,
                                         std::size_t threads) {
   obs::Span root_span("archive.read_rows");
-  const DatasetInfo& ds = dataset(name);
+  const std::size_t di = dataset_index(name);
+  const DatasetInfo& ds = directory_[di];
   if (ds.dtype != data_type_of<T>())
     throw StreamError("archive: dataset " + name +
                       " data type does not match");
@@ -552,18 +659,17 @@ std::vector<T> ArchiveReader::read_rows(const std::string& name,
   check_decode_alloc(roi.count(), sizeof(T), "archive");
   if (roi_dims_out) *roi_dims_out = roi;
 
-  // Chunks overlapping the row range; only these are read and checksummed.
+  // Chunks overlapping the row range; only these are touched (and thus
+  // lazily checksummed).
   struct Wanted {
     std::size_t chunk;
     std::size_t chunk_row_begin;
-    std::vector<std::uint8_t> bytes;
   };
   std::vector<Wanted> wanted;
   std::size_t at = 0;
   for (std::size_t i = 0; i < ds.chunks.size(); ++i) {
     const std::size_t rows = static_cast<std::size_t>(ds.chunks[i].rows);
-    if (at < row_end && at + rows > row_begin)
-      wanted.push_back({i, at, read_chunk_bytes(name, i)});
+    if (at < row_end && at + rows > row_begin) wanted.push_back({i, at});
     at += rows;
   }
 
@@ -575,16 +681,16 @@ std::vector<T> ArchiveReader::read_rows(const std::string& name,
       wanted.size(),
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t w = begin; w < end; ++w) {
-          Wanted& item = wanted[w];
-          auto data = decode_chunk<T>(ds, item.chunk, item.bytes, nullptr);
+          const Wanted& item = wanted[w];
           const std::size_t rows =
               static_cast<std::size_t>(ds.chunks[item.chunk].rows);
-          std::size_t from = std::max(item.chunk_row_begin, row_begin);
-          std::size_t to = std::min(item.chunk_row_begin + rows, row_end);
-          std::memcpy(
-              out.data() + (from - row_begin) * row_elems,
-              data.data() + (from - item.chunk_row_begin) * row_elems,
-              (to - from) * row_elems * sizeof(T));
+          const std::size_t from = std::max(item.chunk_row_begin, row_begin);
+          const std::size_t to =
+              std::min(item.chunk_row_begin + rows, row_end);
+          copy_chunk_elems<T>(di, item.chunk,
+                              (from - item.chunk_row_begin) * row_elems,
+                              (to - from) * row_elems,
+                              out.data() + (from - row_begin) * row_elems);
         }
       },
       opts);
@@ -593,16 +699,29 @@ std::vector<T> ArchiveReader::read_rows(const std::string& name,
 
 void ArchiveReader::verify() {
   obs::Span root_span("archive.verify");
-  for (const auto& ds : directory_) {
+  std::vector<std::uint8_t> scratch;  // pread fallback only
+  for (std::size_t d = 0; d < directory_.size(); ++d) {
+    const auto& ds = directory_[d];
     for (std::size_t i = 0; i < ds.chunks.size(); ++i) {
       const ChunkInfo& c = ds.chunks[i];
-      auto bytes = read_at(c.offset, c.size, "chunk");
+      std::span<const std::uint8_t> bytes;
+      if (!view_.empty()) {
+        bytes = view_.subspan(static_cast<std::size_t>(c.offset),
+                              static_cast<std::size_t>(c.size));
+      } else {
+        check_decode_alloc(static_cast<std::size_t>(c.size), 1, "archive");
+        scratch.resize(static_cast<std::size_t>(c.size));
+        file_.read_at(c.offset, scratch, "chunk");
+        bytes = scratch;
+      }
       if (fnv1a64(bytes) != c.checksum) {
         obs::counter_add("archive.checksum_mismatches");
         throw StreamError("archive: dataset " + ds.name + " chunk " +
                           std::to_string(i) +
                           " checksum mismatch (corrupt archive)");
       }
+      // The eager scan proved this chunk good; later loads can skip it.
+      mark_chunk_verified(chunk_bit_base_[d] + i);
     }
   }
 }

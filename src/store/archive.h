@@ -1,14 +1,15 @@
 #ifndef TRANSPWR_STORE_ARCHIVE_H
 #define TRANSPWR_STORE_ARCHIVE_H
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/mapped_file.h"
 #include "core/compressor.h"
 
 namespace transpwr {
@@ -117,11 +118,33 @@ class ArchiveWriter {
 /// head magic/version, the footer checksum, and the whole directory (chunk
 /// extents must exactly tile the space between header and footer), so any
 /// structural corruption is a StreamError at open; payload corruption is
-/// caught by the per-chunk checksums at load / verify time.
+/// caught by the per-chunk checksums on first touch of each chunk.
+///
+/// I/O model — zero-copy where the platform allows it:
+///   * File archives are memory-mapped (`MappedFile`); chunk bytes are
+///     handed to decoders as spans straight into the page cache, with no
+///     buffering or copying. Opening costs O(directory), not O(file):
+///     only the footer pages fault in.
+///   * When mapping is unavailable (or disabled via
+///     TRANSPWR_ARCHIVE_MMAP=0), chunks are fetched with positional
+///     `pread` into per-call buffers. There is no shared seek position
+///     and no lock: intra-reader parallel chunk decode and concurrent
+///     readers of one archive both proceed without I/O contention.
+///     (The historical `FILE*` fallback serialized every intra-reader
+///     parallel decode on one handle behind a mutex.)
+///
+/// Checksum verification is *lazy*: each chunk is FNV-verified the first
+/// time it is touched, and the verdict is remembered in a per-archive
+/// atomic bitmap, so repeated reads of a hot chunk checksum it once. A
+/// failed verification always throws and is never cached — a corrupt
+/// chunk fails on every touch. `verify()` remains the eager full scan.
+///
+/// Decoded chunks are additionally served from the process-wide
+/// `ChunkCache` (see store/chunk_cache.h), shared across readers, so
+/// repeated region-of-interest reads skip decompression entirely.
 class ArchiveReader {
  public:
-  /// Open a file (seekable loads; each reader owns its own handle, so
-  /// concurrent readers of one archive do not contend).
+  /// Open a file: mmap-backed when possible, positional-read otherwise.
   explicit ArchiveReader(const std::string& path);
   /// Parse an in-memory archive; `bytes` must outlive the reader.
   explicit ArchiveReader(std::span<const std::uint8_t> bytes);
@@ -132,7 +155,13 @@ class ArchiveReader {
   const std::vector<DatasetInfo>& datasets() const { return directory_; }
   const DatasetInfo& dataset(const std::string& name) const;
 
-  /// Decompress a whole dataset (chunks checksummed, then decoded in
+  /// True when chunk bytes are served as views with no copy (memory-mode
+  /// readers and mmap-backed file readers).
+  bool zero_copy() const { return !view_.empty(); }
+  /// True when this reader holds a live memory mapping of the file.
+  bool mapped() const { return file_.mapped(); }
+
+  /// Decompress a whole dataset (chunks lazily checksummed and decoded in
   /// parallel; `threads` = 0 uses hardware concurrency).
   template <typename T>
   std::vector<T> load(const std::string& name, Dims* dims_out = nullptr,
@@ -144,7 +173,7 @@ class ArchiveReader {
                             Dims* chunk_dims_out = nullptr);
 
   /// Region-of-interest load: reconstruct only the rows
-  /// [row_begin, row_end) along the slowest dimension, seeking to (and
+  /// [row_begin, row_end) along the slowest dimension, touching (and
   /// checksumming) only the chunks that overlap the range.
   template <typename T>
   std::vector<T> read_rows(const std::string& name, std::size_t row_begin,
@@ -158,19 +187,44 @@ class ArchiveReader {
                                              std::size_t chunk);
 
   /// Offline integrity scan: re-read and checksum every chunk of every
-  /// dataset. Throws StreamError naming the first corrupt chunk.
+  /// dataset (always eager, regardless of what the lazy bitmap already
+  /// knows). Throws StreamError naming the first corrupt chunk.
   void verify();
 
  private:
-  std::vector<std::uint8_t> read_at(std::uint64_t offset, std::uint64_t size,
-                                    const char* what);
+  /// One chunk's compressed bytes: a borrowed view in zero-copy modes, an
+  /// owned pread buffer otherwise. `bytes` is valid either way.
+  struct ChunkBytes {
+    std::span<const std::uint8_t> bytes;
+    std::vector<std::uint8_t> owned;
+  };
+
+  /// Fetch chunk bytes and lazily verify their checksum (first touch
+  /// verifies and records the verdict; later touches skip the checksum).
+  ChunkBytes chunk_bytes(std::size_t ds_index, std::size_t chunk);
+
+  /// Copy `elem_count` elements of one chunk's decoded payload, starting
+  /// at `elem_begin`, into `dst` — served from the shared decoded-chunk
+  /// cache on a hit, decoded (and inserted) on a miss.
+  template <typename T>
+  void copy_chunk_elems(std::size_t ds_index, std::size_t chunk,
+                        std::size_t elem_begin, std::size_t elem_count,
+                        T* dst);
+
+  std::size_t dataset_index(const std::string& name) const;
+  bool chunk_verified(std::size_t flat_index) const;
+  void mark_chunk_verified(std::size_t flat_index);
   void parse_footer();
 
-  std::FILE* file_ = nullptr;
-  std::span<const std::uint8_t> mem_;
+  MappedFile file_;  // file mode only; default (closed) in memory mode
+  std::span<const std::uint8_t> view_;  // mapping or caller buffer
   std::uint64_t size_ = 0;
-  std::mutex io_mu_;  // serializes seek+read on the shared FILE*
+  std::uint64_t cache_id_ = 0;  // ChunkCache archive identity
   std::vector<DatasetInfo> directory_;
+  // Lazy-verification bitmap over all chunks of all datasets, flattened
+  // in directory order; chunk_bit_base_[d] is dataset d's first bit.
+  std::vector<std::size_t> chunk_bit_base_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> verified_;
 };
 
 }  // namespace store

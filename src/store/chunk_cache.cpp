@@ -1,0 +1,124 @@
+#include "store/chunk_cache.h"
+
+#include <atomic>
+
+#include "common/env.h"
+#include "obs/obs.h"
+
+namespace transpwr {
+namespace store {
+namespace {
+
+constexpr std::size_t kDefaultCapacity = 256u << 20;  // 256 MiB
+
+}  // namespace
+
+ChunkCache::ChunkCache() {
+  capacity_ = static_cast<std::size_t>(
+      env::checked_u64("TRANSPWR_CHUNK_CACHE_BYTES",
+                       {/*min=*/0, /*max=*/UINT64_MAX, /*clamp=*/false})
+          .value_or(kDefaultCapacity));
+}
+
+ChunkCache& ChunkCache::instance() {
+  static ChunkCache* cache = new ChunkCache;  // leaked: outlives any reader
+  return *cache;
+}
+
+ChunkCache::Value ChunkCache::get(const ChunkKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    obs::counter_add("archive.cache_misses");
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  obs::counter_add("archive.cache_hits");
+  return it->second->value;
+}
+
+void ChunkCache::put(const ChunkKey& key, Value value) {
+  if (!value) return;
+  const std::size_t size = value->size();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0 || size > capacity_) return;
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    bytes_ -= it->second->value->size();
+    lru_.erase(it->second);
+    map_.erase(it);
+  }
+  evict_to(capacity_ - size);
+  lru_.push_front(Entry{key, std::move(value)});
+  map_.emplace(key, lru_.begin());
+  bytes_ += size;
+  obs::gauge_set("archive.cache_bytes", static_cast<double>(bytes_));
+}
+
+void ChunkCache::evict_to(std::size_t limit) {
+  while (bytes_ > limit && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.value->size();
+    map_.erase(victim.key);
+    lru_.pop_back();
+    obs::counter_add("archive.cache_evictions");
+  }
+}
+
+void ChunkCache::set_capacity(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = bytes;
+  evict_to(capacity_);
+  obs::gauge_set("archive.cache_bytes", static_cast<double>(bytes_));
+}
+
+std::size_t ChunkCache::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+std::size_t ChunkCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+std::size_t ChunkCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+void ChunkCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  map_.clear();
+  bytes_ = 0;
+  obs::gauge_set("archive.cache_bytes", 0.0);
+}
+
+ScopedCacheCapacity::ScopedCacheCapacity(std::size_t bytes)
+    : prev_(ChunkCache::instance().capacity()) {
+  ChunkCache::instance().clear();
+  ChunkCache::instance().set_capacity(bytes);
+}
+
+ScopedCacheCapacity::~ScopedCacheCapacity() {
+  ChunkCache::instance().clear();
+  ChunkCache::instance().set_capacity(prev_);
+}
+
+std::uint64_t memory_archive_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed) |
+         (std::uint64_t{1} << 63);
+}
+
+std::uint64_t file_archive_id(std::uint64_t device, std::uint64_t inode,
+                              std::uint64_t size, std::uint64_t mtime_ns) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::uint64_t w : {device, inode, size, mtime_ns})
+    h = (h ^ w) * 0x100000001b3ull;
+  return h & ~(std::uint64_t{1} << 63);
+}
+
+}  // namespace store
+}  // namespace transpwr

@@ -1,0 +1,133 @@
+#ifndef TRANSPWR_STORE_CHUNK_CACHE_H
+#define TRANSPWR_STORE_CHUNK_CACHE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace transpwr {
+namespace store {
+
+/// Key of one decoded chunk in the process-wide cache. `archive` is the
+/// reader-assigned archive identity (inode+size+mtime hash for files, a
+/// unique id for in-memory archives), `dataset`/`chunk` index into the
+/// directory, and `checksum` is the chunk's directory FNV — including it
+/// makes a cache entry self-invalidating: an archive rewritten with
+/// different payload bytes can never serve a stale decode, even if its
+/// identity hash collided.
+struct ChunkKey {
+  std::uint64_t archive = 0;
+  std::uint32_t dataset = 0;
+  std::uint32_t chunk = 0;
+  std::uint64_t checksum = 0;
+
+  friend bool operator==(const ChunkKey& a, const ChunkKey& b) {
+    return a.archive == b.archive && a.dataset == b.dataset &&
+           a.chunk == b.chunk && a.checksum == b.checksum;
+  }
+};
+
+/// Process-wide LRU cache of *decoded* chunk payloads, shared by every
+/// ArchiveReader. Repeated region-of-interest reads over the same chunks
+/// — the `transpwr serve` hot path — skip decompression entirely: a hit
+/// is one mutex-protected map lookup plus a memcpy of the requested rows.
+///
+/// Entries are raw little-endian element bytes (the dtype is fixed by the
+/// dataset directory, so bytes are unambiguous). The cache holds at most
+/// `capacity()` payload bytes, default 256 MiB, overridable with
+/// TRANSPWR_CHUNK_CACHE_BYTES (0 disables caching entirely); inserting
+/// past the budget evicts least-recently-used entries first. Values are
+/// handed out as shared_ptr, so an evicted entry stays valid for readers
+/// still holding it.
+///
+/// Observability: `archive.cache_hits` / `archive.cache_misses` /
+/// `archive.cache_evictions` counters and the `archive.cache_bytes`
+/// gauge.
+class ChunkCache {
+ public:
+  using Value = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+  /// The process-wide instance (never destroyed; safe from atexit order).
+  static ChunkCache& instance();
+
+  /// Look `key` up and mark it most-recently-used. Returns null on miss.
+  Value get(const ChunkKey& key);
+
+  /// Insert `value` under `key` (no-op when caching is disabled or the
+  /// value alone exceeds the budget; replaces an existing entry).
+  void put(const ChunkKey& key, Value value);
+
+  /// Change the byte budget; evicts down to the new limit. 0 disables
+  /// caching and clears everything.
+  void set_capacity(std::size_t bytes);
+  std::size_t capacity() const;
+
+  std::size_t bytes() const;    ///< payload bytes currently held
+  std::size_t entries() const;  ///< chunks currently held
+
+  /// Drop every entry (tests, benches).
+  void clear();
+
+  ChunkCache(const ChunkCache&) = delete;
+  ChunkCache& operator=(const ChunkCache&) = delete;
+
+ private:
+  ChunkCache();
+
+  struct KeyHash {
+    std::size_t operator()(const ChunkKey& k) const {
+      // FNV-1a over the key words: cheap and well-mixed for map buckets.
+      std::uint64_t h = 0xcbf29ce484222325ull;
+      for (std::uint64_t w : {k.archive,
+                              (std::uint64_t{k.dataset} << 32) | k.chunk,
+                              k.checksum}) {
+        h = (h ^ w) * 0x100000001b3ull;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  struct Entry {
+    ChunkKey key;
+    Value value;
+  };
+
+  void evict_to(std::size_t limit);  // requires mu_ held
+
+  mutable std::mutex mu_;
+  std::size_t capacity_ = 0;
+  std::size_t bytes_ = 0;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<ChunkKey, std::list<Entry>::iterator, KeyHash> map_;
+};
+
+/// RAII capacity override for tests and benches; restores the previous
+/// budget (and clears the cache both ways, so measurements start cold).
+class ScopedCacheCapacity {
+ public:
+  explicit ScopedCacheCapacity(std::size_t bytes);
+  ~ScopedCacheCapacity();
+  ScopedCacheCapacity(const ScopedCacheCapacity&) = delete;
+  ScopedCacheCapacity& operator=(const ScopedCacheCapacity&) = delete;
+
+ private:
+  std::size_t prev_;
+};
+
+/// A fresh process-unique archive identity for readers without a stable
+/// file identity (in-memory archives). Never collides with file
+/// identities: memory ids have the top bit set, file ids have it cleared.
+std::uint64_t memory_archive_id();
+
+/// Stable identity for a file-backed archive from its inode facts.
+std::uint64_t file_archive_id(std::uint64_t device, std::uint64_t inode,
+                              std::uint64_t size, std::uint64_t mtime_ns);
+
+}  // namespace store
+}  // namespace transpwr
+
+#endif  // TRANSPWR_STORE_CHUNK_CACHE_H

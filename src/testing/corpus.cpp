@@ -15,9 +15,11 @@
 #include "lossless/rle.h"
 #include "parallel/chunked.h"
 #include "store/archive.h"
+#include "store/chunk_cache.h"
 #include "sz/interp.h"
 #include "sz/sz.h"
 #include "testing/generators.h"
+#include "testing/temp_file.h"
 #include "zfp/zfp.h"
 
 namespace transpwr {
@@ -209,6 +211,17 @@ std::vector<CorpusCase> build_cases() {
     auto flipped_payload = s;
     flipped_payload[8] ^= 0x01;  // first payload byte of the first chunk
     cases.push_back({"archive_payload_bit_flip", std::move(flipped_payload)});
+    auto lazy_chunk = s;
+    {
+      // Flip a payload byte of the *second* chunk: head, directory, and
+      // trailer stay intact, so the archive opens (and mmaps) fine — only
+      // the lazy first-touch verification of that chunk can reject it.
+      auto chunks = store::ArchiveReader(std::span<const std::uint8_t>(s))
+                        .dataset("field")
+                        .chunks;
+      lazy_chunk[static_cast<std::size_t>(chunks.at(1).offset)] ^= 0x10;
+    }
+    cases.push_back({"archive_lazy_verify_chunk", std::move(lazy_chunk)});
   }
   return cases;
 }
@@ -239,10 +252,24 @@ void decode_corpus_stream(const std::string& name,
   } else if (starts_with(name, "chunked_")) {
     chunked::decompress<float>(stream, nullptr, 1);
   } else if (starts_with(name, "archive_")) {
+    auto replay = [](store::ArchiveReader& reader) {
+      // Loads before verify(): payload corruption inside an archive that
+      // opens fine must be caught by the lazy first-touch checksum, not
+      // only by the eager scan.
+      for (const auto& ds : reader.datasets())
+        reader.load<float>(ds.name, nullptr, 1);
+      reader.verify();
+    };
+    store::ScopedCacheCapacity no_cache(0);
+    {
+      // The mmap open/parse path sees every case first...
+      TempFile tmp(stream);
+      store::ArchiveReader reader(tmp.path());
+      replay(reader);
+    }
+    // ...and the in-memory view reader must reject it the same way.
     store::ArchiveReader reader(stream);
-    reader.verify();
-    for (const auto& ds : reader.datasets())
-      reader.load<float>(ds.name, nullptr, 1);
+    replay(reader);
   } else {
     throw std::logic_error("corpus: no decoder for case " + name);
   }

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <exception>
 #include <new>
 #include <sstream>
+#include <stdexcept>
 #include <typeinfo>
 
 #include "common/bitstream.h"
@@ -17,7 +19,9 @@
 #include "lossless/rle.h"
 #include "parallel/chunked.h"
 #include "store/archive.h"
+#include "store/chunk_cache.h"
 #include "testing/generators.h"
+#include "testing/temp_file.h"
 
 namespace transpwr {
 namespace testing {
@@ -214,14 +218,44 @@ std::vector<FuzzTarget> default_fuzz_targets(std::uint64_t seed) {
     }
     t.corpus = {std::move(multi_ds), std::move(multi_chunk)};
     t.decode = [](std::span<const std::uint8_t> s) {
-      store::ArchiveReader reader(s);
-      reader.verify();
-      for (const auto& ds : reader.datasets()) {
-        if (ds.dtype == DataType::kFloat32)
-          reader.load<float>(ds.name, nullptr, 1);
-        else
-          reader.load<double>(ds.name, nullptr, 1);
+      auto replay = [](store::ArchiveReader& reader) {
+        reader.verify();
+        for (const auto& ds : reader.datasets()) {
+          if (ds.dtype == DataType::kFloat32)
+            reader.load<float>(ds.name, nullptr, 1);
+          else
+            reader.load<double>(ds.name, nullptr, 1);
+        }
+      };
+      // Differential check: the mmap-backed file reader and the in-memory
+      // view reader parse identical bytes, so they must agree on
+      // accept/reject for every mutant. The shared chunk cache is pinned
+      // off — scratch files recycle inodes and mtimes faster than the
+      // archive-identity key can tell apart.
+      store::ScopedCacheCapacity no_cache(0);
+      bool file_ok = false;
+      {
+        TempFile tmp(s);
+        try {
+          store::ArchiveReader reader(tmp.path());
+          replay(reader);
+          file_ok = true;
+        } catch (const Error&) {
+        }
       }
+      bool mem_ok = false;
+      std::exception_ptr mem_err;
+      try {
+        store::ArchiveReader reader(s);
+        replay(reader);
+        mem_ok = true;
+      } catch (const Error&) {
+        mem_err = std::current_exception();
+      }
+      if (file_ok != mem_ok)
+        throw std::logic_error(
+            "archive fuzz: mmap and memory readers disagree on a stream");
+      if (mem_err) std::rethrow_exception(mem_err);
     };
     targets.push_back(std::move(t));
   }

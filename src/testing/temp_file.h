@@ -1,0 +1,53 @@
+#ifndef TRANSPWR_TESTING_TEMP_FILE_H
+#define TRANSPWR_TESTING_TEMP_FILE_H
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+#include <string>
+
+#include <unistd.h>
+
+#include "common/error.h"
+
+namespace transpwr {
+namespace testing {
+
+/// RAII scratch file: materializes a byte span under /tmp so the
+/// fuzz/corpus replays can drive the mmap-backed archive reader with the
+/// same mutated streams the in-memory reader sees. Unlinked on scope exit.
+class TempFile {
+ public:
+  explicit TempFile(std::span<const std::uint8_t> bytes) {
+    char name[] = "/tmp/transpwr_scratch_XXXXXX";
+    int fd = ::mkstemp(name);
+    if (fd < 0) throw StreamError("temp file: mkstemp failed");
+    path_ = name;
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        ::unlink(name);
+        throw StreamError("temp file: write failed");
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+  }
+  ~TempFile() { ::unlink(path_.c_str()); }
+  TempFile(const TempFile&) = delete;
+  TempFile& operator=(const TempFile&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace testing
+}  // namespace transpwr
+
+#endif  // TRANSPWR_TESTING_TEMP_FILE_H

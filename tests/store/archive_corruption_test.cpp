@@ -1,15 +1,24 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/error.h"
 #include "data/generators.h"
+#include "data/io.h"
+#include "obs/obs.h"
 #include "store/archive.h"
+#include "store/chunk_cache.h"
 
 namespace transpwr {
 namespace store {
 namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
 
 /// Small two-dataset archive so the sweep covers head, payload of several
 /// chunks, directory, and trailer bytes while staying fast enough to flip
@@ -90,6 +99,136 @@ TEST(ArchiveCorruption, AppendedTailIsRejected) {
     grown.insert(grown.end(), extra, std::uint8_t{0xa5});
     EXPECT_THROW(open_verify_load(grown), StreamError) << extra;
   }
+}
+
+// The same acceptance bar through the mmap-backed file reader: the lazy
+// verification path must reject every single flipped bit exactly like the
+// buffered PR 4 reader did. The flipped bytes are rewritten to disk for
+// each case so every open really maps a corrupted file.
+TEST(ArchiveCorruption, EverySingleBitFlipIsRejectedThroughMmap) {
+  ScopedCacheCapacity no_cache(0);  // every load must touch real bytes
+  auto clean = tiny_archive();
+  const std::string path = temp_path("flip_sweep.tpar");
+  io::write_bytes(path, clean);
+  {
+    ArchiveReader r(path);
+    EXPECT_TRUE(r.mapped());
+    r.verify();
+  }
+  auto bytes = clean;
+  for (std::size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      bytes[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      io::write_bytes(path, bytes);
+      try {
+        ArchiveReader r(path);
+        r.verify();
+        ADD_FAILURE() << "mmap flip at byte " << byte << " bit " << bit
+                      << " went unnoticed";
+      } catch (const StreamError&) {
+        // expected
+      }
+      bytes[byte] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+  }
+  std::remove(path.c_str());
+  EXPECT_EQ(bytes, clean);
+}
+
+TEST(ArchiveCorruption, EveryTruncationIsRejectedThroughMmap) {
+  ScopedCacheCapacity no_cache(0);
+  auto clean = tiny_archive();
+  const std::string path = temp_path("trunc_sweep.tpar");
+  for (std::size_t len = 0; len < clean.size(); ++len) {
+    io::write_bytes(path,
+                    std::span<const std::uint8_t>(clean.data(), len));
+    EXPECT_THROW(
+        {
+          ArchiveReader r(path);
+          r.verify();
+          for (const auto& ds : r.datasets())
+            if (ds.dtype == DataType::kFloat32)
+              r.load<float>(ds.name, nullptr, 1);
+            else
+              r.load<double>(ds.name, nullptr, 1);
+        },
+        StreamError)
+        << "truncation to " << len << " bytes";
+  }
+  std::remove(path.c_str());
+}
+
+/// Archive with one multi-chunk f32 dataset plus the chunk byte offsets,
+/// for corrupting a specific chunk's payload.
+std::vector<std::uint8_t> chunked_archive(std::vector<ChunkInfo>* chunks) {
+  auto f = gen::hacc_velocity(60, 19);
+  std::vector<std::uint8_t> buf;
+  ArchiveWriter w(&buf);
+  DatasetOptions opts;
+  opts.scheme = Scheme::kSzAbs;
+  opts.params.bound = 1.0;
+  opts.rows_per_chunk = 20;  // 3 chunks
+  opts.threads = 1;
+  w.add_dataset<float>("v", f.span(), f.dims, opts);
+  w.finish();
+  if (chunks) *chunks = ArchiveReader(buf).dataset("v").chunks;
+  return buf;
+}
+
+// The lazy-verification contract: a corrupted chunk's *first touch* (the
+// directory parses fine, so open succeeds) raises StreamError, and so
+// does every later touch — the verified-bitmap records successes only,
+// never a failed verdict. Untouched clean chunks keep decoding, and a
+// clean chunk's second touch skips the checksum.
+TEST(ArchiveCorruption, LazyVerifyFailsOnEveryTouchOfACorruptChunk) {
+  ScopedCacheCapacity no_cache(0);
+  std::vector<ChunkInfo> chunks;
+  auto bytes = chunked_archive(&chunks);
+  ASSERT_EQ(chunks.size(), 3u);
+  // Corrupt the middle chunk's payload; head, directory, and the other
+  // chunks stay intact.
+  bytes[static_cast<std::size_t>(chunks[1].offset)] ^= 0x40;
+  const std::string path = temp_path("lazy_corrupt.tpar");
+  io::write_bytes(path, bytes);
+
+  obs::ScopedRecording rec;
+  obs::reset();
+  for (bool memory_mode : {false, true}) {
+    SCOPED_TRACE(memory_mode ? "memory" : "mmap");
+    auto reader = memory_mode
+                      ? std::make_unique<ArchiveReader>(
+                            std::span<const std::uint8_t>(bytes))
+                      : std::make_unique<ArchiveReader>(path);
+    // Open succeeded (the directory is intact); clean chunks decode.
+    auto c0 = reader->load_chunk<float>("v", 0);
+    EXPECT_EQ(c0.size(), 20u);
+    // First touch of the corrupt chunk throws...
+    EXPECT_THROW(reader->load_chunk<float>("v", 1), StreamError);
+    // ...and so does every later touch, through every access path: the
+    // failed verdict was not cached in the bitmap.
+    EXPECT_THROW(reader->load_chunk<float>("v", 1), StreamError);
+    EXPECT_THROW(reader->read_chunk_bytes("v", 1), StreamError);
+    EXPECT_THROW(reader->load<float>("v", nullptr, 1), StreamError);
+    EXPECT_THROW(reader->read_rows<float>("v", 15, 25, nullptr, 1),
+                 StreamError);
+    // The ROI that avoids the corrupt chunk still reads.
+    auto tail = reader->read_rows<float>("v", 45, 55, nullptr, 1);
+    EXPECT_EQ(tail.size(), 10u);
+  }
+  // 2 modes x 5 corrupt-chunk touches each.
+  EXPECT_EQ(obs::counter_value("archive.checksum_mismatches"), 10u);
+
+  // Clean-chunk verdicts ARE remembered: within one reader the second
+  // touch of chunk 0 skips the checksum.
+  obs::reset();
+  ArchiveReader r(path);
+  r.read_chunk_bytes("v", 0);
+  EXPECT_EQ(obs::counter_value("archive.lazy_verifies"), 1u);
+  EXPECT_EQ(obs::counter_value("archive.verify_skips"), 0u);
+  r.read_chunk_bytes("v", 0);
+  EXPECT_EQ(obs::counter_value("archive.lazy_verifies"), 1u);
+  EXPECT_EQ(obs::counter_value("archive.verify_skips"), 1u);
+  std::remove(path.c_str());
 }
 
 // A decodable-looking archive whose directory lies about shapes: the chunk

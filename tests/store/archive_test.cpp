@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "common/error.h"
 #include "data/generators.h"
 #include "metrics/metrics.h"
+#include "store/chunk_cache.h"
 
 namespace transpwr {
 namespace store {
@@ -312,6 +314,9 @@ TEST(Archive, FileAndMemoryModesProduceIdenticalBytes) {
 }
 
 TEST(Archive, ParallelLoadMatchesSerial) {
+  // Cache off: the parallel load must really decode, not replay the
+  // serial load's cached chunks.
+  ScopedCacheCapacity no_cache(0);
   auto f = gen::nyx_velocity(Dims(32, 12, 12), 13);
   std::vector<std::uint8_t> buf;
   {
@@ -329,6 +334,60 @@ TEST(Archive, ParallelLoadMatchesSerial) {
   auto serial = r.load<float>("v", nullptr, 1);
   auto parallel = r.load<float>("v", nullptr, 4);
   EXPECT_EQ(serial, parallel);
+}
+
+// The three read transports — mmap view, positional-read fallback
+// (TRANSPWR_ARCHIVE_MMAP=0), and the in-memory span — must hand back
+// bit-identical data for every access pattern, with the fallback's
+// parallel decode running lock-free on pread (no shared seek position).
+TEST(Archive, MmapAndPreadFallbackProduceIdenticalData) {
+  ScopedCacheCapacity no_cache(0);
+  const std::string path = temp_path("transport.tpar");
+  auto f = gen::nyx_velocity(Dims(24, 10, 10), 21);
+  std::vector<std::uint8_t> mem;
+  {
+    ArchiveWriter w(&mem);
+    DatasetOptions opts;
+    opts.scheme = Scheme::kSzT;
+    opts.params.bound = 1e-2;
+    opts.rows_per_chunk = 5;
+    w.add_dataset<float>("v", f.span(), f.dims, opts);
+    w.finish();
+  }
+  std::filesystem::remove(path);
+  {
+    std::FILE* fp = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(fp, nullptr);
+    ASSERT_EQ(std::fwrite(mem.data(), 1, mem.size(), fp), mem.size());
+    std::fclose(fp);
+  }
+
+  std::vector<float> mapped_full, mapped_roi;
+  {
+    ArchiveReader r(path);
+    EXPECT_TRUE(r.mapped());
+    EXPECT_TRUE(r.zero_copy());
+    mapped_full = r.load<float>("v", nullptr, 4);
+    mapped_roi = r.read_rows<float>("v", 3, 14, nullptr, 4);
+  }
+  {
+    ::setenv("TRANSPWR_ARCHIVE_MMAP", "0", 1);
+    ArchiveReader r(path);
+    ::unsetenv("TRANSPWR_ARCHIVE_MMAP");
+    EXPECT_FALSE(r.mapped());
+    EXPECT_FALSE(r.zero_copy());
+    EXPECT_EQ(r.load<float>("v", nullptr, 4), mapped_full);
+    EXPECT_EQ(r.load<float>("v", nullptr, 1), mapped_full);
+    EXPECT_EQ(r.read_rows<float>("v", 3, 14, nullptr, 4), mapped_roi);
+    r.verify();
+  }
+  {
+    ArchiveReader r(mem);
+    EXPECT_FALSE(r.mapped());
+    EXPECT_TRUE(r.zero_copy());
+    EXPECT_EQ(r.load<float>("v", nullptr, 2), mapped_full);
+  }
+  std::filesystem::remove(path);
 }
 
 }  // namespace

@@ -1,0 +1,174 @@
+#include "store/chunk_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "data/generators.h"
+#include "obs/obs.h"
+#include "store/archive.h"
+
+namespace transpwr {
+namespace store {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// File-backed multi-chunk archive for cache tests; returns its path.
+std::string write_archive(const char* name, std::size_t rows,
+                          std::size_t rows_per_chunk) {
+  const std::string path = temp_path(name);
+  auto f = gen::hurricane_wind(Dims(rows, 10, 10), 31);
+  ArchiveWriter w(path);
+  DatasetOptions opts;
+  opts.scheme = Scheme::kSzT;
+  opts.params.bound = 1e-2;
+  opts.rows_per_chunk = rows_per_chunk;
+  w.add_dataset<float>("wind", f.span(), f.dims, opts);
+  w.finish();
+  return path;
+}
+
+TEST(ChunkCache, LruEvictsAndRespectsByteBudget) {
+  const std::string path = write_archive("cache_evict.tpar", 32, 4);
+  ArchiveReader probe(path);
+  ASSERT_EQ(probe.dataset("wind").chunks.size(), 8u);
+  // One decoded chunk = 4 rows x 10 x 10 floats.
+  const std::size_t chunk_bytes = 4 * 10 * 10 * sizeof(float);
+
+  obs::ScopedRecording rec;
+  obs::reset();
+  // Room for two decoded chunks: a full 8-chunk load must evict.
+  ScopedCacheCapacity cap(2 * chunk_bytes);
+  auto& cache = ChunkCache::instance();
+
+  ArchiveReader r(path);
+  auto full = r.load<float>("wind", nullptr, 1);
+  EXPECT_LE(cache.bytes(), cache.capacity());
+  EXPECT_LE(cache.entries(), 2u);
+  EXPECT_GE(obs::counter_value("archive.cache_evictions"), 6u);
+
+  // Reads under eviction pressure stay bit-identical to the first load.
+  ArchiveReader r2(path);
+  EXPECT_EQ(r2.load<float>("wind", nullptr, 1), full);
+  for (std::size_t b : {0u, 3u, 17u, 28u}) {
+    auto rows = r2.read_rows<float>("wind", b, b + 4);
+    for (std::size_t i = 0; i < rows.size(); ++i)
+      ASSERT_EQ(rows[i], full[b * 100 + i]) << b << ":" << i;
+    EXPECT_LE(cache.bytes(), cache.capacity());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ChunkCache, SharedAcrossReadersOfOneFile) {
+  const std::string path = write_archive("cache_shared.tpar", 24, 6);
+  obs::ScopedRecording rec;
+  obs::reset();
+  ScopedCacheCapacity cap(64u << 20);
+
+  ArchiveReader first(path);
+  auto full = first.load<float>("wind", nullptr, 1);
+  const std::uint64_t misses = obs::counter_value("archive.cache_misses");
+  EXPECT_GE(misses, 4u);
+  EXPECT_EQ(obs::counter_value("archive.cache_hits"), 0u);
+
+  // A *different* reader of the same file hits every chunk.
+  ArchiveReader second(path);
+  EXPECT_EQ(second.load<float>("wind", nullptr, 1), full);
+  EXPECT_EQ(obs::counter_value("archive.cache_hits"), 4u);
+  EXPECT_EQ(obs::counter_value("archive.cache_misses"), misses);
+  std::remove(path.c_str());
+}
+
+TEST(ChunkCache, DisabledCacheStillDecodesIdentically) {
+  const std::string path = write_archive("cache_off.tpar", 16, 4);
+  std::vector<float> with_cache;
+  {
+    ScopedCacheCapacity cap(64u << 20);
+    with_cache = ArchiveReader(path).load<float>("wind", nullptr, 1);
+    EXPECT_GT(ChunkCache::instance().entries(), 0u);
+  }
+  {
+    ScopedCacheCapacity cap(0);
+    ArchiveReader r(path);
+    EXPECT_EQ(r.load<float>("wind", nullptr, 1), with_cache);
+    EXPECT_EQ(ChunkCache::instance().entries(), 0u);
+    EXPECT_EQ(ChunkCache::instance().bytes(), 0u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ChunkCache, OversizedValueIsNotCached) {
+  ScopedCacheCapacity cap(16);
+  auto& cache = ChunkCache::instance();
+  cache.put(ChunkKey{1, 0, 0, 42},
+            std::make_shared<std::vector<std::uint8_t>>(1024, 0xab));
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.get(ChunkKey{1, 0, 0, 42}), nullptr);
+}
+
+// The TSan-facing test (build with -DTRANSPWR_SANITIZE=thread): N readers
+// x M threads hammer overlapping ROIs of one archive through the shared
+// cache, under enough eviction pressure that insert/evict/hit interleave.
+// Every result must be bit-identical to an uncached reference load, and
+// the byte budget must hold afterwards.
+TEST(ChunkCache, ConcurrentReadersHammerOverlappingRois) {
+  const std::size_t rows = 48;
+  const std::string path = write_archive("cache_hammer.tpar", rows, 5);
+
+  std::vector<float> reference;
+  {
+    ScopedCacheCapacity off(0);
+    reference = ArchiveReader(path).load<float>("wind", nullptr, 1);
+  }
+
+  // ~4 decoded chunks of budget for a 10-chunk dataset: constant churn.
+  ScopedCacheCapacity cap(4 * 5 * 10 * 10 * sizeof(float));
+  auto& cache = ChunkCache::instance();
+
+  constexpr std::size_t kReaders = 3;
+  constexpr std::size_t kThreadsPerReader = 3;
+  constexpr std::size_t kIters = 40;
+  std::vector<std::unique_ptr<ArchiveReader>> readers;
+  for (std::size_t i = 0; i < kReaders; ++i)
+    readers.push_back(std::make_unique<ArchiveReader>(path));
+
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (std::size_t rdr = 0; rdr < kReaders; ++rdr) {
+    for (std::size_t th = 0; th < kThreadsPerReader; ++th) {
+      threads.emplace_back([&, rdr, th] {
+        std::mt19937 rng(static_cast<unsigned>(rdr * 101 + th));
+        for (std::size_t it = 0; it < kIters; ++it) {
+          const std::size_t b = rng() % (rows - 8);
+          const std::size_t e = b + 1 + rng() % 8;
+          auto roi =
+              readers[rdr]->read_rows<float>("wind", b, e, nullptr, 1);
+          for (std::size_t i = 0; i < roi.size(); ++i) {
+            if (roi[i] != reference[b * 100 + i]) {
+              mismatches.fetch_add(1);
+              break;
+            }
+          }
+        }
+      });
+    }
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_LE(cache.bytes(), cache.capacity());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace transpwr

@@ -37,6 +37,16 @@ cmake -B "$asan" -S "$repo" -DTRANSPWR_SANITIZE=address,undefined
 cmake --build "$asan" --target fuzz_decode -j "$jobs"
 TRANSPWR_KERNELS=native "$asan/tools/conformance/fuzz_decode" --iters "$iters"
 
+# Archive-cache smoke under the same sanitizers: the mmap-backed reader,
+# lazy per-chunk verification, and the shared decoded-chunk LRU cache with
+# ASan armed. The concurrent-reader hammer test doubles as a
+# use-after-free probe on evicted-but-still-referenced cache entries (the
+# tsan ctest label marks the same tests for -DTRANSPWR_SANITIZE=thread).
+echo "=== tier-1 [asan-ubsan]: archive cache smoke ==="
+cmake --build "$asan" --target test_chunk_cache test_archive -j "$jobs"
+"$asan/tests/test_chunk_cache"
+"$asan/tests/test_archive"
+
 # Hunter smoke under the same sanitizers: a bounded sweep of the
 # adversarial bound-violation hunter (fixed seed, every scheme x edge
 # family) with the native kernels on, so guarantee-surface arithmetic runs
