@@ -1,9 +1,13 @@
 #include "cli/cli.h"
 
+#include <csignal>
+
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 
 #include "common/bytestream.h"
+#include "common/env.h"
 #include "common/error.h"
 #include "common/timer.h"
 #include "data/generators.h"
@@ -12,7 +16,9 @@
 #include "metrics/metrics.h"
 #include "obs/obs.h"
 #include "parallel/chunked.h"
+#include "server/server.h"
 #include "store/archive.h"
+#include "store/archive_json.h"
 
 namespace transpwr {
 namespace cli {
@@ -225,6 +231,10 @@ int do_archive_create(const Args& a) {
 
 int do_archive_ls(const Args& a) {
   store::ArchiveReader reader(a.input);
+  if (a.json) {
+    std::printf("%s\n", store::archive_ls_json(a.input, reader).c_str());
+    return 0;
+  }
   std::printf("%-20s | %-7s | %-4s | %-16s | %6s | %12s | %7s\n", "dataset",
               "scheme", "type", "dims", "chunks", "bytes", "ratio");
   for (const auto& ds : reader.datasets()) {
@@ -273,6 +283,10 @@ int do_archive_extract(const Args& a) {
 int do_archive_verify(const Args& a) {
   store::ArchiveReader reader(a.input);
   reader.verify();
+  if (a.json) {
+    std::printf("%s\n", store::archive_verify_json(a.input, reader).c_str());
+    return 0;
+  }
   std::size_t chunks = 0;
   std::uint64_t bytes = 0;
   for (const auto& ds : reader.datasets()) {
@@ -296,6 +310,72 @@ int do_archive(const Args& a) {
                                          : do_archive_extract<double>(a);
   if (a.archive_cmd == "verify") return do_archive_verify(a);
   throw ParamError("unknown archive subcommand: " + a.archive_cmd);
+}
+
+// --- serve -------------------------------------------------------------------
+
+/// Default ports when neither the flag nor the env knob picks one.
+constexpr std::uint16_t kDefaultTprqPort = 7411;
+constexpr std::uint16_t kDefaultHttpPort = 7412;
+
+/// The live server, published so the signal handlers can reach it.
+/// Server::request_stop is async-signal-safe by contract (one atomic
+/// exchange + one self-pipe write), which is the whole reason SIGINT can
+/// trigger a graceful drain instead of an abrupt exit.
+std::atomic<server::Server*> g_serving{nullptr};
+
+void serve_signal(int) {
+  if (auto* s = g_serving.load(std::memory_order_acquire)) s->request_stop();
+}
+
+int do_serve(const Args& a) {
+  // Serving always records: /statsz is only useful when the registry is
+  // live, and recording never changes served bytes.
+  obs::ScopedRecording rec;
+
+  server::ServerOptions opts;
+  opts.dir = a.input;
+  opts.port = a.port ? *a.port
+                     : env::checked_port("TRANSPWR_SERVE_PORT")
+                           .value_or(kDefaultTprqPort);
+  opts.http_port = a.http_port ? *a.http_port
+                               : env::checked_port("TRANSPWR_SERVE_HTTP_PORT")
+                                     .value_or(kDefaultHttpPort);
+  opts.enable_http = !a.no_http;
+  opts.loopback_only = !a.bind_all;
+  opts.decode_threads = a.threads ? a.threads : 1;
+
+  server::Server srv(opts);
+  srv.start();
+
+  g_serving.store(&srv, std::memory_order_release);
+  struct sigaction sa {};
+  sa.sa_handler = serve_signal;
+  struct sigaction old_int {}, old_term {};
+  ::sigaction(SIGINT, &sa, &old_int);
+  ::sigaction(SIGTERM, &sa, &old_term);
+
+  std::printf("serving %s\n", opts.dir.c_str());
+  std::printf("  tprq1: %s:%u\n", a.bind_all ? "0.0.0.0" : "127.0.0.1",
+              static_cast<unsigned>(srv.port()));
+  if (opts.enable_http)
+    std::printf("  http:  %s:%u\n", a.bind_all ? "0.0.0.0" : "127.0.0.1",
+                static_cast<unsigned>(srv.http_port()));
+  std::fflush(stdout);
+
+  srv.wait();   // until SIGINT/SIGTERM or a kShutdown request
+  srv.stop();   // drain in-flight connections, join accept threads
+
+  ::sigaction(SIGINT, &old_int, nullptr);
+  ::sigaction(SIGTERM, &old_term, nullptr);
+  g_serving.store(nullptr, std::memory_order_release);
+
+  std::printf("drained: %llu tprq1 request(s), %llu http request(s)\n",
+              static_cast<unsigned long long>(
+                  obs::counter_value("server.requests")),
+              static_cast<unsigned long long>(
+                  obs::counter_value("server.http_requests")));
+  return 0;
 }
 
 constexpr std::uint32_t kSeriesMagic = 0x31525354;  // "TSR1"
@@ -366,10 +446,17 @@ const char* usage() {
       "  transpwr archive    create -d DIMS [-s SCHEME] [-b BOUND]\n"
       "                      [-t f32|f64] [--chunks N] [--threads N]\n"
       "                      -o OUT IN1 IN2 ...\n"
-      "  transpwr archive    ls ARCHIVE\n"
+      "  transpwr archive    ls [--json] ARCHIVE\n"
       "  transpwr archive    extract [--dataset NAME] [--rows BEGIN:END]\n"
       "                      [--threads N] ARCHIVE OUT\n"
-      "  transpwr archive    verify ARCHIVE\n"
+      "  transpwr archive    verify [--json] ARCHIVE\n"
+      "  transpwr serve      [--port N] [--http-port N] [--no-http]\n"
+      "                      [--bind-all] [--threads N] DIR\n"
+      "\n"
+      "serve answers the TPRQ1 binary protocol (default port 7411; env\n"
+      "TRANSPWR_SERVE_PORT) plus an HTTP/JSON facade (default 7412; env\n"
+      "TRANSPWR_SERVE_HTTP_PORT); SIGINT/SIGTERM drain gracefully. See\n"
+      "docs/server.md.\n"
       "\n"
       "Every command also accepts:\n"
       "  --stats            dump per-stage span times and counters to stderr\n"
@@ -418,7 +505,7 @@ Args parse_args(const std::vector<std::string>& argv) {
   if (a.command != "compress" && a.command != "decompress" &&
       a.command != "info" && a.command != "gen" && a.command != "eval" &&
       a.command != "series" && a.command != "unseries" &&
-      a.command != "archive")
+      a.command != "archive" && a.command != "serve")
     throw ParamError("unknown command: " + a.command);
 
   std::vector<std::string> positional;
@@ -472,6 +559,21 @@ Args parse_args(const std::vector<std::string>& argv) {
       a.stats = true;
     } else if (arg == "--stats-json") {
       a.stats_json = next();
+    } else if (arg == "--json") {
+      a.json = true;
+    } else if (arg == "--port") {
+      auto v = parse_u64(next(), "port");
+      if (v < 1 || v > 65535) throw ParamError("--port must be in 1-65535");
+      a.port = static_cast<std::uint16_t>(v);
+    } else if (arg == "--http-port") {
+      auto v = parse_u64(next(), "http-port");
+      if (v < 1 || v > 65535)
+        throw ParamError("--http-port must be in 1-65535");
+      a.http_port = static_cast<std::uint16_t>(v);
+    } else if (arg == "--no-http") {
+      a.no_http = true;
+    } else if (arg == "--bind-all") {
+      a.bind_all = true;
     } else if (!arg.empty() && arg[0] == '-') {
       throw ParamError("unknown option: " + arg);
     } else {
@@ -528,6 +630,10 @@ Args parse_args(const std::vector<std::string>& argv) {
     } else {
       throw ParamError("unknown archive subcommand: " + a.archive_cmd);
     }
+  } else if (a.command == "serve") {
+    if (positional.size() != 1)
+      throw ParamError("serve needs one archive directory");
+    a.input = positional[0];
   } else {  // gen
     if (!positional.empty() && a.output.empty()) a.output = positional[0];
     if (a.output.empty()) throw ParamError("gen requires -o OUT");
@@ -555,6 +661,7 @@ int dispatch(const Args& a) {
   if (a.command == "series") return do_series(a);
   if (a.command == "unseries") return do_unseries(a);
   if (a.command == "archive") return do_archive(a);
+  if (a.command == "serve") return do_serve(a);
   throw ParamError("unknown command: " + a.command);
 }
 

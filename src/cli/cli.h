@@ -17,7 +17,7 @@ namespace cli {
 /// parsing is unit-testable without spawning processes.
 struct Args {
   std::string command;  // compress|decompress|info|gen|eval|series|unseries
-                        // |archive
+                        // |archive|serve
   std::string archive_cmd;  // archive: create|ls|extract|verify
   std::string input;
   std::vector<std::string> inputs;  // series/archive create: input files
@@ -37,6 +37,11 @@ struct Args {
   std::uint64_t seed = 42;
   bool stats = false;        // --stats: dump the obs registry to stderr
   std::string stats_json;    // --stats-json PATH: write the registry as JSON
+  bool json = false;         // archive ls/verify: machine-readable output
+  std::optional<std::uint16_t> port;       // serve: TPRQ1 port
+  std::optional<std::uint16_t> http_port;  // serve: HTTP facade port
+  bool no_http = false;                    // serve: binary protocol only
+  bool bind_all = false;                   // serve: all interfaces, not lo
 };
 
 /// Throws ParamError with a usage-style message on malformed input.

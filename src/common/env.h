@@ -49,6 +49,47 @@ inline std::optional<std::uint64_t> parse_u64(std::string_view text) {
   return v;
 }
 
+/// Size parser for byte-count knobs: a plain unsigned decimal with an
+/// optional binary-multiple suffix k/K (KiB), m/M (MiB), g/G (GiB).
+/// "64M" -> 67108864. Overflow during the multiply is malformed.
+inline std::optional<std::uint64_t> parse_size_bytes(std::string_view text) {
+  std::uint64_t shift = 0;
+  if (!text.empty()) {
+    switch (text.back()) {
+      case 'k': case 'K': shift = 10; break;
+      case 'm': case 'M': shift = 20; break;
+      case 'g': case 'G': shift = 30; break;
+      default: break;
+    }
+    if (shift) text.remove_suffix(1);
+  }
+  auto v = parse_u64(text);
+  if (!v) return std::nullopt;
+  if (shift && *v > (UINT64_MAX >> shift)) return std::nullopt;
+  return *v << shift;
+}
+
+/// Duration parser, result in milliseconds: a plain unsigned decimal
+/// with an optional unit suffix "ms" (the default), "s", or "m".
+/// "30s" -> 30000. Overflow during the unit scale is malformed.
+inline std::optional<std::uint64_t> parse_duration_ms(
+    std::string_view text) {
+  std::uint64_t scale = 1;
+  if (text.size() >= 2 && text.substr(text.size() - 2) == "ms") {
+    text.remove_suffix(2);
+  } else if (!text.empty() && text.back() == 's') {
+    scale = 1000;
+    text.remove_suffix(1);
+  } else if (!text.empty() && text.back() == 'm') {
+    scale = 60000;
+    text.remove_suffix(1);
+  }
+  auto v = parse_u64(text);
+  if (!v) return std::nullopt;
+  if (*v > UINT64_MAX / scale) return std::nullopt;
+  return *v * scale;
+}
+
 namespace detail {
 
 /// Warn at most once per variable name per process.
@@ -62,26 +103,28 @@ inline void warn_once(const char* name, const std::string& message) {
   std::fprintf(stderr, "transpwr: warning: %s\n", message.c_str());
 }
 
-}  // namespace detail
-
-/// Checked getenv: see the file comment for the contract.
-inline std::optional<std::uint64_t> checked_u64(const char* name,
-                                                U64Range range) {
+/// Shared malformed / out-of-range handling for every checked_* getter:
+/// the contract from the file comment, parameterized over the pure
+/// parser so ports, sizes, and durations keep identical semantics.
+template <typename Parser>
+std::optional<std::uint64_t> checked_value(const char* name, U64Range range,
+                                           const char* expected,
+                                           Parser&& parse) {
   const char* raw = std::getenv(name);
   if (!raw) return std::nullopt;
-  auto parsed = parse_u64(raw);
+  auto parsed = parse(std::string_view(raw));
   if (!parsed) {
     obs::counter_add("env.malformed");
-    detail::warn_once(name, std::string("ignoring malformed ") + name + "='" +
-                                raw + "' (expected an unsigned integer); "
-                                "using the built-in default");
+    warn_once(name, std::string("ignoring malformed ") + name + "='" + raw +
+                        "' (expected " + expected +
+                        "); using the built-in default");
     return std::nullopt;
   }
   if (*parsed < range.min || *parsed > range.max) {
     std::uint64_t clamped =
         *parsed < range.min ? range.min : range.max;
     if (range.clamp) {
-      detail::warn_once(
+      warn_once(
           name, std::string(name) + "=" + std::string(raw) +
                     " is outside [" + std::to_string(range.min) + ", " +
                     std::to_string(range.max) + "]; clamping to " +
@@ -89,7 +132,7 @@ inline std::optional<std::uint64_t> checked_u64(const char* name,
       return clamped;
     }
     obs::counter_add("env.malformed");
-    detail::warn_once(
+    warn_once(
         name, std::string("ignoring out-of-range ") + name + "=" + raw +
                   " (allowed [" + std::to_string(range.min) + ", " +
                   std::to_string(range.max) +
@@ -97,6 +140,48 @@ inline std::optional<std::uint64_t> checked_u64(const char* name,
     return std::nullopt;
   }
   return parsed;
+}
+
+}  // namespace detail
+
+/// Checked getenv: see the file comment for the contract.
+inline std::optional<std::uint64_t> checked_u64(const char* name,
+                                                U64Range range) {
+  return detail::checked_value(name, range, "an unsigned integer",
+                               parse_u64);
+}
+
+/// The serve-layer knob family (TRANSPWR_SERVE_PORT,
+/// TRANSPWR_SERVE_HTTP_PORT, TRANSPWR_SERVE_MAX_FRAME,
+/// TRANSPWR_SERVE_IDLE_TIMEOUT_MS) shares the checked_u64 contract —
+/// overflow-safe pure parsers, warn-once, `env.malformed` — with
+/// unit-aware syntax where the quantity has one.
+
+/// TCP port knob: plain decimal in [1, 65535].
+inline std::optional<std::uint16_t> checked_port(const char* name) {
+  auto v = detail::checked_value(name, {/*min=*/1, /*max=*/65535,
+                                        /*clamp=*/false},
+                                 "a TCP port (1-65535)", parse_u64);
+  if (!v) return std::nullopt;
+  return static_cast<std::uint16_t>(*v);
+}
+
+/// Byte-size knob: decimal with optional k/M/G binary suffix.
+inline std::optional<std::uint64_t> checked_size_bytes(const char* name,
+                                                       U64Range range) {
+  return detail::checked_value(name, range,
+                               "a byte size (optionally with a k/M/G "
+                               "suffix)",
+                               parse_size_bytes);
+}
+
+/// Duration knob, milliseconds: decimal with optional ms/s/m suffix.
+inline std::optional<std::uint64_t> checked_duration_ms(const char* name,
+                                                        U64Range range) {
+  return detail::checked_value(name, range,
+                               "a duration (optionally with an ms/s/m "
+                               "suffix)",
+                               parse_duration_ms);
 }
 
 }  // namespace env

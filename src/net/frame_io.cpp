@@ -1,0 +1,23 @@
+#include "net/frame_io.h"
+
+namespace transpwr {
+namespace net {
+
+bool read_frame(Socket& sock, std::size_t max_frame, int timeout_ms,
+                int wake_fd, Frame* out) {
+  std::uint8_t prefix[kLenPrefix];
+  if (!sock.recv_exact(prefix, timeout_ms, wake_fd)) return false;
+  std::size_t len = parse_frame_len(prefix, max_frame);
+  std::vector<std::uint8_t> tail(len);
+  if (!sock.recv_exact(tail, timeout_ms, wake_fd))
+    throw NetError("tprq1: peer closed after the length prefix");
+  *out = parse_frame_tail(static_cast<std::uint32_t>(len), tail);
+  return true;
+}
+
+void write_frame(Socket& sock, std::span<const std::uint8_t> encoded) {
+  sock.send_all(encoded);
+}
+
+}  // namespace net
+}  // namespace transpwr

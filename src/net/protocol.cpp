@@ -1,0 +1,150 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+#include "common/checksum.h"
+
+namespace transpwr {
+namespace net {
+namespace {
+
+/// fnv1a64 of the 12 header bytes (len|op|flags|seq), truncated to u32.
+/// Computed over the serialized little-endian bytes so both ends agree
+/// regardless of host struct layout.
+std::uint32_t header_fnv(std::uint32_t len, std::uint16_t op,
+                         std::uint16_t flags, std::uint32_t seq) {
+  std::uint8_t raw[12];
+  std::memcpy(raw + 0, &len, 4);
+  std::memcpy(raw + 4, &op, 2);
+  std::memcpy(raw + 6, &flags, 2);
+  std::memcpy(raw + 8, &seq, 4);
+  return static_cast<std::uint32_t>(fnv1a64(raw));
+}
+
+}  // namespace
+
+bool known_op(std::uint16_t op) {
+  return op >= static_cast<std::uint16_t>(Op::kPing) &&
+         op <= static_cast<std::uint16_t>(Op::kShutdown);
+}
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kPing: return "ping";
+    case Op::kList: return "list";
+    case Op::kStat: return "stat";
+    case Op::kLoad: return "load";
+    case Op::kReadRows: return "read_rows";
+    case Op::kChunkBytes: return "chunk_bytes";
+    case Op::kVerify: return "verify";
+    case Op::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode_frame(std::uint16_t op, std::uint16_t flags,
+                                       std::uint32_t seq,
+                                       std::span<const std::uint8_t> body) {
+  const std::uint32_t len =
+      static_cast<std::uint32_t>(kFrameOverhead + body.size());
+  ByteWriter out;
+  out.put(len);
+  out.put(op);
+  out.put(flags);
+  out.put(seq);
+  out.put(header_fnv(len, op, flags, seq));
+  out.put(fnv1a64(body));
+  out.put_bytes(body);
+  return out.take();
+}
+
+std::vector<std::uint8_t> encode_error(std::uint16_t op, std::uint32_t seq,
+                                       ErrCode code,
+                                       const std::string& message) {
+  ByteWriter body;
+  body.put(static_cast<std::uint16_t>(code));
+  put_string(body, message);
+  auto bytes = body.take();
+  return encode_frame(op, kFlagError, seq, bytes);
+}
+
+std::size_t parse_frame_len(std::span<const std::uint8_t> prefix,
+                            std::size_t max_frame) {
+  if (prefix.size() < kLenPrefix)
+    throw StreamError("tprq1: truncated length prefix");
+  std::uint32_t len;
+  std::memcpy(&len, prefix.data(), 4);
+  if (len < kFrameOverhead)
+    throw StreamError("tprq1: frame length " + std::to_string(len) +
+                      " below the " + std::to_string(kFrameOverhead) +
+                      "-byte header");
+  if (len > max_frame)
+    throw StreamError("tprq1: frame length " + std::to_string(len) +
+                      " exceeds the " + std::to_string(max_frame) +
+                      "-byte cap");
+  return len;
+}
+
+Frame parse_frame_tail(std::uint32_t len,
+                       std::span<const std::uint8_t> tail) {
+  if (tail.size() != len)
+    throw StreamError("tprq1: frame tail is " + std::to_string(tail.size()) +
+                      " bytes, header declared " + std::to_string(len));
+  if (len < kFrameOverhead)
+    throw StreamError("tprq1: frame length below the header size");
+  ByteReader in(tail);
+  Frame f;
+  f.op = in.get<std::uint16_t>();
+  f.flags = in.get<std::uint16_t>();
+  f.seq = in.get<std::uint32_t>();
+  auto declared_header = in.get<std::uint32_t>();
+  auto declared_body = in.get<std::uint64_t>();
+  if (declared_header != header_fnv(len, f.op, f.flags, f.seq))
+    throw StreamError("tprq1: header checksum mismatch");
+  auto body = in.get_bytes(len - kFrameOverhead);
+  if (fnv1a64(body) != declared_body)
+    throw StreamError("tprq1: body checksum mismatch");
+  f.body.assign(body.begin(), body.end());
+  return f;
+}
+
+Frame parse_frame(std::span<const std::uint8_t> bytes,
+                  std::size_t max_frame) {
+  std::size_t len = parse_frame_len(bytes, max_frame);
+  if (bytes.size() != kLenPrefix + len)
+    throw StreamError("tprq1: frame is " + std::to_string(bytes.size()) +
+                      " bytes, length prefix declares " +
+                      std::to_string(kLenPrefix + len));
+  return parse_frame_tail(static_cast<std::uint32_t>(len),
+                          bytes.subspan(kLenPrefix));
+}
+
+void parse_error_body(std::span<const std::uint8_t> body, ErrCode* code,
+                      std::string* message) {
+  ByteReader in(body);
+  auto raw = in.get<std::uint16_t>();
+  std::string msg = get_string(in, kMaxNameLen);
+  if (in.remaining() != 0)
+    throw StreamError("tprq1: trailing bytes after error payload");
+  if (code) *code = static_cast<ErrCode>(raw);
+  if (message) *message = std::move(msg);
+}
+
+void put_string(ByteWriter& out, std::string_view s) {
+  out.put(static_cast<std::uint32_t>(s.size()));
+  out.put_bytes({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+}
+
+std::string get_string(ByteReader& in, std::size_t max_len) {
+  auto n = in.get<std::uint32_t>();
+  if (n > max_len)
+    throw StreamError("tprq1: string length " + std::to_string(n) +
+                      " exceeds the " + std::to_string(max_len) +
+                      "-byte cap");
+  auto bytes = in.get_bytes(n);
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+}
+
+}  // namespace net
+}  // namespace transpwr

@@ -1,0 +1,148 @@
+#ifndef TRANSPWR_NET_PROTOCOL_H
+#define TRANSPWR_NET_PROTOCOL_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytestream.h"
+#include "common/error.h"
+
+namespace transpwr {
+namespace net {
+
+/// TPRQ1: the versioned length-prefixed binary protocol `transpwr serve`
+/// speaks. One request frame in, one response frame out, over a
+/// long-lived TCP connection. Every frame is
+///
+///   u32 len        bytes that follow this field (kFrameOverhead + body)
+///   u16 op         Op below; responses echo the request op
+///   u16 flags      bit 0 (kFlagError): error response, body is code+msg
+///   u32 seq        correlation id, echoed verbatim in the response
+///   u32 header_fnv fnv1a64 of the 12 bytes above, truncated to 32 bits
+///   u64 body_fnv   fnv1a64 of the body bytes
+///   u8  body[len - kFrameOverhead]
+///
+/// All integers are little-endian, like every transpwr container. The
+/// checksums exist for the same reason the TPAR footer checksum does: a
+/// torn or bit-rotted frame is rejected with a clean StreamError instead
+/// of being dispatched. `len` is capped (`max_frame` — the
+/// TRANSPWR_SERVE_MAX_FRAME knob, DecodeGuard-style) before anything is
+/// allocated, so a hostile 2^31 length costs the peer a closed
+/// connection, not 2 GiB of server memory.
+///
+/// Versioning: the protocol name *is* the version ("TPRQ1"); a client's
+/// first exchange is expected to be kPing, whose response body is the
+/// protocol magic, so an incompatible server is detected on the first
+/// round trip. See docs/server.md for the op-by-op byte layout.
+
+/// Protocol magic returned in every kPing response body.
+inline constexpr char kMagic[5] = {'T', 'P', 'R', 'Q', '1'};
+
+enum class Op : std::uint16_t {
+  kPing = 1,        ///< body: arbitrary echo payload (<= 64 bytes)
+  kList = 2,        ///< list archives in the served directory
+  kStat = 3,        ///< dataset directory of one archive
+  kLoad = 4,        ///< decode a whole dataset
+  kReadRows = 5,    ///< decode a row range of a dataset
+  kChunkBytes = 6,  ///< one chunk's raw compressed stream
+  kVerify = 7,      ///< eager checksum scan of one archive
+  kShutdown = 8,    ///< ask the server to drain and exit
+};
+
+/// Is `op` one this protocol revision defines? Unknown ops still *parse*
+/// (forward compatibility); the server answers them with kErrBadOp.
+bool known_op(std::uint16_t op);
+const char* op_name(Op op);
+
+constexpr std::uint16_t kFlagError = 1u << 0;
+
+/// Error codes carried in an error response body (u16 code + string).
+enum class ErrCode : std::uint16_t {
+  kBadRequest = 1,   ///< malformed body for the op
+  kBadOp = 2,        ///< unknown opcode
+  kNotFound = 3,     ///< no such archive / dataset / chunk
+  kBadState = 4,     ///< archive unreadable or corrupt
+  kInternal = 5,     ///< unexpected server-side failure
+  kShuttingDown = 6, ///< server is draining; retry elsewhere
+};
+
+/// Bytes after the u32 length field that are header, not body.
+constexpr std::size_t kFrameOverhead = 20;
+/// Size of the length prefix itself.
+constexpr std::size_t kLenPrefix = 4;
+
+/// Hard floor every max-frame configuration is clamped to: a frame must
+/// at least hold its own header plus a small body.
+constexpr std::size_t kMinMaxFrame = kFrameOverhead + 256;
+/// Default inbound frame cap (TRANSPWR_SERVE_MAX_FRAME overrides).
+constexpr std::size_t kDefaultMaxFrame = 64u << 20;
+
+/// One parsed frame. `body` is owned so a frame outlives the recv buffer.
+struct Frame {
+  std::uint16_t op = 0;
+  std::uint16_t flags = 0;
+  std::uint32_t seq = 0;
+  std::vector<std::uint8_t> body;
+
+  bool is_error() const { return (flags & kFlagError) != 0; }
+};
+
+/// Serialize a frame (length prefix, checksummed header, body).
+std::vector<std::uint8_t> encode_frame(std::uint16_t op, std::uint16_t flags,
+                                       std::uint32_t seq,
+                                       std::span<const std::uint8_t> body);
+inline std::vector<std::uint8_t> encode_frame(Op op, std::uint16_t flags,
+                                              std::uint32_t seq,
+                                              std::span<const std::uint8_t>
+                                                  body) {
+  return encode_frame(static_cast<std::uint16_t>(op), flags, seq, body);
+}
+
+/// Build an error response frame for `seq`.
+std::vector<std::uint8_t> encode_error(std::uint16_t op, std::uint32_t seq,
+                                       ErrCode code,
+                                       const std::string& message);
+
+/// Parse the u32 length prefix and validate it against `max_frame`.
+/// Returns the number of bytes that must follow (kFrameOverhead..cap).
+/// Throws StreamError on a length below the header size or above the cap
+/// — the caller must drop the connection, since the stream can no longer
+/// be framed.
+std::size_t parse_frame_len(std::span<const std::uint8_t> prefix,
+                            std::size_t max_frame);
+
+/// Parse one complete frame (length prefix included) from `bytes`.
+/// Verifies both checksums and that `bytes` holds exactly one frame.
+/// Throws StreamError on truncation, trailing garbage, an out-of-cap
+/// length, or a checksum mismatch.
+Frame parse_frame(std::span<const std::uint8_t> bytes,
+                  std::size_t max_frame = kDefaultMaxFrame);
+
+/// Parse the header+body *tail* of a frame whose length prefix was
+/// already consumed (the socket read path: read 4 bytes, size-check,
+/// read `len` more, hand them here). `tail.size()` must equal the
+/// parsed length.
+Frame parse_frame_tail(std::uint32_t len, std::span<const std::uint8_t> tail);
+
+/// Decode an error-response body (u16 code + sized string). Throws
+/// StreamError when the body is not a well-formed error payload.
+void parse_error_body(std::span<const std::uint8_t> body, ErrCode* code,
+                      std::string* message);
+
+// --- body field helpers ------------------------------------------------------
+
+/// Strings on the wire are u32 length + raw bytes. Names (archives,
+/// datasets) are capped well below any frame limit.
+constexpr std::size_t kMaxNameLen = 4096;
+
+void put_string(ByteWriter& out, std::string_view s);
+/// Throws StreamError on truncation or a length above `max_len`.
+std::string get_string(ByteReader& in, std::size_t max_len = kMaxNameLen);
+
+}  // namespace net
+}  // namespace transpwr
+
+#endif  // TRANSPWR_NET_PROTOCOL_H

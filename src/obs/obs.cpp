@@ -113,6 +113,14 @@ void append_double(std::string& out, double v) {
 
 }  // namespace
 
+void json_append_escaped(std::string& out, std::string_view s) {
+  json_escape(out, s);
+}
+
+void json_append_double(std::string& out, double v) {
+  append_double(out, v);
+}
+
 bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
 
 void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }

@@ -128,6 +128,17 @@ void print_stats(std::FILE* out);
 /// schema tests; not a general-purpose parser.
 bool json_valid(std::string_view text);
 
+/// JSON building blocks, exposed so every machine-readable emitter in
+/// the tree (`transpwr archive ls/verify --json`, the serve HTTP facade)
+/// shares one escaping and number-formatting convention with the
+/// `transpwr-stats-v1` serializer above.
+
+/// Append `s` to `out` with JSON string escaping (quotes not included).
+void json_append_escaped(std::string& out, std::string_view s);
+
+/// Append `v` with enough digits to round-trip (%.17g).
+void json_append_double(std::string& out, double v);
+
 }  // namespace obs
 }  // namespace transpwr
 

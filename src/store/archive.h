@@ -161,6 +161,13 @@ class ArchiveReader {
   /// True when this reader holds a live memory mapping of the file.
   bool mapped() const { return file_.mapped(); }
 
+  /// The archive identity this reader keys shared decoded chunks under:
+  /// file_archive_id(device, inode, size, mtime) for file archives, a
+  /// process-unique memory_archive_id() otherwise. The serve registry
+  /// keys its shared reader handles on the same tuple, so a rewritten
+  /// file changes identity and is re-opened on the next request.
+  std::uint64_t identity() const { return cache_id_; }
+
   /// Decompress a whole dataset (chunks lazily checksummed and decoded in
   /// parallel; `threads` = 0 uses hardware concurrency).
   template <typename T>

@@ -1,0 +1,36 @@
+#ifndef TRANSPWR_STORE_ARCHIVE_JSON_H
+#define TRANSPWR_STORE_ARCHIVE_JSON_H
+
+#include <string>
+
+#include "store/archive.h"
+
+namespace transpwr {
+namespace store {
+
+/// Machine-readable views of an archive directory. One format, two
+/// consumers: `transpwr archive ls --json` / `verify --json` and the
+/// serve HTTP facade (`GET /archives/{a}/datasets`) emit these same
+/// documents, so shell scripts and HTTP clients parse one schema. The
+/// escaping/number conventions come from the obs `transpwr-stats-v1`
+/// serializer (obs::json_append_escaped / json_append_double); output is
+/// a single line with keys in fixed order, pinned byte-for-byte by the
+/// CLI golden test.
+
+/// {"archive":NAME,"transport":T,"datasets":[{...},...]} where each
+/// dataset object carries name, scheme, dtype, dims, chunks, bound,
+/// log_base, compressed/raw byte totals, and the compression ratio.
+std::string archive_ls_json(const std::string& name,
+                            const ArchiveReader& reader);
+
+/// Post-verify summary:
+/// {"archive":NAME,"ok":true,"datasets":N,"chunks":N,"payload_bytes":N}.
+/// Call after ArchiveReader::verify() succeeded — a failed verify throws
+/// instead of reporting.
+std::string archive_verify_json(const std::string& name,
+                                const ArchiveReader& reader);
+
+}  // namespace store
+}  // namespace transpwr
+
+#endif  // TRANSPWR_STORE_ARCHIVE_JSON_H

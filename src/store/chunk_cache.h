@@ -13,8 +13,9 @@ namespace transpwr {
 namespace store {
 
 /// Key of one decoded chunk in the process-wide cache. `archive` is the
-/// reader-assigned archive identity (inode+size+mtime hash for files, a
-/// unique id for in-memory archives), `dataset`/`chunk` index into the
+/// reader-assigned archive identity (device+inode+size+mtime hash for
+/// files, a unique id for in-memory archives — see file_archive_id /
+/// memory_archive_id below), `dataset`/`chunk` index into the
 /// directory, and `checksum` is the chunk's directory FNV — including it
 /// makes a cache entry self-invalidating: an archive rewritten with
 /// different payload bytes can never serve a stale decode, even if its

@@ -17,6 +17,8 @@
 #include "lossless/lossless.h"
 #include "lossless/lz77.h"
 #include "lossless/rle.h"
+#include "net/http.h"
+#include "net/protocol.h"
 #include "parallel/chunked.h"
 #include "store/archive.h"
 #include "store/chunk_cache.h"
@@ -256,6 +258,56 @@ std::vector<FuzzTarget> default_fuzz_targets(std::uint64_t seed) {
         throw std::logic_error(
             "archive fuzz: mmap and memory readers disagree on a stream");
       if (mem_err) std::rethrow_exception(mem_err);
+    };
+    targets.push_back(std::move(t));
+  }
+  {
+    FuzzTarget t;
+    t.name = "net_frame";
+    // Corpus: one well-formed TPRQ1 frame per interesting shape (simple
+    // op, string-carrying request, error response) plus an HTTP request
+    // head, so mutants exercise both wire parsers the server feeds with
+    // attacker-controlled bytes.
+    std::vector<std::vector<std::uint8_t>> corpus;
+    corpus.push_back(net::encode_frame(net::Op::kPing, 0, 1,
+                                       bytes_corpus(seed + 8, 16, false)));
+    {
+      ByteWriter body;
+      net::put_string(body, "snapshots.tpar");
+      net::put_string(body, "vx");
+      body.put<std::uint64_t>(0);
+      body.put<std::uint64_t>(128);
+      auto body_bytes = body.take();
+      corpus.push_back(
+          net::encode_frame(net::Op::kReadRows, 0, 7, body_bytes));
+    }
+    corpus.push_back(net::encode_error(
+        static_cast<std::uint16_t>(net::Op::kLoad), 9,
+        net::ErrCode::kNotFound, "serve: no such dataset: vx"));
+    {
+      static constexpr char kHttp[] =
+          "GET /archives/a.tpar/datasets/f/rows?range=0:8&encoding=raw "
+          "HTTP/1.1\r\nHost: localhost\r\nAccept: */*\r\n\r\n";
+      corpus.emplace_back(
+          reinterpret_cast<const std::uint8_t*>(kHttp),
+          reinterpret_cast<const std::uint8_t*>(kHttp) + sizeof kHttp - 1);
+    }
+    t.corpus = std::move(corpus);
+    t.decode = [](std::span<const std::uint8_t> s) {
+      // Every mutant goes through both parsers: clean accept or a typed
+      // Error, never a crash, hang, or unguarded allocation. The frame
+      // cap mirrors the server's TRANSPWR_SERVE_MAX_FRAME guard.
+      try {
+        net::Frame f = net::parse_frame(s, 1u << 20);
+        if (f.is_error()) {
+          net::ErrCode code{};
+          std::string message;
+          net::parse_error_body(f.body, &code, &message);
+        }
+      } catch (const Error&) {
+      }
+      net::parse_http_request(std::string_view(
+          reinterpret_cast<const char*>(s.data()), s.size()));
     };
     targets.push_back(std::move(t));
   }

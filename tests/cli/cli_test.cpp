@@ -10,6 +10,8 @@
 #include "core/compressor.h"
 #include "data/io.h"
 #include "obs/obs.h"
+#include "store/archive.h"
+#include "store/archive_json.h"
 
 namespace transpwr {
 namespace {
@@ -265,6 +267,73 @@ TEST(CliEndToEnd, ArchiveCreateLsExtractVerify) {
     ASSERT_EQ(roi_vals[i], dec[4 * 144 + i]);
 
   for (const auto& p : {vx, vy, packed, out, roi}) std::remove(p.c_str());
+}
+
+TEST(CliParse, JsonFlag) {
+  auto l = cli::parse_args({"archive", "ls", "--json", "x.tpar"});
+  EXPECT_TRUE(l.json);
+  auto v = cli::parse_args({"archive", "verify", "--json", "x.tpar"});
+  EXPECT_TRUE(v.json);
+  // Default stays off.
+  EXPECT_FALSE(cli::parse_args({"archive", "ls", "x.tpar"}).json);
+}
+
+// Golden test for the machine-readable archive documents: the CLI's
+// --json output is the archive_json serialization plus one newline, and
+// that serialization's key order / separators are pinned byte-for-byte.
+TEST(CliEndToEnd, ArchiveLsAndVerifyJsonGolden) {
+  std::string raw = tmp("json_field.bin");
+  std::string packed = tmp("json_fields.tpar");
+  ASSERT_EQ(cli::run(cli::parse_args({"gen", "-w", "nyx", "-d", "16x10x10",
+                                      "--seed", "21", "-o", raw})),
+            0);
+  ASSERT_EQ(cli::run(cli::parse_args({"archive", "create", "-d", "16x10x10",
+                                      "-b", "1e-2", "--chunks", "4", "-o",
+                                      packed, raw})),
+            0);
+
+  store::ArchiveReader reader(packed);
+  ASSERT_EQ(reader.datasets().size(), 1u);
+  const auto& ds = reader.datasets()[0];
+  const std::uint64_t compressed = ds.compressed_bytes();
+  const std::uint64_t raw_bytes = 16u * 10 * 10 * sizeof(float);
+
+  // Byte-for-byte: fixed key order, no whitespace, doubles via %.17g.
+  std::string ratio;
+  obs::json_append_double(ratio,
+                          static_cast<double>(raw_bytes) /
+                              static_cast<double>(compressed));
+  std::string expected_ls =
+      "{\"archive\":\"" + packed + "\",\"transport\":\"mmap\","
+      "\"datasets\":[{\"name\":\"transpwr_cli_json_field\","
+      "\"scheme\":\"SZ_T\",\"dtype\":\"f32\",\"dims\":[16,10,10],"
+      "\"chunks\":4,\"bound\":0.01,\"log_base\":2,"
+      "\"compressed_bytes\":" + std::to_string(compressed) +
+      ",\"raw_bytes\":" + std::to_string(raw_bytes) +
+      ",\"ratio\":" + ratio + "}]}";
+  EXPECT_EQ(store::archive_ls_json(packed, reader), expected_ls);
+  EXPECT_TRUE(obs::json_valid(expected_ls));
+
+  std::string expected_verify =
+      "{\"archive\":\"" + packed + "\",\"ok\":true,\"datasets\":1,"
+      "\"chunks\":4,\"payload_bytes\":" + std::to_string(compressed) + "}";
+  EXPECT_EQ(store::archive_verify_json(packed, reader), expected_verify);
+  EXPECT_TRUE(obs::json_valid(expected_verify));
+
+  // The CLI prints exactly that document, one line, nothing else.
+  ::testing::internal::CaptureStdout();
+  ASSERT_EQ(cli::run(cli::parse_args({"archive", "ls", "--json", packed})),
+            0);
+  EXPECT_EQ(::testing::internal::GetCapturedStdout(), expected_ls + "\n");
+
+  ::testing::internal::CaptureStdout();
+  ASSERT_EQ(
+      cli::run(cli::parse_args({"archive", "verify", "--json", packed})), 0);
+  EXPECT_EQ(::testing::internal::GetCapturedStdout(),
+            expected_verify + "\n");
+
+  std::remove(raw.c_str());
+  std::remove(packed.c_str());
 }
 
 TEST(CliParse, StatsFlags) {

@@ -114,6 +114,129 @@ TEST_F(CheckedEnvTest, OutOfRangeWithoutClampFallsBackAndCounts) {
   EXPECT_EQ(obs::counter_value("env.malformed"), 1u);
 }
 
+TEST(ParseSizeBytes, SuffixTable) {
+  struct Case {
+    const char* text;
+    std::uint64_t value;
+  };
+  const Case cases[] = {
+      {"0", 0},
+      {"512", 512},
+      {"1k", 1024},
+      {"64K", 64 * 1024},
+      {"64M", 64ull << 20},
+      {"2m", 2ull << 20},
+      {"1G", 1ull << 30},
+      {"3g", 3ull << 30},
+      {"16777216", 16777216},  // plain bytes still work
+  };
+  for (const Case& c : cases) {
+    auto got = env::parse_size_bytes(c.text);
+    ASSERT_TRUE(got.has_value()) << c.text;
+    EXPECT_EQ(*got, c.value) << c.text;
+  }
+}
+
+TEST(ParseSizeBytes, RejectTable) {
+  const char* cases[] = {
+      "",       // empty
+      "k",      // suffix with no digits
+      "64MB",   // two-letter suffix
+      "64 M",   // space before suffix
+      "-1k",    // sign
+      "1.5G",   // fraction
+      "64T",    // unknown suffix
+      "18446744073709551615k",  // overflow in the shift
+  };
+  for (const char* c : cases)
+    EXPECT_FALSE(env::parse_size_bytes(c).has_value()) << "'" << c << "'";
+}
+
+TEST(ParseDurationMs, SuffixTable) {
+  struct Case {
+    const char* text;
+    std::uint64_t value;
+  };
+  const Case cases[] = {
+      {"0", 0},
+      {"250", 250},      // bare number is already milliseconds
+      {"250ms", 250},
+      {"30s", 30000},
+      {"2m", 120000},
+      {"0s", 0},
+  };
+  for (const Case& c : cases) {
+    auto got = env::parse_duration_ms(c.text);
+    ASSERT_TRUE(got.has_value()) << c.text;
+    EXPECT_EQ(*got, c.value) << c.text;
+  }
+}
+
+TEST(ParseDurationMs, RejectTable) {
+  const char* cases[] = {
+      "",      // empty
+      "ms",    // suffix with no digits
+      "s",     // ditto
+      "30 s",  // embedded space
+      "1h",    // unsupported unit
+      "5sec",  // spelled-out unit
+      "-1s",   // sign
+      "18446744073709551615s",  // overflow in the scale
+  };
+  for (const char* c : cases)
+    EXPECT_FALSE(env::parse_duration_ms(c).has_value()) << "'" << c << "'";
+}
+
+TEST_F(CheckedEnvTest, PortAcceptsRangeRejectsOutside) {
+  auto ok = var("PORT_OK");
+  set(ok, "7411");
+  EXPECT_EQ(env::checked_port(ok.c_str()), std::uint16_t{7411});
+
+  auto zero = var("PORT_ZERO");
+  set(zero, "0");
+  EXPECT_EQ(env::checked_port(zero.c_str()), std::nullopt);
+
+  auto big = var("PORT_BIG");
+  set(big, "65536");
+  EXPECT_EQ(env::checked_port(big.c_str()), std::nullopt);
+
+  auto text = var("PORT_TEXT");
+  set(text, "http");
+  EXPECT_EQ(env::checked_port(text.c_str()), std::nullopt);
+
+  EXPECT_EQ(env::checked_port("TRANSPWR_ENV_TEST_PORT_UNSET"),
+            std::nullopt);
+}
+
+TEST_F(CheckedEnvTest, SizeKnobParsesSuffixAndClamps) {
+  auto name = var("SIZE_SUFFIX");
+  set(name, "64M");
+  EXPECT_EQ(env::checked_size_bytes(name.c_str(),
+                                    {.min = 1, .max = 1ull << 40}),
+            64ull << 20);
+
+  auto low = var("SIZE_LOW");
+  set(low, "1k");
+  EXPECT_EQ(env::checked_size_bytes(
+                low.c_str(),
+                {.min = 1ull << 20, .max = 1ull << 30, .clamp = true}),
+            1ull << 20);
+}
+
+TEST_F(CheckedEnvTest, DurationKnobParsesSuffix) {
+  auto name = var("DUR_SUFFIX");
+  set(name, "30s");
+  EXPECT_EQ(env::checked_duration_ms(name.c_str(),
+                                     {.min = 1, .max = 86400000}),
+            30000u);
+
+  auto bad = var("DUR_BAD");
+  set(bad, "soon");
+  EXPECT_EQ(env::checked_duration_ms(bad.c_str(),
+                                     {.min = 1, .max = 86400000}),
+            std::nullopt);
+}
+
 TEST_F(CheckedEnvTest, WarnsAtMostOncePerVariable) {
   // No crash / no second warning on repeat lookups; the value still falls
   // back every time.

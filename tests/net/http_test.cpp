@@ -1,0 +1,135 @@
+#include "net/http.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace transpwr {
+namespace net {
+namespace {
+
+TEST(Http, ParsesSimpleGet) {
+  HttpRequest req = parse_http_request(
+      "GET /archives HTTP/1.1\r\nHost: localhost\r\nAccept: */*\r\n\r\n");
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.target, "/archives");
+  EXPECT_EQ(req.path, "/archives");
+  EXPECT_TRUE(req.query.empty());
+  ASSERT_EQ(req.headers.size(), 2u);
+  EXPECT_EQ(req.headers[0].first, "host");  // names lower-cased
+  EXPECT_EQ(req.headers[0].second, "localhost");
+}
+
+TEST(Http, BareLfTerminationAccepted) {
+  HttpRequest req = parse_http_request("HEAD /healthz HTTP/1.0\n\n");
+  EXPECT_EQ(req.method, "HEAD");
+  EXPECT_EQ(req.path, "/healthz");
+}
+
+TEST(Http, QueryAndPercentDecoding) {
+  HttpRequest req = parse_http_request(
+      "GET /archives/a%2Etpar/datasets/vx/rows?range=0:8&encoding=raw "
+      "HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(req.path, "/archives/a.tpar/datasets/vx/rows");
+  EXPECT_EQ(req.query, "range=0:8&encoding=raw");
+  EXPECT_EQ(query_param(req.query, "range").value_or(""), "0:8");
+  EXPECT_EQ(query_param(req.query, "encoding").value_or(""), "raw");
+  EXPECT_FALSE(query_param(req.query, "missing").has_value());
+}
+
+TEST(Http, QueryParamPlusAndEscapes) {
+  EXPECT_EQ(query_param("name=a+b%21", "name").value_or(""), "a b!");
+  EXPECT_EQ(query_param("a=1&a=2", "a").value_or(""), "1");  // first wins
+  EXPECT_EQ(query_param("flag", "flag").value_or("x"), "");  // bare key
+}
+
+TEST(Http, HeaderWhitespaceTrimmed) {
+  HttpRequest req = parse_http_request(
+      "GET / HTTP/1.1\r\nX-Pad:   spaced value \t\r\n\r\n");
+  ASSERT_EQ(req.headers.size(), 1u);
+  EXPECT_EQ(req.headers[0].second, "spaced value");
+}
+
+TEST(Http, MalformedRequestsRejected) {
+  for (const char* bad : {
+           "GET /\r\n\r\n",                     // missing version
+           "GET / HTTP/2.0\r\n\r\n",            // unsupported version
+           "GET  / HTTP/1.1\r\n\r\n",           // extra space
+           "G@T / HTTP/1.1\r\n\r\n",            // bad method token
+           "GET relative HTTP/1.1\r\n\r\n",     // not origin-form
+           "GET /../etc HTTP/1.1\r\n\r\n",      // dot-dot traversal
+           "GET /a%zz HTTP/1.1\r\n\r\n",        // bad percent escape
+           "GET /a%0 HTTP/1.1\r\n\r\n",         // truncated escape
+           "GET /%00 HTTP/1.1\r\n\r\n",         // decoded NUL
+           "GET / HTTP/1.1\r\nNoColonHere\r\n\r\n",
+           "GET / HTTP/1.1\r\n: empty-name\r\n\r\n",
+           "GET / HTTP/1.1",                    // unterminated head
+           "GET / HTTP/1.1\r\n\r\ntrailing",    // bytes after terminator
+       })
+    EXPECT_THROW(parse_http_request(bad), StreamError) << bad;
+}
+
+TEST(Http, CapsEnforced) {
+  std::string long_line =
+      "GET /" + std::string(kMaxRequestLine, 'a') + " HTTP/1.1\r\n\r\n";
+  EXPECT_THROW(parse_http_request(long_line), StreamError);
+
+  std::string many = "GET / HTTP/1.1\r\n";
+  for (std::size_t i = 0; i <= kMaxHeaderCount; ++i)
+    many += "X-H" + std::to_string(i) + ": v\r\n";
+  many += "\r\n";
+  EXPECT_THROW(parse_http_request(many), StreamError);
+
+  std::string oversized(kMaxRequestLine + kMaxHeaderBytes + 1, 'a');
+  EXPECT_THROW(parse_http_request(oversized), StreamError);
+}
+
+TEST(Http, SplitTargetRejectsControlBytes) {
+  std::string path, query;
+  EXPECT_THROW(split_target("/a\tb", &path, &query), StreamError);
+  EXPECT_THROW(split_target(std::string_view("/a\x7f", 3), &path, &query),
+               StreamError);
+  split_target("/ok?q=1", &path, &query);
+  EXPECT_EQ(path, "/ok");
+  EXPECT_EQ(query, "q=1");
+}
+
+TEST(Http, ResponseFormatting) {
+  std::string resp = http_response(200, "OK", "application/json", "{}",
+                                   {{"X-Transpwr-Dtype", "f32"}});
+  EXPECT_EQ(resp.find("HTTP/1.1 200 OK\r\n"), 0u);
+  EXPECT_NE(resp.find("Content-Type: application/json\r\n"),
+            std::string::npos);
+  EXPECT_NE(resp.find("Content-Length: 2\r\n"), std::string::npos);
+  EXPECT_NE(resp.find("X-Transpwr-Dtype: f32\r\n"), std::string::npos);
+  EXPECT_NE(resp.find("Connection: close\r\n\r\n{}"), std::string::npos);
+
+  // Empty content type omits the header entirely (204-style responses).
+  std::string no_body = http_response(204, "No Content", "", "");
+  EXPECT_EQ(no_body.find("Content-Type"), std::string::npos);
+  EXPECT_NE(no_body.find("Content-Length: 0\r\n"), std::string::npos);
+}
+
+TEST(Http, Base64KnownVectors) {
+  // RFC 4648 test vectors.
+  auto enc = [](std::string_view s) {
+    return base64_encode({reinterpret_cast<const std::uint8_t*>(s.data()),
+                          s.size()});
+  };
+  EXPECT_EQ(enc(""), "");
+  EXPECT_EQ(enc("f"), "Zg==");
+  EXPECT_EQ(enc("fo"), "Zm8=");
+  EXPECT_EQ(enc("foo"), "Zm9v");
+  EXPECT_EQ(enc("foob"), "Zm9vYg==");
+  EXPECT_EQ(enc("fooba"), "Zm9vYmE=");
+  EXPECT_EQ(enc("foobar"), "Zm9vYmFy");
+  std::vector<std::uint8_t> all_ff = {0xff, 0xff, 0xff};
+  EXPECT_EQ(base64_encode(all_ff), "////");
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace transpwr

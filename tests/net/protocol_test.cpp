@@ -1,0 +1,159 @@
+#include "net/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/bytestream.h"
+#include "common/error.h"
+
+namespace transpwr {
+namespace net {
+namespace {
+
+std::vector<std::uint8_t> some_body() {
+  return {0x01, 0x02, 0x03, 0xff, 0x00, 0x7f};
+}
+
+TEST(Protocol, FrameRoundTrip) {
+  auto body = some_body();
+  auto encoded = encode_frame(Op::kReadRows, 0, 42, body);
+  ASSERT_EQ(encoded.size(), kLenPrefix + kFrameOverhead + body.size());
+
+  Frame f = parse_frame(encoded);
+  EXPECT_EQ(f.op, static_cast<std::uint16_t>(Op::kReadRows));
+  EXPECT_EQ(f.flags, 0);
+  EXPECT_EQ(f.seq, 42u);
+  EXPECT_FALSE(f.is_error());
+  EXPECT_EQ(f.body, body);
+}
+
+TEST(Protocol, EmptyBodyRoundTrip) {
+  auto encoded = encode_frame(Op::kList, 0, 7, {});
+  Frame f = parse_frame(encoded);
+  EXPECT_EQ(f.op, static_cast<std::uint16_t>(Op::kList));
+  EXPECT_TRUE(f.body.empty());
+}
+
+TEST(Protocol, ErrorFrameRoundTrip) {
+  auto encoded = encode_error(static_cast<std::uint16_t>(Op::kLoad), 9,
+                              ErrCode::kNotFound, "no such dataset: vx");
+  Frame f = parse_frame(encoded);
+  EXPECT_TRUE(f.is_error());
+  EXPECT_EQ(f.seq, 9u);
+  ErrCode code{};
+  std::string message;
+  parse_error_body(f.body, &code, &message);
+  EXPECT_EQ(code, ErrCode::kNotFound);
+  EXPECT_EQ(message, "no such dataset: vx");
+}
+
+// Every possible truncation of a valid frame must be rejected cleanly —
+// the exhaustive sweep the length-prefixed design exists to survive.
+TEST(Protocol, EveryTruncationRejected) {
+  auto body = some_body();
+  auto encoded = encode_frame(Op::kStat, 0, 3, body);
+  for (std::size_t cut = 0; cut < encoded.size(); ++cut) {
+    std::vector<std::uint8_t> truncated(encoded.begin(),
+                                        encoded.begin() +
+                                            static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW(parse_frame(truncated), StreamError) << "cut at " << cut;
+  }
+}
+
+TEST(Protocol, TrailingGarbageRejected) {
+  auto encoded = encode_frame(Op::kPing, 0, 1, some_body());
+  encoded.push_back(0xaa);
+  EXPECT_THROW(parse_frame(encoded), StreamError);
+}
+
+TEST(Protocol, OversizeLengthRejectedBeforeAllocation) {
+  // A hostile length prefix above the cap must throw from the 4-byte
+  // prefix alone — no body needed, nothing allocated.
+  std::uint8_t prefix[kLenPrefix];
+  std::uint32_t huge = 0x7fffffff;
+  std::memcpy(prefix, &huge, sizeof huge);
+  EXPECT_THROW(parse_frame_len(prefix, kDefaultMaxFrame), StreamError);
+
+  // At exactly the cap it parses; one past, it throws.
+  std::uint32_t at_cap = static_cast<std::uint32_t>(kMinMaxFrame);
+  std::memcpy(prefix, &at_cap, sizeof at_cap);
+  EXPECT_EQ(parse_frame_len(prefix, kMinMaxFrame), kMinMaxFrame);
+  std::uint32_t past = at_cap + 1;
+  std::memcpy(prefix, &past, sizeof past);
+  EXPECT_THROW(parse_frame_len(prefix, kMinMaxFrame), StreamError);
+}
+
+TEST(Protocol, LengthBelowHeaderRejected) {
+  for (std::uint32_t len = 0; len < kFrameOverhead; ++len) {
+    std::uint8_t prefix[kLenPrefix];
+    std::memcpy(prefix, &len, sizeof len);
+    EXPECT_THROW(parse_frame_len(prefix, kDefaultMaxFrame), StreamError)
+        << len;
+  }
+}
+
+TEST(Protocol, HeaderCorruptionDetected) {
+  auto encoded = encode_frame(Op::kVerify, 0, 5, some_body());
+  // Flip one bit in every header byte after the length prefix (op, flags,
+  // seq, header checksum) — each must fail the header FNV.
+  for (std::size_t i = kLenPrefix; i < kLenPrefix + 12; ++i) {
+    auto bad = encoded;
+    bad[i] ^= 0x10;
+    EXPECT_THROW(parse_frame(bad), StreamError) << "byte " << i;
+  }
+}
+
+TEST(Protocol, BodyCorruptionDetected) {
+  auto body = some_body();
+  auto encoded = encode_frame(Op::kChunkBytes, 0, 8, body);
+  for (std::size_t i = encoded.size() - body.size(); i < encoded.size();
+       ++i) {
+    auto bad = encoded;
+    bad[i] ^= 0x01;
+    EXPECT_THROW(parse_frame(bad), StreamError) << "byte " << i;
+  }
+}
+
+TEST(Protocol, UnknownOpStillParses) {
+  // Forward compatibility: an op this revision does not define still
+  // frames correctly; rejecting it is the dispatcher's job (kErrBadOp).
+  auto encoded = encode_frame(static_cast<std::uint16_t>(999), 0, 2, {});
+  Frame f = parse_frame(encoded);
+  EXPECT_EQ(f.op, 999);
+  EXPECT_FALSE(known_op(f.op));
+  for (auto op : {Op::kPing, Op::kList, Op::kStat, Op::kLoad, Op::kReadRows,
+                  Op::kChunkBytes, Op::kVerify, Op::kShutdown}) {
+    EXPECT_TRUE(known_op(static_cast<std::uint16_t>(op)));
+    EXPECT_NE(std::string(op_name(op)), "");
+  }
+}
+
+TEST(Protocol, StringsRoundTripAndCapEnforced) {
+  ByteWriter w;
+  put_string(w, "snapshots.tpar");
+  put_string(w, "");
+  auto bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_EQ(get_string(r), "snapshots.tpar");
+  EXPECT_EQ(get_string(r), "");
+  EXPECT_EQ(r.remaining(), 0u);
+
+  ByteWriter over;
+  put_string(over, std::string(kMaxNameLen + 1, 'x'));
+  auto over_bytes = over.take();
+  ByteReader r2(over_bytes);
+  EXPECT_THROW(get_string(r2), StreamError);
+}
+
+TEST(Protocol, MalformedErrorBodyRejected) {
+  std::vector<std::uint8_t> just_code = {0x01};  // u16 truncated
+  ErrCode code{};
+  std::string message;
+  EXPECT_THROW(parse_error_body(just_code, &code, &message), StreamError);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace transpwr

@@ -1,0 +1,288 @@
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "data/generators.h"
+#include "net/client.h"
+#include "net/socket.h"
+#include "obs/obs.h"
+#include "store/archive.h"
+
+namespace transpwr {
+namespace server {
+namespace {
+
+/// A served directory holding one real multi-chunk archive, plus a
+/// running loopback Server on ephemeral ports.
+class ServeLoopback : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/serve_loopback";
+    ::mkdir(dir_.c_str(), 0755);
+    archive_path_ = dir_ + "/snapshots.tpar";
+    write_archive(archive_path_, /*rows=*/32, /*seed=*/7);
+
+    ServerOptions opts;
+    opts.dir = dir_;
+    server_ = std::make_unique<Server>(opts);
+    server_->start();
+    ASSERT_GT(server_->port(), 0);
+    ASSERT_GT(server_->http_port(), 0);
+  }
+
+  void TearDown() override {
+    if (server_) server_->stop();
+    std::remove(archive_path_.c_str());
+  }
+
+  static void write_archive(const std::string& path, std::size_t rows,
+                            std::uint64_t seed) {
+    auto f = gen::hurricane_wind(Dims(rows, 8, 8), seed);
+    store::ArchiveWriter w(path);
+    store::DatasetOptions opts;
+    opts.scheme = Scheme::kSzT;
+    opts.params.bound = 1e-3;
+    opts.rows_per_chunk = 8;
+    w.add_dataset<float>("wind", f.span(), f.dims, opts);
+    w.finish();
+  }
+
+  /// One-shot HTTP GET against the facade; returns the full response.
+  std::string http_get(const std::string& target) {
+    net::Socket s =
+        net::Socket::connect("127.0.0.1", server_->http_port());
+    s.send_all("GET " + target + " HTTP/1.1\r\nHost: t\r\n\r\n");
+    std::string out;
+    std::uint8_t buf[4096];
+    while (std::size_t n = s.recv_some(buf, /*timeout_ms=*/5000))
+      out.append(reinterpret_cast<const char*>(buf), n);
+    return out;
+  }
+
+  static std::string body_of(const std::string& response) {
+    std::size_t blank = response.find("\r\n\r\n");
+    EXPECT_NE(blank, std::string::npos);
+    return response.substr(blank + 4);
+  }
+
+  std::string dir_;
+  std::string archive_path_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServeLoopback, PingListStatVerify) {
+  net::Client c("127.0.0.1", server_->port());
+  c.ping();
+
+  auto names = c.list();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "snapshots.tpar");
+
+  auto ds = c.stat("snapshots.tpar");
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].name, "wind");
+  EXPECT_EQ(ds[0].dtype, DataType::kFloat32);
+  EXPECT_EQ(ds[0].dims, Dims(32, 8, 8));
+  EXPECT_EQ(ds[0].chunks, 4u);
+  EXPECT_GT(ds[0].compressed_bytes, 0u);
+
+  EXPECT_EQ(c.verify("snapshots.tpar"), 4u);
+  EXPECT_FALSE(c.chunk_bytes("snapshots.tpar", "wind", 0).empty());
+}
+
+// The core guarantee of the wire: what a remote client decodes is
+// bit-identical to a local ArchiveReader over the same file — under
+// concurrency, through the shared registry handle and chunk cache.
+TEST_F(ServeLoopback, ConcurrentReadRowsBitIdentical) {
+  store::ArchiveReader local(archive_path_);
+  auto full = local.load<float>("wind");
+
+  constexpr int kThreads = 8;
+  constexpr int kReqsPerThread = 16;
+  std::vector<std::thread> workers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      try {
+        net::Client c("127.0.0.1", server_->port());
+        for (int i = 0; i < kReqsPerThread; ++i) {
+          std::uint64_t b = static_cast<std::uint64_t>((t * 5 + i) % 28);
+          std::uint64_t e = b + 4;
+          auto payload = c.read_rows("snapshots.tpar", "wind", b, e);
+          if (payload.dims != Dims(4, 8, 8)) { ++failures; return; }
+          auto got = payload.as<float>();
+          for (std::size_t k = 0; k < got.size(); ++k)
+            if (got[k] != full[b * 64 + k]) { ++failures; return; }
+        }
+      } catch (const Error&) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(ServeLoopback, WholeDatasetLoadMatchesLocal) {
+  store::ArchiveReader local(archive_path_);
+  auto full = local.load<float>("wind");
+  net::Client c("127.0.0.1", server_->port());
+  auto payload = c.load("snapshots.tpar", "wind");
+  EXPECT_EQ(payload.dims, Dims(32, 8, 8));
+  EXPECT_EQ(payload.as<float>(), full);
+}
+
+TEST_F(ServeLoopback, NotFoundMapsToTypedRemoteError) {
+  net::Client c("127.0.0.1", server_->port());
+  try {
+    c.stat("nope.tpar");
+    FAIL() << "expected RemoteError";
+  } catch (const net::RemoteError& e) {
+    EXPECT_EQ(e.code(), net::ErrCode::kNotFound);
+  }
+  try {
+    c.read_rows("snapshots.tpar", "ghost", 0, 4);
+    FAIL() << "expected RemoteError";
+  } catch (const net::RemoteError& e) {
+    EXPECT_EQ(e.code(), net::ErrCode::kNotFound);
+  }
+  // A nonsense row range is the caller's fault, not a missing object.
+  try {
+    c.read_rows("snapshots.tpar", "wind", 9, 3);
+    FAIL() << "expected RemoteError";
+  } catch (const net::RemoteError& e) {
+    EXPECT_EQ(e.code(), net::ErrCode::kBadRequest);
+  }
+  // The connection survives refused requests.
+  EXPECT_EQ(c.list().size(), 1u);
+}
+
+TEST_F(ServeLoopback, MalformedBytesGetErrorFrameThenClose) {
+  net::Socket s = net::Socket::connect("127.0.0.1", server_->port());
+  // A hostile length prefix: over any sane cap.
+  std::uint8_t evil[8] = {0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0};
+  s.send_all(evil);
+  // The server answers one best-effort error frame, then closes.
+  std::uint8_t buf[1024];
+  std::size_t got = 0;
+  try {
+    while (std::size_t n = s.recv_some(
+               {buf + got, sizeof buf - got}, /*timeout_ms=*/5000))
+      got += n;
+  } catch (const net::NetError&) {
+    // A reset instead of a clean close is acceptable here.
+  }
+  if (got >= net::kLenPrefix) {
+    net::Frame f = net::parse_frame({buf, got});
+    EXPECT_TRUE(f.is_error());
+    net::ErrCode code{};
+    net::parse_error_body(f.body, &code, nullptr);
+    EXPECT_EQ(code, net::ErrCode::kBadRequest);
+  }
+  // The server shrugged it off: fresh connections still work.
+  net::Client c("127.0.0.1", server_->port());
+  EXPECT_EQ(c.list().size(), 1u);
+}
+
+TEST_F(ServeLoopback, HttpRoutes) {
+  obs::ScopedRecording rec;
+  std::string health = http_get("/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  EXPECT_EQ(body_of(health), "ok\n");
+
+  std::string archives = http_get("/archives");
+  EXPECT_NE(archives.find("200 OK"), std::string::npos);
+  EXPECT_TRUE(obs::json_valid(body_of(archives))) << body_of(archives);
+  EXPECT_NE(body_of(archives).find("snapshots.tpar"), std::string::npos);
+
+  std::string datasets = http_get("/archives/snapshots.tpar/datasets");
+  EXPECT_TRUE(obs::json_valid(body_of(datasets))) << body_of(datasets);
+  EXPECT_NE(body_of(datasets).find("\"wind\""), std::string::npos);
+
+  std::string rows = http_get(
+      "/archives/snapshots.tpar/datasets/wind/rows?range=0:4");
+  EXPECT_NE(rows.find("200 OK"), std::string::npos);
+  EXPECT_TRUE(obs::json_valid(body_of(rows))) << body_of(rows);
+  EXPECT_NE(body_of(rows).find("\"base64\""), std::string::npos);
+
+  std::string raw = http_get(
+      "/archives/snapshots.tpar/datasets/wind/rows?range=0:4&encoding=raw");
+  EXPECT_NE(raw.find("200 OK"), std::string::npos);
+  EXPECT_NE(raw.find("X-Transpwr-Dtype: f32"), std::string::npos);
+  EXPECT_NE(raw.find("X-Transpwr-Dims: 4x8x8"), std::string::npos);
+  EXPECT_EQ(body_of(raw).size(), 4u * 8 * 8 * sizeof(float));
+
+  std::string statsz = http_get("/statsz");
+  EXPECT_TRUE(obs::json_valid(body_of(statsz))) << body_of(statsz);
+
+  EXPECT_NE(http_get("/archives/ghost.tpar/datasets").find("404"),
+            std::string::npos);
+  EXPECT_NE(http_get("/nope").find("404"), std::string::npos);
+  EXPECT_NE(
+      http_get("/archives/snapshots.tpar/datasets/wind/rows?range=9:3")
+          .find("400"),
+      std::string::npos);
+
+  // Non-GET methods are refused with Allow.
+  net::Socket s = net::Socket::connect("127.0.0.1", server_->http_port());
+  s.send_all(std::string("POST /archives HTTP/1.1\r\nHost: t\r\n\r\n"));
+  std::string resp;
+  std::uint8_t buf[1024];
+  while (std::size_t n = s.recv_some(buf, /*timeout_ms=*/5000))
+    resp.append(reinterpret_cast<const char*>(buf), n);
+  EXPECT_NE(resp.find("405"), std::string::npos);
+  EXPECT_NE(resp.find("Allow: GET, HEAD"), std::string::npos);
+}
+
+TEST_F(ServeLoopback, HeadOmitsBody) {
+  net::Socket s = net::Socket::connect("127.0.0.1", server_->http_port());
+  s.send_all(std::string("HEAD /healthz HTTP/1.1\r\nHost: t\r\n\r\n"));
+  std::string resp;
+  std::uint8_t buf[1024];
+  while (std::size_t n = s.recv_some(buf, /*timeout_ms=*/5000))
+    resp.append(reinterpret_cast<const char*>(buf), n);
+  EXPECT_NE(resp.find("200 OK"), std::string::npos);
+  EXPECT_NE(resp.find("Content-Length: 3"), std::string::npos);
+  EXPECT_EQ(body_of(resp), "");  // head only, no payload bytes
+}
+
+// Rewriting an archive in place changes its identity tuple; the
+// registry must drop the stale handle and serve the new bytes on the
+// next request — no restart.
+TEST_F(ServeLoopback, RegistryReopensWhenFileChangesIdentity) {
+  net::Client c("127.0.0.1", server_->port());
+  auto before = c.stat("snapshots.tpar");
+  ASSERT_EQ(before[0].dims, Dims(32, 8, 8));
+
+  // Different row count => different size => different identity.
+  write_archive(archive_path_, /*rows=*/16, /*seed=*/9);
+
+  auto after = c.stat("snapshots.tpar");
+  EXPECT_EQ(after[0].dims, Dims(16, 8, 8));
+
+  store::ArchiveReader local(archive_path_);
+  auto payload = c.read_rows("snapshots.tpar", "wind", 0, 8);
+  EXPECT_EQ(payload.as<float>(), local.read_rows<float>("wind", 0, 8));
+}
+
+TEST_F(ServeLoopback, ShutdownOpDrainsTheServer) {
+  net::Client c("127.0.0.1", server_->port());
+  EXPECT_EQ(c.list().size(), 1u);
+  c.shutdown_server();  // ack arrives before the drain
+  server_->wait();      // returns because the op requested a stop
+  server_->stop();
+  EXPECT_TRUE(server_->stopping());
+  // A stopped server refuses new connections.
+  EXPECT_THROW(net::Client("127.0.0.1", server_->port()), Error);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace transpwr

@@ -47,6 +47,17 @@ cmake --build "$asan" --target test_chunk_cache test_archive -j "$jobs"
 "$asan/tests/test_chunk_cache"
 "$asan/tests/test_archive"
 
+# Serve loopback smoke under the same sanitizers: a real Server on
+# ephemeral loopback ports, concurrent TPRQ1 clients, every HTTP route,
+# malformed-frame handling, and the graceful drain — the whole
+# thread-per-connection surface (accept loops, shared registry handles,
+# wake-pipe shutdown) with ASan+UBSan armed. The tsan ctest label marks
+# the same test for a -DTRANSPWR_SANITIZE=thread build.
+echo "=== tier-1 [asan-ubsan]: serve loopback smoke ==="
+cmake --build "$asan" --target test_serve_loopback test_net_protocol -j "$jobs"
+"$asan/tests/test_net_protocol"
+"$asan/tests/test_serve_loopback"
+
 # Hunter smoke under the same sanitizers: a bounded sweep of the
 # adversarial bound-violation hunter (fixed seed, every scheme x edge
 # family) with the native kernels on, so guarantee-surface arithmetic runs
