@@ -1,0 +1,268 @@
+// Compressed-domain query bench: `query::Executor` over a 64-chunk TPAR
+// v2 archive versus the decompress-then-scan baseline the summaries make
+// unnecessary. Three shapes:
+//
+//   * count_where with a threshold above the dataset max — every chunk's
+//     summary proves none-match, so the answer costs zero decodes. This
+//     is the acceptance gauge (`count_speedup_top` must be >= 5x on the
+//     full-size run) and the purest demonstration of the compressed
+//     domain: "is there any value > t?" without touching a payload byte.
+//   * count_where at the 98th / 50th percentile of the value range —
+//     realistic selectivity, where straddling chunks still decode.
+//   * whole-dataset aggregate — answered entirely from summaries.
+//
+// Every query result is differentially checked against the scan baseline
+// before it is timed; a mismatch fails the bench. The decoded-chunk cache
+// is disabled for the whole run so the baseline pays decode on every rep.
+//
+// Usage: bench_query [out.json] [edge]
+//   out.json  output path (default BENCH_PR10_query.json)
+//   edge      cubic field edge length (default 256 => 64 MB of float32,
+//             64 chunks of 4 rows each)
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "data/generators.h"
+#include "obs/obs.h"
+#include "query/query.h"
+#include "store/archive.h"
+#include "store/chunk_cache.h"
+
+using namespace transpwr;
+
+namespace {
+
+constexpr int kReps = 3;
+
+template <typename Fn>
+double best_seconds(Fn&& fn) {
+  fn();  // warm-up, untimed
+  double best = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Timer t;
+    fn();
+    double s = t.seconds();
+    if (rep == 0 || s < best) best = s;
+  }
+  return best;
+}
+
+/// Decompress-then-scan count: what a caller without summaries must do.
+std::uint64_t scan_count(store::ArchiveReader& reader,
+                         const std::string& name,
+                         const query::Predicate& p) {
+  auto values = reader.load<float>(name);
+  std::uint64_t matching = 0;
+  for (float v : values)
+    if (p.matches(v)) ++matching;
+  return matching;
+}
+
+struct ScanAgg {
+  double min = 0, max = 0, sum = 0;
+  std::uint64_t finite = 0;
+};
+
+ScanAgg scan_aggregate(store::ArchiveReader& reader, const std::string& name) {
+  auto values = reader.load<float>(name);
+  ScanAgg a;
+  a.min = std::numeric_limits<double>::infinity();
+  a.max = -std::numeric_limits<double>::infinity();
+  for (float v : values) {
+    if (!std::isfinite(v)) continue;
+    a.min = std::min(a.min, static_cast<double>(v));
+    a.max = std::max(a.max, static_cast<double>(v));
+    a.sum += v;
+    ++a.finite;
+  }
+  return a;
+}
+
+struct CountRun {
+  const char* tag = "";
+  double threshold = 0;
+  double scan_s = 0;
+  double query_s = 0;
+  double speedup = 0;
+  std::uint64_t matching = 0;
+  std::uint64_t pruned = 0;
+  std::uint64_t decoded = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_PR10_query.json";
+  const std::size_t edge =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 256;
+
+  obs::ScopedRecording rec;
+  obs::reset();
+  Timer total_wall;
+
+  // Cache off for the whole run: both sides decode on every rep, so the
+  // comparison measures summaries-vs-decode, not cache hits.
+  store::ScopedCacheCapacity cache_off(0);
+
+  bench::print_header("compressed-domain query vs decompress-then-scan");
+  auto f = gen::nyx_dark_matter_density(Dims(edge, edge, edge), 42);
+  const double field_mb = static_cast<double>(f.bytes()) / (1 << 20);
+
+  // 64 chunks at the default edge; smaller smoke edges shrink with it.
+  const std::size_t rows_per_chunk = std::max<std::size_t>(1, edge / 64);
+  std::vector<std::uint8_t> archive;
+  {
+    store::ArchiveWriter writer(&archive);
+    store::DatasetOptions opts;
+    opts.rows_per_chunk = rows_per_chunk;
+    writer.add_dataset<float>("density", f.span(), f.dims, opts);
+    writer.finish();
+  }
+  store::ArchiveReader reader(archive);
+  const std::size_t nchunks = reader.dataset("density").chunks.size();
+  std::printf("field %s (%.1f MB), archive %.1f MB, %zu chunks\n",
+              f.dims.to_string().c_str(), field_mb,
+              static_cast<double>(archive.size()) / (1 << 20), nchunks);
+
+  query::Executor ex(reader, "density");
+  const query::RowRange full = ex.full_range();
+
+  // Exact reconstructed extrema, straight from the summaries.
+  const query::Aggregate extent = ex.aggregate(full);
+  const double lo = extent.min, hi = extent.max;
+
+  int rc = 0;
+  auto check = [&](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "differential check failed: %s\n", what);
+      rc = 1;
+    }
+  };
+
+  // --- count_where at three selectivities -----------------------------------
+  const CountRun plan[] = {
+      {"top", std::nextafter(hi, std::numeric_limits<double>::infinity()),
+       0, 0, 0, 0, 0, 0},
+      {"p98", lo + 0.98 * (hi - lo), 0, 0, 0, 0, 0, 0},
+      {"p50", lo + 0.50 * (hi - lo), 0, 0, 0, 0, 0, 0},
+  };
+  std::vector<CountRun> runs;
+  for (const CountRun& spec : plan) {
+    CountRun r = spec;
+    query::Predicate p{query::Cmp::kGt, r.threshold};
+
+    const std::uint64_t want = scan_count(reader, "density", p);
+    query::CountResult q = ex.count_where(p, full);
+    check(q.matching == want, r.tag);
+    check(q.total == f.values.size(), "count total");
+    r.matching = q.matching;
+    r.pruned = q.chunks_pruned;
+    r.decoded = q.chunks_decoded;
+
+    r.scan_s = best_seconds([&] {
+      bench::do_not_optimize(scan_count(reader, "density", p));
+    });
+    r.query_s = best_seconds([&] {
+      bench::do_not_optimize(ex.count_where(p, full).matching);
+    });
+    r.speedup = r.query_s > 0 ? r.scan_s / r.query_s : 0;
+    std::printf(
+        "count gt:%-12.5g %-4s scan %8.2f ms  query %8.3f ms  %7.1fx  "
+        "(%llu match, %llu pruned, %llu decoded)\n",
+        r.threshold, r.tag, r.scan_s * 1e3, r.query_s * 1e3, r.speedup,
+        static_cast<unsigned long long>(r.matching),
+        static_cast<unsigned long long>(r.pruned),
+        static_cast<unsigned long long>(r.decoded));
+    runs.push_back(r);
+  }
+
+  // --- whole-dataset aggregate ----------------------------------------------
+  const ScanAgg sa = scan_aggregate(reader, "density");
+  check(sa.min == extent.min && sa.max == extent.max, "agg min/max");
+  check(sa.finite == extent.finite, "agg finite");
+  check(std::abs(sa.sum - extent.sum) <=
+            1e-9 * std::max(1.0, std::abs(sa.sum)),
+        "agg sum");
+  const double scan_agg_s = best_seconds([&] {
+    bench::do_not_optimize(scan_aggregate(reader, "density").sum);
+  });
+  const double query_agg_s = best_seconds([&] {
+    bench::do_not_optimize(ex.aggregate(full).sum);
+  });
+  const double agg_speedup = query_agg_s > 0 ? scan_agg_s / query_agg_s : 0;
+  std::printf("aggregate (full)       scan %8.2f ms  query %8.3f ms  %7.1fx\n",
+              scan_agg_s * 1e3, query_agg_s * 1e3, agg_speedup);
+
+  // --- find_chunks: predicate existence without any decode ------------------
+  query::Predicate p98{query::Cmp::kGt, lo + 0.98 * (hi - lo)};
+  const double find_s = best_seconds([&] {
+    bench::do_not_optimize(ex.find_chunks(p98).matches.size());
+  });
+  const query::ChunkMatchResult fc = ex.find_chunks(p98);
+  std::printf("find_chunks gt:p98     %zu of %zu chunks, %.3f ms, 0 decoded\n",
+              fc.matches.size(), static_cast<std::size_t>(fc.chunks_total),
+              find_s * 1e3);
+  check(fc.chunks_decoded == 0, "find_chunks decoded");
+
+  // --- gauges + acceptance ---------------------------------------------------
+  obs::gauge_set("query_bench.field_bytes", static_cast<double>(f.bytes()));
+  obs::gauge_set("query_bench.archive_bytes",
+                 static_cast<double>(archive.size()));
+  obs::gauge_set("query_bench.chunks", static_cast<double>(nchunks));
+  for (const CountRun& r : runs) {
+    const std::string p = std::string("query_bench.count_") + r.tag + ".";
+    obs::gauge_set(p + "threshold", r.threshold);
+    obs::gauge_set(p + "scan_s", r.scan_s);
+    obs::gauge_set(p + "query_s", r.query_s);
+    obs::gauge_set(p + "speedup", r.speedup);
+    obs::gauge_set(p + "matching", static_cast<double>(r.matching));
+    obs::gauge_set(p + "chunks_pruned", static_cast<double>(r.pruned));
+    obs::gauge_set(p + "chunks_decoded", static_cast<double>(r.decoded));
+  }
+  obs::gauge_set("query_bench.agg_scan_s", scan_agg_s);
+  obs::gauge_set("query_bench.agg_query_s", query_agg_s);
+  obs::gauge_set("query_bench.agg_speedup", agg_speedup);
+  obs::gauge_set("query_bench.find_chunks_s", find_s);
+  obs::gauge_set("bench_wall_s", total_wall.seconds());
+
+  // Acceptance (full-size runs only): a fully-prunable selective query
+  // must beat decompress-then-scan by >= 5x, with the pruning visible in
+  // the result. Smoke runs (few chunks, tiny field) skip the gate.
+  if (nchunks >= 64) {
+    const CountRun& top = runs[0];
+    if (top.speedup < 5.0) {
+      std::fprintf(stderr,
+                   "acceptance failed: selective speedup %.2fx < 5x\n",
+                   top.speedup);
+      rc = 1;
+    }
+    if (top.pruned != nchunks || top.decoded != 0) {
+      std::fprintf(stderr, "acceptance failed: expected all %zu chunks "
+                           "pruned (got %llu pruned, %llu decoded)\n",
+                   nchunks, static_cast<unsigned long long>(top.pruned),
+                   static_cast<unsigned long long>(top.decoded));
+      rc = 1;
+    }
+  }
+
+  const std::vector<std::pair<std::string, std::string>> meta = {
+      {"bench", "query"},
+      {"field_dims", f.dims.to_string()},
+      {"reps", std::to_string(kReps)},
+      {"rows_per_chunk", std::to_string(rows_per_chunk)},
+  };
+  std::string text = obs::to_json(obs::snapshot(), meta);
+  if (!obs::json_valid(text)) {
+    std::fprintf(stderr, "stats check failed: emitted JSON is invalid\n");
+    return 1;
+  }
+  obs::write_stats_json(out_path, meta);
+  std::printf("wrote %s\n", out_path.c_str());
+  return rc;
+}

@@ -3,10 +3,13 @@
 #include <csignal>
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 
 #include "common/bytestream.h"
+#include "common/decode_guard.h"
 #include "common/env.h"
 #include "common/error.h"
 #include "common/timer.h"
@@ -16,6 +19,8 @@
 #include "metrics/metrics.h"
 #include "obs/obs.h"
 #include "parallel/chunked.h"
+#include "query/query.h"
+#include "query/query_json.h"
 #include "server/server.h"
 #include "store/archive.h"
 #include "store/archive_json.h"
@@ -25,34 +30,44 @@ namespace cli {
 namespace {
 
 double parse_double(const std::string& s, const char* what) {
+  double v;
   try {
     std::size_t pos = 0;
-    double v = std::stod(s, &pos);
+    v = std::stod(s, &pos);
     if (pos != s.size()) throw std::invalid_argument(s);
-    return v;
   } catch (const std::exception&) {
     throw ParamError(std::string("invalid ") + what + ": " + s);
   }
+  // std::stod happily parses "nan" and "inf"; a non-finite bound or base
+  // would silently poison every compressor downstream, so reject it here
+  // at the boundary.
+  if (!std::isfinite(v))
+    throw ParamError(std::string("invalid ") + what + ": " + s +
+                     " (must be finite)");
+  return v;
 }
 
 std::uint64_t parse_u64(const std::string& s, const char* what) {
-  try {
-    std::size_t pos = 0;
-    auto v = std::stoull(s, &pos);
-    if (pos != s.size()) throw std::invalid_argument(s);
-    return v;
-  } catch (const std::exception&) {
-    throw ParamError(std::string("invalid ") + what + ": " + s);
-  }
+  // env::parse_u64 is the strict full-string parser the server already
+  // uses for the same B:E row syntax: no leading whitespace, no signs
+  // (std::stoull wraps "-1" to 2^64-1), no trailing junk, overflow checked.
+  auto v = env::parse_u64(s);
+  if (!v) throw ParamError(std::string("invalid ") + what + ": " + s);
+  return *v;
 }
 
 template <typename T>
 std::vector<T> load_field(const std::string& path, const Dims& dims) {
+  // checked_count rejects dims whose product overflows; the second guard
+  // keeps count * sizeof(T) from wrapping the comparison below.
+  const std::size_t count = checked_count(dims, "cli");
+  if (count > std::numeric_limits<std::size_t>::max() / sizeof(T))
+    throw ParamError("dims " + dims.to_string() + " overflow the byte size");
   auto bytes = io::read_bytes(path);
-  if (bytes.size() != dims.count() * sizeof(T))
+  if (bytes.size() != count * sizeof(T))
     throw ParamError("input size (" + std::to_string(bytes.size()) +
                      " bytes) does not match dims " + dims.to_string());
-  std::vector<T> data(dims.count());
+  std::vector<T> data(count);
   std::memcpy(data.data(), bytes.data(), bytes.size());
   return data;
 }
@@ -426,6 +441,123 @@ int do_unseries(const Args& a) {
   return 0;
 }
 
+/// Resolve --dataset, defaulting to the archive's only dataset (the same
+/// convention as archive extract).
+std::string pick_dataset(const Args& a, const store::ArchiveReader& reader) {
+  if (!a.dataset.empty()) return a.dataset;
+  if (reader.datasets().size() != 1)
+    throw ParamError("archive has " +
+                     std::to_string(reader.datasets().size()) +
+                     " datasets; pick one with --dataset NAME");
+  return reader.datasets().front().name;
+}
+
+int do_query(const Args& a) {
+  store::ArchiveReader reader(a.input);
+  const std::string name = pick_dataset(a, reader);
+  query::Executor ex(reader, name);
+  query::RowRange range = ex.full_range();
+  if (a.rows) range = {a.rows->first, a.rows->second};
+
+  if (a.query_cmd == "summary") {
+    if (a.json) {
+      std::printf("%s\n", query::summary_json(ex).c_str());
+      return 0;
+    }
+    const auto& ds = ex.dataset();
+    if (!ds.has_summaries()) {
+      std::printf("%s: no summary blocks (v%u archive); queries fall back "
+                  "to full scans\n",
+                  name.c_str(), reader.version());
+      return 0;
+    }
+    std::printf("%-5s | %-13s | %12s | %12s | %12s | %8s\n", "chunk", "rows",
+                "min", "max", "mean", "finite");
+    std::uint64_t row = 0;
+    for (std::size_t c = 0; c < ds.summaries.size(); ++c) {
+      const auto& s = ds.summaries[c];
+      std::printf("%-5zu | %6llu:%-6llu | %12.5g | %12.5g | %12.5g | %8llu\n",
+                  c, static_cast<unsigned long long>(row),
+                  static_cast<unsigned long long>(row + ds.chunks[c].rows),
+                  s.min, s.max,
+                  s.finite ? s.sum / static_cast<double>(s.finite) : 0.0,
+                  static_cast<unsigned long long>(s.finite));
+      row += ds.chunks[c].rows;
+    }
+    return 0;
+  }
+  if (a.query_cmd == "chunks") {
+    const auto p = query::parse_predicate(a.where);
+    auto r = ex.find_chunks(p);
+    if (a.json) {
+      std::printf("%s\n", query::chunks_json(ex, p, r).c_str());
+      return 0;
+    }
+    for (const auto& m : r.matches)
+      std::printf("chunk %llu rows %llu:%llu\n",
+                  static_cast<unsigned long long>(m.chunk),
+                  static_cast<unsigned long long>(m.row_begin),
+                  static_cast<unsigned long long>(m.row_end));
+    std::printf("%zu of %llu chunk(s) match %s:%g (%llu pruned, %llu "
+                "decoded)\n",
+                r.matches.size(),
+                static_cast<unsigned long long>(r.chunks_total),
+                query::cmp_name(p.cmp), p.threshold,
+                static_cast<unsigned long long>(r.chunks_pruned),
+                static_cast<unsigned long long>(r.chunks_decoded));
+    return 0;
+  }
+  if (a.query_cmd == "agg") {
+    auto agg = ex.aggregate(range);
+    if (a.json) {
+      std::printf("%s\n", query::aggregate_json(ex, range, agg).c_str());
+      return 0;
+    }
+    std::printf("rows %llu:%llu  count %llu  finite %llu  nan %llu  "
+                "min %.17g  max %.17g  mean %.17g  sum %.17g  "
+                "(%llu pruned, %llu decoded)\n",
+                static_cast<unsigned long long>(range.begin),
+                static_cast<unsigned long long>(range.end),
+                static_cast<unsigned long long>(agg.count),
+                static_cast<unsigned long long>(agg.finite),
+                static_cast<unsigned long long>(agg.nan), agg.min, agg.max,
+                agg.mean(), agg.sum,
+                static_cast<unsigned long long>(agg.chunks_pruned),
+                static_cast<unsigned long long>(agg.chunks_decoded));
+    return 0;
+  }
+  if (a.query_cmd == "count") {
+    const auto p = query::parse_predicate(a.where);
+    auto r = ex.count_where(p, range);
+    if (a.json) {
+      std::printf("%s\n", query::count_json(ex, p, range, r).c_str());
+      return 0;
+    }
+    std::printf("%llu of %llu value(s) match %s:%g (%llu pruned, %llu "
+                "decoded)\n",
+                static_cast<unsigned long long>(r.matching),
+                static_cast<unsigned long long>(r.total),
+                query::cmp_name(p.cmp), p.threshold,
+                static_cast<unsigned long long>(r.chunks_pruned),
+                static_cast<unsigned long long>(r.chunks_decoded));
+    return 0;
+  }
+  // preview (parse_args already validated the subcommand)
+  auto pv = ex.preview(a.points, range);
+  if (a.json) {
+    std::printf("%s\n", query::preview_json(ex, range, pv).c_str());
+    return 0;
+  }
+  for (std::size_t i = 0; i < pv.rows.size(); ++i)
+    std::printf("%llu %.17g\n",
+                static_cast<unsigned long long>(pv.rows[i]), pv.values[i]);
+  std::fprintf(stderr, "preview: %zu point(s), stride %llu, %llu chunk(s) "
+               "decoded\n",
+               pv.rows.size(), static_cast<unsigned long long>(pv.stride),
+               static_cast<unsigned long long>(pv.chunks_decoded));
+  return 0;
+}
+
 }  // namespace
 
 const char* usage() {
@@ -450,8 +582,17 @@ const char* usage() {
       "  transpwr archive    extract [--dataset NAME] [--rows BEGIN:END]\n"
       "                      [--threads N] ARCHIVE OUT\n"
       "  transpwr archive    verify [--json] ARCHIVE\n"
+      "  transpwr query      summary|chunks|agg|count|preview\n"
+      "                      [--dataset NAME] [--where CMP:T]\n"
+      "                      [--rows BEGIN:END] [--points N] [--json]\n"
+      "                      ARCHIVE\n"
       "  transpwr serve      [--port N] [--http-port N] [--no-http]\n"
       "                      [--bind-all] [--threads N] DIR\n"
+      "\n"
+      "query answers from the per-chunk summary blocks a v2 archive\n"
+      "carries, decoding only chunks a summary cannot decide; CMP is one\n"
+      "of gt ge lt le (e.g. --where gt:1.5). v1 archives fall back to\n"
+      "full scans.\n"
       "\n"
       "serve answers the TPRQ1 binary protocol (default port 7411; env\n"
       "TRANSPWR_SERVE_PORT) plus an HTTP/JSON facade (default 7412; env\n"
@@ -505,7 +646,7 @@ Args parse_args(const std::vector<std::string>& argv) {
   if (a.command != "compress" && a.command != "decompress" &&
       a.command != "info" && a.command != "gen" && a.command != "eval" &&
       a.command != "series" && a.command != "unseries" &&
-      a.command != "archive" && a.command != "serve")
+      a.command != "archive" && a.command != "query" && a.command != "serve")
     throw ParamError("unknown command: " + a.command);
 
   std::vector<std::string> positional;
@@ -570,6 +711,11 @@ Args parse_args(const std::vector<std::string>& argv) {
       if (v < 1 || v > 65535)
         throw ParamError("--http-port must be in 1-65535");
       a.http_port = static_cast<std::uint16_t>(v);
+    } else if (arg == "--where") {
+      a.where = next();
+    } else if (arg == "--points") {
+      a.points = parse_u64(next(), "points");
+      if (a.points == 0) throw ParamError("--points must be positive");
     } else if (arg == "--no-http") {
       a.no_http = true;
     } else if (arg == "--bind-all") {
@@ -630,6 +776,26 @@ Args parse_args(const std::vector<std::string>& argv) {
     } else {
       throw ParamError("unknown archive subcommand: " + a.archive_cmd);
     }
+  } else if (a.command == "query") {
+    if (positional.empty())
+      throw ParamError(
+          "query needs a subcommand: summary|chunks|agg|count|preview");
+    a.query_cmd = positional[0];
+    positional.erase(positional.begin());
+    if (a.query_cmd != "summary" && a.query_cmd != "chunks" &&
+        a.query_cmd != "agg" && a.query_cmd != "count" &&
+        a.query_cmd != "preview")
+      throw ParamError("unknown query subcommand: " + a.query_cmd);
+    if (positional.size() != 1)
+      throw ParamError("query " + a.query_cmd + " needs one archive file");
+    a.input = positional[0];
+    if ((a.query_cmd == "chunks" || a.query_cmd == "count") &&
+        a.where.empty())
+      throw ParamError("query " + a.query_cmd +
+                       " requires --where CMP:THRESHOLD (gt/ge/lt/le)");
+    // Fail a malformed predicate at the command line, before the archive
+    // is ever opened.
+    if (!a.where.empty()) query::parse_predicate(a.where);
   } else if (a.command == "serve") {
     if (positional.size() != 1)
       throw ParamError("serve needs one archive directory");
@@ -661,6 +827,7 @@ int dispatch(const Args& a) {
   if (a.command == "series") return do_series(a);
   if (a.command == "unseries") return do_unseries(a);
   if (a.command == "archive") return do_archive(a);
+  if (a.command == "query") return do_query(a);
   if (a.command == "serve") return do_serve(a);
   throw ParamError("unknown command: " + a.command);
 }

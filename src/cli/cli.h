@@ -17,8 +17,11 @@ namespace cli {
 /// parsing is unit-testable without spawning processes.
 struct Args {
   std::string command;  // compress|decompress|info|gen|eval|series|unseries
-                        // |archive|serve
+                        // |archive|query|serve
   std::string archive_cmd;  // archive: create|ls|extract|verify
+  std::string query_cmd;    // query: summary|chunks|agg|count|preview
+  std::string where;        // query: predicate spec, e.g. "gt:1.5"
+  std::uint64_t points = 64;  // query preview: target sample count
   std::string input;
   std::vector<std::string> inputs;  // series/archive create: input files
   std::string output;

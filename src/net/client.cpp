@@ -168,6 +168,126 @@ std::uint64_t Client::verify(const std::string& archive) {
   return chunks;
 }
 
+namespace {
+
+std::vector<std::uint8_t> query_request(const std::string& archive,
+                                        const std::string& dataset,
+                                        QueryKind kind, QueryCmp cmp,
+                                        double threshold,
+                                        std::uint64_t row_begin,
+                                        std::uint64_t row_end,
+                                        std::uint64_t points) {
+  ByteWriter req;
+  put_string(req, archive);
+  put_string(req, dataset);
+  req.put(static_cast<std::uint8_t>(kind));
+  req.put(static_cast<std::uint8_t>(cmp));
+  req.put(threshold);
+  req.put(row_begin);
+  req.put(row_end);
+  req.put(points);
+  return req.take();
+}
+
+void expect_drained(const ByteReader& in, const char* what) {
+  if (in.remaining() != 0)
+    throw StreamError(std::string("tprq1: trailing bytes in ") + what +
+                      " response");
+}
+
+}  // namespace
+
+RemoteChunkMatches Client::query_chunks(const std::string& archive,
+                                        const std::string& dataset,
+                                        QueryCmp cmp, double threshold) {
+  auto req = query_request(archive, dataset, QueryKind::kChunks, cmp,
+                           threshold, 0, 0, 0);
+  auto body = call(Op::kQuery, req);
+  ByteReader in(body);
+  RemoteChunkMatches out;
+  out.chunks_total = in.get<std::uint64_t>();
+  out.chunks_pruned = in.get<std::uint64_t>();
+  out.chunks_decoded = in.get<std::uint64_t>();
+  auto n = in.get<std::uint32_t>();
+  if (n > out.chunks_total)
+    throw StreamError("tprq1: more query matches than chunks");
+  out.matches.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    RemoteChunkMatch m;
+    m.chunk = in.get<std::uint64_t>();
+    m.row_begin = in.get<std::uint64_t>();
+    m.row_end = in.get<std::uint64_t>();
+    out.matches.push_back(m);
+  }
+  expect_drained(in, "query chunks");
+  return out;
+}
+
+RemoteAggregate Client::query_aggregate(const std::string& archive,
+                                        const std::string& dataset,
+                                        std::uint64_t row_begin,
+                                        std::uint64_t row_end) {
+  auto req = query_request(archive, dataset, QueryKind::kAgg, QueryCmp::kGt,
+                           0, row_begin, row_end, 0);
+  auto body = call(Op::kQuery, req);
+  ByteReader in(body);
+  RemoteAggregate out;
+  out.min = in.get<double>();
+  out.max = in.get<double>();
+  out.sum = in.get<double>();
+  out.count = in.get<std::uint64_t>();
+  out.finite = in.get<std::uint64_t>();
+  out.nan = in.get<std::uint64_t>();
+  out.pos_inf = in.get<std::uint64_t>();
+  out.neg_inf = in.get<std::uint64_t>();
+  out.chunks_pruned = in.get<std::uint64_t>();
+  out.chunks_decoded = in.get<std::uint64_t>();
+  expect_drained(in, "query agg");
+  return out;
+}
+
+RemoteCount Client::query_count(const std::string& archive,
+                                const std::string& dataset, QueryCmp cmp,
+                                double threshold, std::uint64_t row_begin,
+                                std::uint64_t row_end) {
+  auto req = query_request(archive, dataset, QueryKind::kCount, cmp,
+                           threshold, row_begin, row_end, 0);
+  auto body = call(Op::kQuery, req);
+  ByteReader in(body);
+  RemoteCount out;
+  out.matching = in.get<std::uint64_t>();
+  out.total = in.get<std::uint64_t>();
+  out.chunks_pruned = in.get<std::uint64_t>();
+  out.chunks_decoded = in.get<std::uint64_t>();
+  expect_drained(in, "query count");
+  return out;
+}
+
+RemotePreview Client::query_preview(const std::string& archive,
+                                    const std::string& dataset,
+                                    std::uint64_t points,
+                                    std::uint64_t row_begin,
+                                    std::uint64_t row_end) {
+  auto req = query_request(archive, dataset, QueryKind::kPreview,
+                           QueryCmp::kGt, 0, row_begin, row_end, points);
+  auto body = call(Op::kQuery, req);
+  ByteReader in(body);
+  RemotePreview out;
+  out.stride = in.get<std::uint64_t>();
+  out.chunks_decoded = in.get<std::uint64_t>();
+  auto n = in.get<std::uint32_t>();
+  if (static_cast<std::size_t>(n) * 16 > in.remaining())
+    throw StreamError("tprq1: preview point count exceeds the response");
+  out.rows.reserve(n);
+  out.values.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.rows.push_back(in.get<std::uint64_t>());
+    out.values.push_back(in.get<double>());
+  }
+  expect_drained(in, "query preview");
+  return out;
+}
+
 void Client::shutdown_server() { call(Op::kShutdown, {}); }
 
 }  // namespace net

@@ -59,6 +59,51 @@ struct RemotePayload {
   }
 };
 
+/// kQuery results, mirrored from the src/query structs so a client does
+/// not have to link the store. All statistics describe reconstructed
+/// values, exactly as a local decompress-then-scan would report them.
+struct RemoteChunkMatch {
+  std::uint64_t chunk = 0;
+  std::uint64_t row_begin = 0;
+  std::uint64_t row_end = 0;
+};
+
+struct RemoteChunkMatches {
+  std::vector<RemoteChunkMatch> matches;
+  std::uint64_t chunks_total = 0;
+  std::uint64_t chunks_pruned = 0;
+  std::uint64_t chunks_decoded = 0;
+};
+
+struct RemoteAggregate {
+  double min = 0;
+  double max = 0;
+  double sum = 0;
+  std::uint64_t count = 0;
+  std::uint64_t finite = 0;
+  std::uint64_t nan = 0;
+  std::uint64_t pos_inf = 0;
+  std::uint64_t neg_inf = 0;
+  std::uint64_t chunks_pruned = 0;
+  std::uint64_t chunks_decoded = 0;
+
+  double mean() const { return finite ? sum / static_cast<double>(finite) : 0; }
+};
+
+struct RemoteCount {
+  std::uint64_t matching = 0;
+  std::uint64_t total = 0;
+  std::uint64_t chunks_pruned = 0;
+  std::uint64_t chunks_decoded = 0;
+};
+
+struct RemotePreview {
+  std::vector<std::uint64_t> rows;
+  std::vector<double> values;
+  std::uint64_t stride = 1;
+  std::uint64_t chunks_decoded = 0;
+};
+
 /// Synchronous TPRQ1 client over one TCP connection. Used by the
 /// `transpwr serve` tests, the `bench_serve` load generator, and any C++
 /// application that wants archive reads without linking the store.
@@ -97,6 +142,26 @@ class Client {
   /// Eagerly checksum every chunk of `archive` server-side. Returns the
   /// number of chunks scanned.
   std::uint64_t verify(const std::string& archive);
+
+  /// Compressed-domain queries (kQuery), answered from the archive's
+  /// per-chunk summary blocks where possible. Row range 0:0 = whole
+  /// dataset.
+  RemoteChunkMatches query_chunks(const std::string& archive,
+                                  const std::string& dataset, QueryCmp cmp,
+                                  double threshold);
+  RemoteAggregate query_aggregate(const std::string& archive,
+                                  const std::string& dataset,
+                                  std::uint64_t row_begin = 0,
+                                  std::uint64_t row_end = 0);
+  RemoteCount query_count(const std::string& archive,
+                          const std::string& dataset, QueryCmp cmp,
+                          double threshold, std::uint64_t row_begin = 0,
+                          std::uint64_t row_end = 0);
+  RemotePreview query_preview(const std::string& archive,
+                              const std::string& dataset,
+                              std::uint64_t points,
+                              std::uint64_t row_begin = 0,
+                              std::uint64_t row_end = 0);
 
   /// Ask the server to drain and exit (it finishes in-flight requests
   /// first). The acknowledging response arrives before the drain.

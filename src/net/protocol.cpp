@@ -25,7 +25,7 @@ std::uint32_t header_fnv(std::uint32_t len, std::uint16_t op,
 
 bool known_op(std::uint16_t op) {
   return op >= static_cast<std::uint16_t>(Op::kPing) &&
-         op <= static_cast<std::uint16_t>(Op::kShutdown);
+         op <= static_cast<std::uint16_t>(Op::kQuery);
 }
 
 const char* op_name(Op op) {
@@ -38,6 +38,7 @@ const char* op_name(Op op) {
     case Op::kChunkBytes: return "chunk_bytes";
     case Op::kVerify: return "verify";
     case Op::kShutdown: return "shutdown";
+    case Op::kQuery: return "query";
   }
   return "unknown";
 }

@@ -50,6 +50,27 @@ enum class Op : std::uint16_t {
   kChunkBytes = 6,  ///< one chunk's raw compressed stream
   kVerify = 7,      ///< eager checksum scan of one archive
   kShutdown = 8,    ///< ask the server to drain and exit
+  kQuery = 9,       ///< compressed-domain query (chunks/agg/count/preview)
+};
+
+/// kQuery body: archive string, dataset string, u8 kind, u8 cmp,
+/// f64 threshold, u64 row_begin, u64 row_end, u64 points. Row range 0:0
+/// means the whole dataset; cmp/threshold are ignored for kinds that take
+/// no predicate, points only applies to kPreview.
+enum class QueryKind : std::uint8_t {
+  kChunks = 1,   ///< which chunks can satisfy the predicate
+  kAgg = 2,      ///< min/max/sum/mean/count over the row range
+  kCount = 3,    ///< how many values satisfy the predicate
+  kPreview = 4,  ///< strided downsample of the row range
+};
+
+/// Wire encoding of a query comparison. Values mirror query::Cmp — the
+/// server validates the byte before casting.
+enum class QueryCmp : std::uint8_t {
+  kGt = 1,
+  kGe = 2,
+  kLt = 3,
+  kLe = 4,
 };
 
 /// Is `op` one this protocol revision defines? Unknown ops still *parse*

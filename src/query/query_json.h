@@ -1,0 +1,42 @@
+#ifndef TRANSPWR_QUERY_QUERY_JSON_H
+#define TRANSPWR_QUERY_QUERY_JSON_H
+
+#include <string>
+
+#include "query/query.h"
+
+namespace transpwr {
+namespace query {
+
+/// Machine-readable query results, one schema for `transpwr query --json`
+/// and the serve HTTP `.../query` route, built on the same obs escaping
+/// and number-formatting helpers as `archive_json`. Non-finite doubles
+/// (the min/max sentinels of an all-NaN range) serialize as JSON null so
+/// every document stays strictly valid.
+
+/// {"dataset":D,"summaries":B,"chunks":[{...}]} — the raw per-chunk
+/// summary blocks (min/max/mean/counts + histogram); empty chunk list
+/// for v1 datasets.
+std::string summary_json(const Executor& ex);
+
+/// {"dataset":D,"cmp":C,"threshold":T,"chunks_total":N,
+///  "chunks_pruned":N,"chunks_decoded":N,"matches":[{...}]}
+std::string chunks_json(const Executor& ex, const Predicate& p,
+                        const ChunkMatchResult& r);
+
+/// {"dataset":D,"rows":[B,E],"count":N,...,"min":..,"mean":..}
+std::string aggregate_json(const Executor& ex, const RowRange& rows,
+                           const Aggregate& a);
+
+/// {"dataset":D,"cmp":C,"threshold":T,"rows":[B,E],"matching":N,...}
+std::string count_json(const Executor& ex, const Predicate& p,
+                       const RowRange& rows, const CountResult& r);
+
+/// {"dataset":D,"rows":[B,E],"stride":N,"points":[[row,value],...]}
+std::string preview_json(const Executor& ex, const RowRange& rows,
+                         const Preview& pv);
+
+}  // namespace query
+}  // namespace transpwr
+
+#endif  // TRANSPWR_QUERY_QUERY_JSON_H

@@ -6,12 +6,16 @@
 #include <utility>
 #include <vector>
 
+#include <cmath>
+
 #include "common/bytestream.h"
 #include "common/decode_guard.h"
 #include "common/env.h"
 #include "common/parallel.h"
 #include "net/frame_io.h"
 #include "obs/obs.h"
+#include "query/query.h"
+#include "query/query_json.h"
 #include "store/archive_json.h"
 
 namespace transpwr {
@@ -33,6 +37,7 @@ const char* op_span(std::uint16_t op) {
     case net::Op::kChunkBytes: return "server.op_chunk_bytes";
     case net::Op::kVerify: return "server.op_verify";
     case net::Op::kShutdown: return "server.op_shutdown";
+    case net::Op::kQuery: return "server.op_query";
   }
   return "server.op_unknown";
 }
@@ -75,6 +80,16 @@ std::string json_quoted(std::string_view s) {
   obs::json_append_escaped(out, s);
   out += '"';
   return out;
+}
+
+/// Validate the wire form of a query predicate (u8 cmp + f64 threshold).
+query::Predicate wire_predicate(std::uint8_t cmp, double threshold) {
+  if (cmp < static_cast<std::uint8_t>(net::QueryCmp::kGt) ||
+      cmp > static_cast<std::uint8_t>(net::QueryCmp::kLe))
+    throw ParamError("serve: bad query comparison byte");
+  if (!std::isfinite(threshold))
+    throw ParamError("serve: query threshold must be finite");
+  return {static_cast<query::Cmp>(cmp), threshold};
 }
 
 /// "B:E" -> [B, E). Throws ParamError on anything else.
@@ -392,6 +407,75 @@ std::vector<std::uint8_t> Server::handle_op(const net::Frame& req) {
       out.put<std::uint64_t>(payload);
       break;
     }
+    case net::Op::kQuery: {
+      auto archive = net::get_string(in);
+      auto dataset = net::get_string(in);
+      auto kind_byte = in.get<std::uint8_t>();
+      auto cmp_byte = in.get<std::uint8_t>();
+      auto threshold = in.get<double>();
+      auto row_begin = in.get<std::uint64_t>();
+      auto row_end = in.get<std::uint64_t>();
+      auto points = in.get<std::uint64_t>();
+      require_drained(in, "query");
+      if (kind_byte < static_cast<std::uint8_t>(net::QueryKind::kChunks) ||
+          kind_byte > static_cast<std::uint8_t>(net::QueryKind::kPreview))
+        throw ParamError("serve: bad query kind byte");
+      auto reader = registry_.open(archive);
+      find_dataset(*reader, dataset);  // NotFound, not Executor's ParamError
+      query::Executor ex(*reader, dataset);
+      const query::RowRange range{row_begin, row_end};
+      switch (static_cast<net::QueryKind>(kind_byte)) {
+        case net::QueryKind::kChunks: {
+          auto r = ex.find_chunks(wire_predicate(cmp_byte, threshold));
+          out.put<std::uint64_t>(r.chunks_total);
+          out.put<std::uint64_t>(r.chunks_pruned);
+          out.put<std::uint64_t>(r.chunks_decoded);
+          out.put<std::uint32_t>(static_cast<std::uint32_t>(
+              r.matches.size()));
+          for (const auto& m : r.matches) {
+            out.put<std::uint64_t>(m.chunk);
+            out.put<std::uint64_t>(m.row_begin);
+            out.put<std::uint64_t>(m.row_end);
+          }
+          break;
+        }
+        case net::QueryKind::kAgg: {
+          auto a = ex.aggregate(range);
+          out.put<double>(a.min);
+          out.put<double>(a.max);
+          out.put<double>(a.sum);
+          out.put<std::uint64_t>(a.count);
+          out.put<std::uint64_t>(a.finite);
+          out.put<std::uint64_t>(a.nan);
+          out.put<std::uint64_t>(a.pos_inf);
+          out.put<std::uint64_t>(a.neg_inf);
+          out.put<std::uint64_t>(a.chunks_pruned);
+          out.put<std::uint64_t>(a.chunks_decoded);
+          break;
+        }
+        case net::QueryKind::kCount: {
+          auto r = ex.count_where(wire_predicate(cmp_byte, threshold), range);
+          out.put<std::uint64_t>(r.matching);
+          out.put<std::uint64_t>(r.total);
+          out.put<std::uint64_t>(r.chunks_pruned);
+          out.put<std::uint64_t>(r.chunks_decoded);
+          break;
+        }
+        case net::QueryKind::kPreview: {
+          auto pv = ex.preview(points, range);
+          out.put<std::uint64_t>(pv.stride);
+          out.put<std::uint64_t>(pv.chunks_decoded);
+          out.put<std::uint32_t>(static_cast<std::uint32_t>(
+              pv.rows.size()));
+          for (std::size_t i = 0; i < pv.rows.size(); ++i) {
+            out.put<std::uint64_t>(pv.rows[i]);
+            out.put<double>(pv.values[i]);
+          }
+          break;
+        }
+      }
+      break;
+    }
     case net::Op::kShutdown: {
       require_drained(in, "shutdown");
       // Acknowledge first (the caller's write happens after we return),
@@ -499,6 +583,48 @@ std::string Server::route_http(const net::HttpRequest& req) {
                segs[2] == "datasets") {
       auto reader = registry_.open(segs[1]);
       body = store::archive_ls_json(segs[1], *reader);
+      body += '\n';
+    } else if (segs.size() == 5 && segs[0] == "archives" &&
+               segs[2] == "datasets" && segs[4] == "query") {
+      auto op = net::query_param(req.query, "op");
+      if (!op)
+        throw ParamError("serve: query requires ?op=chunks|agg|count|"
+                         "preview");
+      auto reader = registry_.open(segs[1]);
+      find_dataset(*reader, segs[3]);
+      query::Executor ex(*reader, segs[3]);
+      query::RowRange range = ex.full_range();
+      if (auto rows = net::query_param(req.query, "rows")) {
+        auto [b, e] = parse_row_range(*rows);
+        range = {b, e};
+      }
+      auto predicate = [&]() -> query::Predicate {
+        auto where = net::query_param(req.query, "where");
+        if (!where)
+          throw ParamError("serve: query op=" + *op +
+                           " requires ?where=CMP:THRESHOLD");
+        return query::parse_predicate(*where);
+      };
+      if (*op == "chunks") {
+        const auto p = predicate();
+        body = query::chunks_json(ex, p, ex.find_chunks(p));
+      } else if (*op == "agg") {
+        body = query::aggregate_json(ex, range, ex.aggregate(range));
+      } else if (*op == "count") {
+        const auto p = predicate();
+        body = query::count_json(ex, p, range, ex.count_where(p, range));
+      } else if (*op == "preview") {
+        std::uint64_t points = 64;
+        if (auto pstr = net::query_param(req.query, "points")) {
+          auto v = env::parse_u64(*pstr);
+          if (!v || *v == 0)
+            throw ParamError("serve: points must be a positive integer");
+          points = *v;
+        }
+        body = query::preview_json(ex, range, ex.preview(points, range));
+      } else {
+        throw ParamError("serve: unknown query op: " + *op);
+      }
       body += '\n';
     } else if (segs.size() == 5 && segs[0] == "archives" &&
                segs[2] == "datasets" && segs[4] == "rows") {

@@ -1,6 +1,7 @@
 #include "store/archive.h"
 
 #include <algorithm>
+#include <cmath>
 #include <condition_variable>
 #include <cstring>
 #include <exception>
@@ -21,7 +22,11 @@ namespace {
 
 constexpr std::uint32_t kMagic = 0x31415054;     // "TPA1"
 constexpr std::uint32_t kEndMagic = 0x45415054;  // "TPAE"
-constexpr std::uint32_t kVersion = 1;
+// v1: directory only. v2 appends an optional per-dataset summary section
+// (ChunkSummary per chunk) after the chunk entries. The writer always
+// emits v2; the reader accepts both.
+constexpr std::uint32_t kVersionV1 = 1;
+constexpr std::uint32_t kWriterVersion = 2;
 constexpr std::uint64_t kHeadSize = 8;     // magic + version
 constexpr std::uint64_t kTrailerSize = 20;  // footer fnv + footer size + end magic
 constexpr std::size_t kMaxNameLen = 255;
@@ -33,6 +38,9 @@ std::size_t resolve_threads(std::size_t threads) {
 
 /// Footer blob: the whole directory, serialized dataset by dataset. The
 /// trailer (checksum + size + end magic) frames it from the file's tail.
+/// v2 appends, after each dataset's chunk entries, a `u8 has_summary`
+/// flag and — when set — `u32 hist_buckets` followed by one 184-byte
+/// ChunkSummary block per chunk.
 std::vector<std::uint8_t> serialize_footer(
     const std::vector<DatasetInfo>& directory) {
   ByteWriter out;
@@ -56,8 +64,56 @@ std::vector<std::uint8_t> serialize_footer(
       out.put(c.size);
       out.put(c.checksum);
     }
+    out.put(std::uint8_t{ds.has_summaries() ? std::uint8_t{1}
+                                            : std::uint8_t{0}});
+    if (ds.has_summaries()) {
+      out.put(static_cast<std::uint32_t>(ChunkSummary::kHistBuckets));
+      for (const auto& s : ds.summaries) {
+        out.put(s.min);
+        out.put(s.max);
+        out.put(s.sum);
+        out.put(s.finite);
+        out.put(s.nan);
+        out.put(s.pos_inf);
+        out.put(s.neg_inf);
+        for (auto h : s.hist) out.put(h);
+      }
+    }
   }
   return out.take();
+}
+
+/// Structural validation of one parsed summary block against its chunk's
+/// element count. Rejects any block our writer could not have produced,
+/// so a flipped bit that survives into parse (it cannot — the footer is
+/// checksummed — but hand-built or fuzzed footers can) is a StreamError.
+void validate_summary(const ChunkSummary& s, std::uint64_t chunk_elems,
+                      const std::string& ds_name) {
+  auto fail = [&](const char* why) {
+    throw StreamError("archive: dataset " + ds_name + " summary block " +
+                      why);
+  };
+  if (s.finite > chunk_elems || s.nan > chunk_elems ||
+      s.pos_inf > chunk_elems || s.neg_inf > chunk_elems ||
+      s.finite + s.nan + s.pos_inf + s.neg_inf != chunk_elems)
+    fail("tallies do not sum to the chunk element count");
+  std::uint64_t hist_sum = 0;
+  for (auto h : s.hist) {
+    if (h > s.finite || hist_sum > s.finite - h)
+      fail("histogram does not sum to the finite tally");
+    hist_sum += h;
+  }
+  if (hist_sum != s.finite)
+    fail("histogram does not sum to the finite tally");
+  if (s.finite == 0) {
+    if (s.min != std::numeric_limits<double>::infinity() ||
+        s.max != -std::numeric_limits<double>::infinity() || s.sum != 0)
+      fail("has no finite values but non-sentinel statistics");
+  } else {
+    if (!std::isfinite(s.min) || !std::isfinite(s.max) || s.min > s.max ||
+        std::isnan(s.sum))
+      fail("min/max/sum are inconsistent");
+  }
 }
 
 /// Parse and validate the footer blob. `payload_end` is the absolute offset
@@ -65,7 +121,8 @@ std::vector<std::uint8_t> serialize_footer(
 /// [kHeadSize, payload_end) exactly, in directory order, so *any* byte of
 /// the file is covered by either a field compare or a checksum.
 std::vector<DatasetInfo> parse_directory(std::span<const std::uint8_t> footer,
-                                         std::uint64_t payload_end) {
+                                         std::uint64_t payload_end,
+                                         std::uint32_t version) {
   ByteReader in(footer);
   auto count = in.get<std::uint32_t>();
   if (count > kMaxDatasets)
@@ -123,6 +180,31 @@ std::vector<DatasetInfo> parse_directory(std::span<const std::uint8_t> footer,
     }
     if (rows_sum != ds.dims[0])
       throw StreamError("archive: chunk rows do not sum to dataset rows");
+    if (version >= 2) {
+      auto has_summary = in.get<std::uint8_t>();
+      if (has_summary > 1)
+        throw StreamError("archive: bad summary flag for " + ds.name);
+      if (has_summary) {
+        auto buckets = in.get<std::uint32_t>();
+        if (buckets != ChunkSummary::kHistBuckets)
+          throw StreamError("archive: unsupported summary bucket count for " +
+                            ds.name);
+        const std::uint64_t row_elems = ds.dims.count() / ds.dims[0];
+        ds.summaries.resize(nchunks);
+        for (std::uint32_t i = 0; i < nchunks; ++i) {
+          ChunkSummary& s = ds.summaries[i];
+          s.min = in.get<double>();
+          s.max = in.get<double>();
+          s.sum = in.get<double>();
+          s.finite = in.get<std::uint64_t>();
+          s.nan = in.get<std::uint64_t>();
+          s.pos_inf = in.get<std::uint64_t>();
+          s.neg_inf = in.get<std::uint64_t>();
+          for (auto& h : s.hist) h = in.get<std::uint64_t>();
+          validate_summary(s, ds.chunks[i].rows * row_elems, ds.name);
+        }
+      }
+    }
     directory.push_back(std::move(ds));
   }
   if (in.remaining() != 0)
@@ -134,6 +216,49 @@ std::vector<DatasetInfo> parse_directory(std::span<const std::uint8_t> footer,
 
 }  // namespace
 
+template <typename T>
+ChunkSummary summarize_values(std::span<const T> values) {
+  ChunkSummary s;
+  for (T v : values) {
+    const double d = static_cast<double>(v);
+    if (std::isnan(d)) {
+      ++s.nan;
+    } else if (std::isinf(d)) {
+      ++(d > 0 ? s.pos_inf : s.neg_inf);
+    } else {
+      ++s.finite;
+      s.min = std::min(s.min, d);
+      s.max = std::max(s.max, d);
+      s.sum += d;
+    }
+  }
+  if (s.finite == 0) return s;
+  // Second pass: equal-width histogram over the chunk-local range. The
+  // bucket index is computed in double and clamped, guarding against both
+  // the d == max edge (which lands exactly on kHistBuckets) and a range
+  // whose width overflows to +inf (where the ratio can go NaN).
+  const double lo = s.min;
+  const double width = s.max - s.min;
+  for (T v : values) {
+    const double d = static_cast<double>(v);
+    if (std::isnan(d) || std::isinf(d)) continue;
+    std::size_t bucket = 0;
+    if (width > 0) {
+      const double x =
+          (d - lo) / width * static_cast<double>(ChunkSummary::kHistBuckets);
+      if (x >= static_cast<double>(ChunkSummary::kHistBuckets - 1))
+        bucket = ChunkSummary::kHistBuckets - 1;
+      else if (x > 0)
+        bucket = static_cast<std::size_t>(x);
+    }
+    ++s.hist[bucket];
+  }
+  return s;
+}
+
+template ChunkSummary summarize_values<float>(std::span<const float>);
+template ChunkSummary summarize_values<double>(std::span<const double>);
+
 // --- ArchiveWriter ----------------------------------------------------------
 
 ArchiveWriter::ArchiveWriter(std::string path)
@@ -143,7 +268,7 @@ ArchiveWriter::ArchiveWriter(std::string path)
   if (!file_) throw StreamError("archive: cannot open " + tmp_path_);
   ByteWriter head;
   head.put(kMagic);
-  head.put(kVersion);
+  head.put(kWriterVersion);
   auto bytes = head.take();
   append(bytes);
 }
@@ -154,7 +279,7 @@ ArchiveWriter::ArchiveWriter(std::vector<std::uint8_t>* buffer)
   mem_->clear();
   ByteWriter head;
   head.put(kMagic);
-  head.put(kVersion);
+  head.put(kWriterVersion);
   auto bytes = head.take();
   append(bytes);
 }
@@ -219,6 +344,7 @@ void ArchiveWriter::add_dataset(const std::string& name,
   // compressing. Tasks only touch locals guarded by `mu`, and every task
   // flags `done` even on failure, so the wait loop below always drains.
   std::vector<std::vector<std::uint8_t>> streams(nchunks);
+  std::vector<ChunkSummary> summaries(nchunks);
   std::vector<char> done(nchunks, 0);
   std::mutex mu;
   std::condition_variable cv;
@@ -235,8 +361,21 @@ void ArchiveWriter::add_dataset(const std::string& name,
         auto stream = comp->compress(
             data.subspan(begin * row_elems, count * row_elems), cdims,
             opts.params);
+        ChunkSummary summary;
+        if (opts.summaries) {
+          // Summaries describe what a reader will reconstruct, so decode
+          // the stream we just wrote rather than summarizing the input:
+          // query answers then match decompress-then-scan bit-for-bit.
+          std::vector<T> rec;
+          if constexpr (std::is_same_v<T, float>)
+            rec = comp->decompress_f32(stream, nullptr);
+          else
+            rec = comp->decompress_f64(stream, nullptr);
+          summary = summarize_values<T>(std::span<const T>(rec));
+        }
         std::lock_guard<std::mutex> lock(mu);
         streams[i] = std::move(stream);
+        summaries[i] = summary;
         done[i] = 1;
         cv.notify_all();
       } catch (...) {
@@ -285,13 +424,18 @@ void ArchiveWriter::add_dataset(const std::string& name,
     failed_ = true;
     std::rethrow_exception(err ? err : write_err);
   }
+  if (opts.summaries) {
+    obs::counter_add("archive.summary_chunks", nchunks);
+    info.summaries = std::move(summaries);
+  }
   directory_.push_back(std::move(info));
 }
 
 void ArchiveWriter::add_compressed(const std::string& name, DataType dtype,
                                    Scheme scheme, Dims dims, double bound,
                                    double log_base,
-                                   std::span<const std::uint8_t> stream) {
+                                   std::span<const std::uint8_t> stream,
+                                   bool with_summary) {
   require_usable("add_compressed");
   check_new_name(name);
   dims.validate();
@@ -304,6 +448,32 @@ void ArchiveWriter::add_compressed(const std::string& name, DataType dtype,
   info.dims = dims;
   info.bound = bound;
   info.log_base = log_base;
+  if (with_summary) {
+    // Callers hand us opaque rank streams; one that does not decode (or
+    // decodes to the wrong shape) is still archived verbatim — it just
+    // gets no summary, and queries over it fall back to full scans.
+    try {
+      auto comp = make_compressor(scheme);
+      Dims got;
+      ChunkSummary s;
+      bool ok = false;
+      if (dtype == DataType::kFloat32) {
+        auto rec = comp->decompress_f32(stream, &got);
+        ok = got == dims && rec.size() == dims.count();
+        if (ok) s = summarize_values<float>(std::span<const float>(rec));
+      } else {
+        auto rec = comp->decompress_f64(stream, &got);
+        ok = got == dims && rec.size() == dims.count();
+        if (ok) s = summarize_values<double>(std::span<const double>(rec));
+      }
+      if (ok) {
+        obs::counter_add("archive.summary_chunks");
+        info.summaries.push_back(s);
+      }
+    } catch (const Error&) {
+      // no summary for this dataset
+    }
+  }
   ChunkInfo c;
   c.rows = dims[0];
   c.offset = offset_;
@@ -427,7 +597,8 @@ void ArchiveReader::parse_footer() {
   ByteReader hin(head);
   if (hin.get<std::uint32_t>() != kMagic)
     throw StreamError("archive: bad magic (not a TPAR archive)");
-  if (hin.get<std::uint32_t>() != kVersion)
+  version_ = hin.get<std::uint32_t>();
+  if (version_ != kVersionV1 && version_ != kWriterVersion)
     throw StreamError("archive: unsupported version");
 
   auto trailer = fetch(size_ - kTrailerSize, kTrailerSize, trailer_buf,
@@ -443,7 +614,7 @@ void ArchiveReader::parse_footer() {
   auto footer = fetch(footer_start, footer_size, footer_buf, "footer");
   if (fnv1a64(footer) != footer_sum)
     throw StreamError("archive: footer checksum mismatch (corrupt archive)");
-  directory_ = parse_directory(footer, footer_start);
+  directory_ = parse_directory(footer, footer_start, version_);
 
   // Lay out the lazy-verification bitmap: one bit per chunk, flattened in
   // directory order. All bits start unverified; chunk counts were already

@@ -1,9 +1,11 @@
 #ifndef TRANSPWR_STORE_ARCHIVE_H
 #define TRANSPWR_STORE_ARCHIVE_H
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <span>
 #include <string>
@@ -35,6 +37,28 @@ struct ChunkInfo {
   std::uint64_t checksum = 0;  ///< fnv1a64 of the chunk stream
 };
 
+/// Per-chunk compressed-domain summary (TPAR v2). Statistics are taken
+/// over the *reconstructed* values (decompress-after-compress at write
+/// time), so answers derived from summaries agree exactly with
+/// decompress-then-scan — no error-bound slop enters query results.
+/// `min`/`max`/`sum` cover finite values only; a chunk with no finite
+/// values carries the sentinels min=+inf, max=-inf, sum=0. The histogram
+/// is `kHistBuckets` equal-width buckets over the chunk-local [min, max]
+/// (everything lands in bucket 0 when min == max).
+struct ChunkSummary {
+  static constexpr std::size_t kHistBuckets = 16;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  double sum = 0;
+  std::uint64_t finite = 0;   ///< finite values in the chunk
+  std::uint64_t nan = 0;      ///< NaN values
+  std::uint64_t pos_inf = 0;  ///< +inf values
+  std::uint64_t neg_inf = 0;  ///< -inf values
+  std::array<std::uint64_t, kHistBuckets> hist{};
+
+  std::uint64_t total() const { return finite + nan + pos_inf + neg_inf; }
+};
+
 struct DatasetInfo {
   std::string name;
   DataType dtype = DataType::kFloat32;
@@ -43,6 +67,11 @@ struct DatasetInfo {
   double bound = 0;     ///< error bound the dataset was compressed with
   double log_base = 0;  ///< transform base (metadata; streams self-describe)
   std::vector<ChunkInfo> chunks;
+  /// Empty (v1 archives, or datasets whose stream could not be decoded at
+  /// write time) or exactly one summary per chunk.
+  std::vector<ChunkSummary> summaries;
+
+  bool has_summaries() const { return !summaries.empty(); }
 
   std::uint64_t compressed_bytes() const {
     std::uint64_t total = 0;
@@ -51,12 +80,21 @@ struct DatasetInfo {
   }
 };
 
+/// Summarize a reconstructed value span (the write-time producer of
+/// ChunkSummary; exposed so tests and the query fallback path can build
+/// reference summaries with identical semantics).
+template <typename T>
+ChunkSummary summarize_values(std::span<const T> values);
+
 /// Per-dataset compression knobs for ArchiveWriter::add_dataset.
 struct DatasetOptions {
   Scheme scheme = Scheme::kSzT;
   CompressorParams params;
   std::size_t rows_per_chunk = 0;  ///< 0 => one chunk per worker thread
   std::size_t threads = 0;         ///< 0 => hardware concurrency
+  /// Compute per-chunk ChunkSummary blocks (TPAR v2 compressed-domain
+  /// analytics) by decoding each chunk right after compressing it.
+  bool summaries = true;
 };
 
 /// Writes a TPAR archive. Chunk compression is fanned out over the shared
@@ -87,10 +125,15 @@ class ArchiveWriter {
 
   /// Append an already-compressed scheme stream as a single-chunk dataset
   /// (the N-to-1 harness path: every rank compressed its own shard).
-  /// `bound`/`log_base` are recorded as metadata only.
+  /// `bound`/`log_base` are recorded as metadata only. When
+  /// `with_summary` is set the stream is decoded once to compute the
+  /// chunk's summary block; a stream that fails to decode (or whose shape
+  /// disagrees with `dims`) is still appended, just without a summary —
+  /// queries over that dataset fall back to full scans.
   void add_compressed(const std::string& name, DataType dtype, Scheme scheme,
                       Dims dims, double bound, double log_base,
-                      std::span<const std::uint8_t> stream);
+                      std::span<const std::uint8_t> stream,
+                      bool with_summary = true);
 
   /// Write the footer, flush, and (file mode) rename into place. The
   /// writer may not be reused afterwards.
@@ -154,6 +197,9 @@ class ArchiveReader {
 
   const std::vector<DatasetInfo>& datasets() const { return directory_; }
   const DatasetInfo& dataset(const std::string& name) const;
+
+  /// Format version of the archive on disk: 1 (no summary blocks) or 2.
+  std::uint32_t version() const { return version_; }
 
   /// True when chunk bytes are served as views with no copy (memory-mode
   /// readers and mmap-backed file readers).
@@ -226,6 +272,7 @@ class ArchiveReader {
   MappedFile file_;  // file mode only; default (closed) in memory mode
   std::span<const std::uint8_t> view_;  // mapping or caller buffer
   std::uint64_t size_ = 0;
+  std::uint32_t version_ = 0;
   std::uint64_t cache_id_ = 0;  // ChunkCache archive identity
   std::vector<DatasetInfo> directory_;
   // Lazy-verification bitmap over all chunks of all datasets, flattened

@@ -33,6 +33,8 @@ void append_dataset(std::string& out, const DatasetInfo& ds) {
   }
   out += "],\"chunks\":";
   append_u64(out, ds.chunks.size());
+  out += ",\"summaries\":";
+  out += ds.has_summaries() ? "true" : "false";
   out += ",\"bound\":";
   obs::json_append_double(out, ds.bound);
   out += ",\"log_base\":";

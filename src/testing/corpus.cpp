@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/bitstream.h"
+#include "common/checksum.h"
 #include "common/error.h"
 #include "core/compressor.h"
 #include "core/transformed.h"
@@ -222,6 +223,58 @@ std::vector<CorpusCase> build_cases() {
       lazy_chunk[static_cast<std::size_t>(chunks.at(1).offset)] ^= 0x10;
     }
     cases.push_back({"archive_lazy_verify_chunk", std::move(lazy_chunk)});
+  }
+  {  // TPAR v2 summary blocks: semantic nonsense behind a *valid* footer
+     // checksum. The trailer FNV is re-sealed after each patch, so only
+     // the parser's summary validation can reject these — coverage the
+     // plain bit-flip cases (caught by the FNV) cannot give.
+    std::vector<std::uint8_t> s;
+    {
+      store::ArchiveWriter w(&s);
+      store::DatasetOptions opts;
+      opts.scheme = Scheme::kSzAbs;
+      opts.params.bound = 1e-2;
+      opts.rows_per_chunk = 24;  // chunks of 24, 24, 16 rows
+      opts.threads = 1;
+      w.add_dataset<float>("field", field, d1, opts);
+      w.finish();
+    }
+    const std::size_t nchunks =
+        store::ArchiveReader(std::span<const std::uint8_t>(s))
+            .dataset("field")
+            .chunks.size();
+    // The single dataset's summary section ends the footer: one 184-byte
+    // block per chunk (min@0 max@8 sum@16 finite@24 nan@32 pos_inf@40
+    // neg_inf@48 hist@56).
+    const std::size_t block0 = s.size() - 20 - nchunks * 184;
+    auto resealed = [](std::vector<std::uint8_t> t) {
+      std::uint64_t footer_size = 0;
+      std::memcpy(&footer_size, t.data() + t.size() - 12, 8);
+      const std::size_t start =
+          t.size() - 20 - static_cast<std::size_t>(footer_size);
+      patch_u64(t, t.size() - 20,
+                fnv1a64({t.data() + start,
+                         static_cast<std::size_t>(footer_size)}));
+      return t;
+    };
+    // Sanity: re-sealing the pristine footer must keep it openable,
+    // proving the cases below are rejected by validation, not the FNV.
+    {
+      auto clean = resealed(s);
+      store::ArchiveReader check{std::span<const std::uint8_t>(clean)};
+      if (!check.dataset("field").has_summaries())
+        throw std::logic_error("corpus: resealed archive lost summaries");
+    }
+    auto count_mismatch = s;
+    // finite = 999 cannot tally with a 24-element chunk.
+    patch_u64(count_mismatch, block0 + 24, 999);
+    cases.push_back({"archive_summary_count_mismatch",
+                     resealed(std::move(count_mismatch))});
+    auto minmax_invalid = s;
+    // min far above max: impossible attained extrema.
+    patch_f64(minmax_invalid, block0 + 0, 1e30);
+    cases.push_back({"archive_summary_minmax_invalid",
+                     resealed(std::move(minmax_invalid))});
   }
   return cases;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <exception>
+#include <limits>
 #include <new>
 #include <sstream>
 #include <stdexcept>
@@ -20,6 +21,7 @@
 #include "net/http.h"
 #include "net/protocol.h"
 #include "parallel/chunked.h"
+#include "query/query.h"
 #include "store/archive.h"
 #include "store/chunk_cache.h"
 #include "testing/generators.h"
@@ -258,6 +260,67 @@ std::vector<FuzzTarget> default_fuzz_targets(std::uint64_t seed) {
         throw std::logic_error(
             "archive fuzz: mmap and memory readers disagree on a stream");
       if (mem_err) std::rethrow_exception(mem_err);
+    };
+    targets.push_back(std::move(t));
+  }
+  {
+    FuzzTarget t;
+    t.name = "query";
+    // Corpus: summarized v2 archives — one single-chunk with non-finite
+    // values (exercises the inf/nan tallies in every summary decision)
+    // and one multi-chunk (exercises pruning and block indexing). Mutants
+    // hit the summary section as often as the chunk payloads, so the
+    // query planner sees corrupted summaries behind both valid and
+    // invalid footer checksums.
+    std::vector<std::uint8_t> nonfinite;
+    {
+      store::ArchiveWriter w(&nonfinite);
+      store::DatasetOptions opts;
+      opts.scheme = Scheme::kSzAbs;
+      opts.params.bound = 1e-2;
+      opts.threads = 1;
+      Dims dims;
+      dims.nd = 1;
+      dims.d[0] = 40;
+      auto data = make_field<double>(Family::kRandomSmooth, dims.count(),
+                                     seed + 9);
+      data[3] = std::numeric_limits<double>::quiet_NaN();
+      data[17] = std::numeric_limits<double>::infinity();
+      data[29] = -std::numeric_limits<double>::infinity();
+      w.add_dataset<double>("nf", data, dims, opts);
+      w.finish();
+    }
+    std::vector<std::uint8_t> multi_chunk;
+    {
+      store::ArchiveWriter w(&multi_chunk);
+      store::DatasetOptions opts;
+      opts.scheme = Scheme::kSzAbs;
+      opts.params.bound = 1e-2;
+      opts.rows_per_chunk = 7;
+      opts.threads = 1;
+      Dims dims;
+      dims.nd = 2;
+      dims.d[0] = 30;
+      dims.d[1] = 6;
+      auto data =
+          make_field<float>(Family::kSignAlternating, dims.count(), seed);
+      w.add_dataset<float>("field", data, dims, opts);
+      w.finish();
+    }
+    t.corpus = {std::move(nonfinite), std::move(multi_chunk)};
+    t.decode = [](std::span<const std::uint8_t> s) {
+      store::ScopedCacheCapacity no_cache(0);
+      store::ArchiveReader reader(s);
+      query::Predicate p;
+      p.cmp = query::Cmp::kGe;
+      p.threshold = 0.0;
+      for (const auto& ds : reader.datasets()) {
+        query::Executor ex(reader, ds.name);
+        ex.find_chunks(p);
+        ex.aggregate(ex.full_range());
+        ex.count_where(p, ex.full_range());
+        ex.preview(8, ex.full_range());
+      }
     };
     targets.push_back(std::move(t));
   }

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <string>
 
 #include "common/error.h"
@@ -269,6 +270,154 @@ TEST(CliEndToEnd, ArchiveCreateLsExtractVerify) {
   for (const auto& p : {vx, vy, packed, out, roi}) std::remove(p.c_str());
 }
 
+// std::stoull silently accepted "-1" (wrapping to 2^64-1), " 5", and
+// "+3"; the CLI now routes every unsigned option through the strict
+// full-string parser, so each of those is a ParamError instead of a
+// surprise value.
+TEST(CliParse, UnsignedOptionsRejectNonCanonicalIntegers) {
+  const char* reject[] = {"-1",  " 5",  "+3",   "",     "3x",
+                          "0x4", "1 ",  "18446744073709551616"};
+  for (const char* bad : reject) {
+    EXPECT_THROW(cli::parse_args({"compress", "-d", "10", "--threads", bad,
+                                  "i", "o"}),
+                 ParamError)
+        << "--threads " << bad;
+    EXPECT_THROW(
+        cli::parse_args({"gen", "-w", "nyx", "-d", "10", "--seed", bad,
+                         "-o", "x"}),
+        ParamError)
+        << "--seed " << bad;
+  }
+  // The strict parser still accepts every canonical unsigned value.
+  EXPECT_EQ(cli::parse_args({"compress", "-d", "10", "--threads", "0", "i",
+                             "o"})
+                .threads,
+            0u);
+  EXPECT_EQ(cli::parse_args(
+                {"gen", "-w", "nyx", "-d", "10", "--seed", "42", "-o", "x"})
+                .seed,
+            42u);
+  EXPECT_EQ(cli::parse_args({"compress", "-d", "10", "--threads",
+                             "18446744073709551615", "i", "o"})
+                .threads,
+            std::numeric_limits<std::size_t>::max());
+}
+
+// std::stod happily parses "nan" and "inf"; a non-finite error bound or
+// log base must be rejected at the parser, not propagate into the math.
+TEST(CliParse, DoubleOptionsRejectNonFiniteValues) {
+  for (const char* bad : {"nan", "inf", "-inf", "NAN", "1e999"}) {
+    EXPECT_THROW(
+        cli::parse_args({"compress", "-d", "10", "-b", bad, "i", "o"}),
+        ParamError)
+        << "-b " << bad;
+    EXPECT_THROW(
+        cli::parse_args({"compress", "-d", "10", "--base", bad, "i", "o"}),
+        ParamError)
+        << "--base " << bad;
+  }
+}
+
+TEST(CliEndToEnd, LoadFieldRejectsByteSizeOverflow) {
+  // dims whose element count fits size_t but whose byte size does not:
+  // count * sizeof(float) must not wrap into a small bogus allocation.
+  auto a = cli::parse_args({"compress", "-d", "6148914691236517205",
+                            "nonexistent.bin", "out.tpz"});
+  EXPECT_THROW(cli::run(a), ParamError);
+}
+
+TEST(CliParse, QuerySubcommands) {
+  auto s = cli::parse_args({"query", "summary", "x.tpar"});
+  EXPECT_EQ(s.command, "query");
+  EXPECT_EQ(s.query_cmd, "summary");
+  EXPECT_EQ(s.input, "x.tpar");
+
+  auto c = cli::parse_args({"query", "count", "--where", "gt:1.5",
+                            "--dataset", "vx", "x.tpar"});
+  EXPECT_EQ(c.query_cmd, "count");
+  EXPECT_EQ(c.where, "gt:1.5");
+  EXPECT_EQ(c.dataset, "vx");
+
+  auto g = cli::parse_args({"query", "agg", "--rows", "4:9", "x.tpar"});
+  EXPECT_EQ(g.query_cmd, "agg");
+  ASSERT_TRUE(g.rows.has_value());
+  EXPECT_EQ(g.rows->first, 4u);
+  EXPECT_EQ(g.rows->second, 9u);
+
+  auto p = cli::parse_args({"query", "preview", "--points", "8", "x.tpar"});
+  EXPECT_EQ(p.points, 8u);
+  EXPECT_EQ(cli::parse_args({"query", "preview", "x.tpar"}).points, 64u);
+
+  EXPECT_THROW(cli::parse_args({"query"}), ParamError);
+  EXPECT_THROW(cli::parse_args({"query", "bogus", "x.tpar"}), ParamError);
+  EXPECT_THROW(cli::parse_args({"query", "agg"}), ParamError);
+  EXPECT_THROW(cli::parse_args({"query", "agg", "a.tpar", "b.tpar"}),
+               ParamError);
+  // chunks/count take a predicate; refusing to default one keeps "count
+  // everything" an explicit agg, not an accident.
+  EXPECT_THROW(cli::parse_args({"query", "count", "x.tpar"}), ParamError);
+  EXPECT_THROW(cli::parse_args({"query", "chunks", "x.tpar"}), ParamError);
+  EXPECT_THROW(cli::parse_args({"query", "preview", "--points", "0",
+                                "x.tpar"}),
+               ParamError);
+  EXPECT_THROW(cli::parse_args({"query", "count", "--where", "eq:1",
+                                "x.tpar"}),
+               ParamError);
+}
+
+TEST(CliEndToEnd, QueryCommandsAnswerFromAnArchive) {
+  std::string raw = tmp("q_field.bin");
+  std::string packed = tmp("q_fields.tpar");
+  ASSERT_EQ(cli::run(cli::parse_args({"gen", "-w", "nyx", "-d", "16x10x10",
+                                      "--seed", "3", "-o", raw})),
+            0);
+  ASSERT_EQ(cli::run(cli::parse_args({"archive", "create", "-d", "16x10x10",
+                                      "-b", "1e-2", "--chunks", "4", "-o",
+                                      packed, raw})),
+            0);
+
+  for (const char* sub : {"summary", "agg"}) {
+    ::testing::internal::CaptureStdout();
+    EXPECT_EQ(
+        cli::run(cli::parse_args({"query", sub, "--json", packed})), 0);
+    const std::string doc = ::testing::internal::GetCapturedStdout();
+    EXPECT_TRUE(obs::json_valid(doc)) << sub << ": " << doc;
+  }
+
+  ::testing::internal::CaptureStdout();
+  EXPECT_EQ(cli::run(cli::parse_args({"query", "count", "--where", "le:1e9",
+                                      "--json", packed})),
+            0);
+  std::string count_doc = ::testing::internal::GetCapturedStdout();
+  EXPECT_TRUE(obs::json_valid(count_doc));
+  EXPECT_NE(count_doc.find("\"chunks_pruned\":4"), std::string::npos)
+      << count_doc;
+  EXPECT_NE(count_doc.find("\"matching\":1600"), std::string::npos)
+      << count_doc;
+
+  ::testing::internal::CaptureStdout();
+  EXPECT_EQ(cli::run(cli::parse_args({"query", "chunks", "--where", "gt:0",
+                                      "--json", packed})),
+            0);
+  EXPECT_TRUE(obs::json_valid(::testing::internal::GetCapturedStdout()));
+
+  ::testing::internal::CaptureStdout();
+  EXPECT_EQ(cli::run(cli::parse_args({"query", "preview", "--points", "4",
+                                      "--rows", "2:14", "--json", packed})),
+            0);
+  EXPECT_TRUE(obs::json_valid(::testing::internal::GetCapturedStdout()));
+
+  // Human-readable variants must succeed too.
+  for (const char* sub : {"summary", "agg"})
+    EXPECT_EQ(cli::run(cli::parse_args({"query", sub, packed})), 0);
+  EXPECT_EQ(cli::run(cli::parse_args({"query", "count", "--where", "gt:0.5",
+                                      packed})),
+            0);
+
+  std::remove(raw.c_str());
+  std::remove(packed.c_str());
+}
+
 TEST(CliParse, JsonFlag) {
   auto l = cli::parse_args({"archive", "ls", "--json", "x.tpar"});
   EXPECT_TRUE(l.json);
@@ -307,7 +456,7 @@ TEST(CliEndToEnd, ArchiveLsAndVerifyJsonGolden) {
       "{\"archive\":\"" + packed + "\",\"transport\":\"mmap\","
       "\"datasets\":[{\"name\":\"transpwr_cli_json_field\","
       "\"scheme\":\"SZ_T\",\"dtype\":\"f32\",\"dims\":[16,10,10],"
-      "\"chunks\":4,\"bound\":0.01,\"log_base\":2,"
+      "\"chunks\":4,\"summaries\":true,\"bound\":0.01,\"log_base\":2,"
       "\"compressed_bytes\":" + std::to_string(compressed) +
       ",\"raw_bytes\":" + std::to_string(raw_bytes) +
       ",\"ratio\":" + ratio + "}]}";

@@ -13,6 +13,8 @@
 #include "net/client.h"
 #include "net/socket.h"
 #include "obs/obs.h"
+#include "query/query.h"
+#include "query/query_json.h"
 #include "store/archive.h"
 
 namespace transpwr {
@@ -251,6 +253,119 @@ TEST_F(ServeLoopback, HeadOmitsBody) {
   EXPECT_NE(resp.find("200 OK"), std::string::npos);
   EXPECT_NE(resp.find("Content-Length: 3"), std::string::npos);
   EXPECT_EQ(body_of(resp), "");  // head only, no payload bytes
+}
+
+// kQuery answers must agree exactly with a local Executor over the same
+// file — the wire adds transport, never different analytics.
+TEST_F(ServeLoopback, QueryOpMatchesLocalExecutor) {
+  store::ArchiveReader local(archive_path_);
+  query::Executor ex(local, "wind");
+  const query::RowRange full = ex.full_range();
+  net::Client c("127.0.0.1", server_->port());
+
+  const query::Aggregate la = ex.aggregate(full);
+  const auto ra = c.query_aggregate("snapshots.tpar", "wind");
+  EXPECT_EQ(ra.min, la.min);
+  EXPECT_EQ(ra.max, la.max);
+  EXPECT_EQ(ra.sum, la.sum);
+  EXPECT_EQ(ra.count, la.count);
+  EXPECT_EQ(ra.finite, la.finite);
+  EXPECT_EQ(ra.chunks_pruned, la.chunks_pruned);
+  EXPECT_EQ(ra.chunks_decoded, la.chunks_decoded);
+
+  const double t = la.min + 0.5 * (la.max - la.min);
+  const query::Predicate p{query::Cmp::kGt, t};
+  const query::CountResult lc = ex.count_where(p, full);
+  const auto rc = c.query_count("snapshots.tpar", "wind",
+                                net::QueryCmp::kGt, t);
+  EXPECT_EQ(rc.matching, lc.matching);
+  EXPECT_EQ(rc.total, lc.total);
+  EXPECT_EQ(rc.chunks_pruned, lc.chunks_pruned);
+  EXPECT_EQ(rc.chunks_decoded, lc.chunks_decoded);
+
+  const query::ChunkMatchResult lm = ex.find_chunks(p);
+  const auto rm = c.query_chunks("snapshots.tpar", "wind",
+                                 net::QueryCmp::kGt, t);
+  EXPECT_EQ(rm.chunks_total, lm.chunks_total);
+  EXPECT_EQ(rm.chunks_pruned, lm.chunks_pruned);
+  ASSERT_EQ(rm.matches.size(), lm.matches.size());
+  for (std::size_t i = 0; i < lm.matches.size(); ++i) {
+    EXPECT_EQ(rm.matches[i].chunk, lm.matches[i].chunk);
+    EXPECT_EQ(rm.matches[i].row_begin, lm.matches[i].row_begin);
+    EXPECT_EQ(rm.matches[i].row_end, lm.matches[i].row_end);
+  }
+
+  const query::Preview lp = ex.preview(6, {4, 30});
+  const auto rp = c.query_preview("snapshots.tpar", "wind", 6, 4, 30);
+  EXPECT_EQ(rp.stride, lp.stride);
+  EXPECT_EQ(rp.rows, lp.rows);
+  EXPECT_EQ(rp.values, lp.values);
+
+  // Refusals: unknown dataset is kNotFound, a nonsense row range and an
+  // invalid cmp byte are the caller's fault.
+  try {
+    c.query_aggregate("snapshots.tpar", "ghost");
+    FAIL() << "expected RemoteError";
+  } catch (const net::RemoteError& e) {
+    EXPECT_EQ(e.code(), net::ErrCode::kNotFound);
+  }
+  try {
+    c.query_aggregate("snapshots.tpar", "wind", 9, 3);
+    FAIL() << "expected RemoteError";
+  } catch (const net::RemoteError& e) {
+    EXPECT_EQ(e.code(), net::ErrCode::kBadRequest);
+  }
+  try {
+    c.query_count("snapshots.tpar", "wind", static_cast<net::QueryCmp>(9),
+                  0.0);
+    FAIL() << "expected RemoteError";
+  } catch (const net::RemoteError& e) {
+    EXPECT_EQ(e.code(), net::ErrCode::kBadRequest);
+  }
+  // The connection survives every refusal.
+  EXPECT_EQ(c.list().size(), 1u);
+}
+
+// The HTTP query route serves the same query_json documents the CLI
+// prints — byte-for-byte, so dashboards can treat both as one schema.
+TEST_F(ServeLoopback, HttpQueryRoute) {
+  store::ArchiveReader local(archive_path_);
+  query::Executor ex(local, "wind");
+  const query::RowRange full = ex.full_range();
+  const std::string base = "/archives/snapshots.tpar/datasets/wind/query";
+
+  std::string agg = http_get(base + "?op=agg");
+  EXPECT_NE(agg.find("200 OK"), std::string::npos);
+  EXPECT_EQ(body_of(agg),
+            query::aggregate_json(ex, full, ex.aggregate(full)) + "\n");
+
+  const query::Predicate p = query::parse_predicate("gt:1.5");
+  std::string count = http_get(base + "?op=count&where=gt:1.5");
+  EXPECT_EQ(body_of(count),
+            query::count_json(ex, p, full, ex.count_where(p, full)) + "\n");
+
+  std::string chunks = http_get(base + "?op=chunks&where=gt:1.5");
+  EXPECT_EQ(body_of(chunks),
+            query::chunks_json(ex, p, ex.find_chunks(p)) + "\n");
+
+  std::string preview = http_get(base + "?op=preview&points=4&rows=2:14");
+  EXPECT_EQ(body_of(preview),
+            query::preview_json(ex, {2, 14}, ex.preview(4, {2, 14})) + "\n");
+
+  // Refusals: missing/unknown op, predicate problems, bad points.
+  EXPECT_NE(http_get(base).find("400"), std::string::npos);
+  EXPECT_NE(http_get(base + "?op=frob").find("400"), std::string::npos);
+  EXPECT_NE(http_get(base + "?op=count").find("400"), std::string::npos);
+  EXPECT_NE(http_get(base + "?op=count&where=eq:1").find("400"),
+            std::string::npos);
+  EXPECT_NE(http_get(base + "?op=preview&points=0").find("400"),
+            std::string::npos);
+  EXPECT_NE(http_get(base + "?op=agg&rows=9:3").find("400"),
+            std::string::npos);
+  EXPECT_NE(
+      http_get("/archives/snapshots.tpar/datasets/ghost/query?op=agg")
+          .find("404"),
+      std::string::npos);
 }
 
 // Rewriting an archive in place changes its identity tuple; the

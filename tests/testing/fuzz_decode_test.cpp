@@ -25,7 +25,7 @@ TEST(FuzzTargets, CoverEverySchemeAndTheSubstrate) {
         "SZ_T_f64", "ZFP_P_f32", "ZFP_P_f64", "ZFP_T_f32", "ZFP_T_f64",
         "FPZIP_f32", "FPZIP_f64", "ISABELA_f32", "ISABELA_f64", "SZI_T_f32",
         "SZI_T_f64", "lossless", "lz77", "blocked_huffman", "rle", "chunked",
-        "archive", "net_frame"})
+        "archive", "query", "net_frame"})
     EXPECT_TRUE(names.count(required)) << "missing target " << required;
 }
 
@@ -45,7 +45,7 @@ TEST(FuzzDecode, NoFindingsAtCtestBudget) {
   FuzzConfig config;
   config.iters_per_target = 300;
   FuzzReport report = run_fuzz(config);
-  EXPECT_EQ(report.targets_run, 23u);
+  EXPECT_EQ(report.targets_run, 24u);
   EXPECT_EQ(report.decodes, report.targets_run * config.iters_per_target);
   // Every decode must land in one of the two clean buckets.
   EXPECT_EQ(report.clean_errors + report.clean_decodes, report.decodes);

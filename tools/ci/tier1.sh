@@ -58,6 +58,14 @@ cmake --build "$asan" --target test_serve_loopback test_net_protocol -j "$jobs"
 "$asan/tests/test_net_protocol"
 "$asan/tests/test_serve_loopback"
 
+# Query smoke under the same sanitizers: compressed-domain analytics over
+# TPAR v2 summary blocks — the differential query-vs-scan suite plus the
+# footer bit-flip / truncation / resealed-checksum corruption cases, so
+# every summary-parsing and chunk-pruning path runs with ASan+UBSan armed.
+echo "=== tier-1 [asan-ubsan]: query smoke ==="
+cmake --build "$asan" --target test_query -j "$jobs"
+"$asan/tests/test_query"
+
 # Hunter smoke under the same sanitizers: a bounded sweep of the
 # adversarial bound-violation hunter (fixed seed, every scheme x edge
 # family) with the native kernels on, so guarantee-surface arithmetic runs
